@@ -1,0 +1,27 @@
+"""Figure 6: B-tree insertion time breakdown (Search / Page Update /
+Commit) as PM read/write latency is varied 120-1200 ns."""
+
+from repro.bench.figures import LATENCY_POINTS, fig6
+
+from conftest import OPS, run_figure
+
+
+def test_fig06_insertion_breakdown(benchmark, results_dir):
+    result = run_figure(benchmark, fig6, "fig06", results_dir, ops=OPS)
+    data = result["data"]
+    for read_ns, write_ns in LATENCY_POINTS:
+        nvwal = data[(read_ns, write_ns, "nvwal")].op_us
+        fast = data[(read_ns, write_ns, "fast")].op_us
+        fastplus = data[(read_ns, write_ns, "fastplus")].op_us
+        # The paper's headline ordering at every latency point.
+        assert fastplus < fast < nvwal, (read_ns, fastplus, fast, nvwal)
+    # Insertion time grows with PM latency for the PM-resident schemes.
+    for scheme in ("fast", "fastplus"):
+        series = [data[(r, w, scheme)].op_us for r, w in LATENCY_POINTS]
+        assert series == sorted(series), series
+    # FAST+ stays ahead even at 1.2 us (paper Section 5 claim).
+    assert data[(1200, 1200, "nvwal")].op_us > 1.4 * data[(1200, 1200, "fastplus")].op_us
+    benchmark.extra_info["total_us"] = {
+        "%d/%d/%s" % (r, w, s): round(data[(r, w, s)].op_us, 2)
+        for (r, w) in LATENCY_POINTS for s in ("nvwal", "fast", "fastplus")
+    }

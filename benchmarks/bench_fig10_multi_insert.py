@@ -1,0 +1,33 @@
+"""Figure 10 (reconstructed): multi-record transactions — the regime
+where FAST+ must fall back to slot-header logging."""
+
+from repro.bench.figures import TXN_SIZES, fig10
+
+from conftest import OPS, run_figure
+
+
+def test_fig10_multi_insert(benchmark, results_dir):
+    result = run_figure(benchmark, fig10, "fig10", results_dir, ops=OPS)
+    data = result["data"]
+    # Per-insert commit cost amortises as transactions grow for the
+    # logging schemes.
+    for scheme in ("fast", "nvwal"):
+        commit_series = [
+            data[(n, scheme)].segments_us.get("commit", 0.0) for n in TXN_SIZES
+        ]
+        assert commit_series[-1] < commit_series[0], (scheme, commit_series)
+    # With >= 2 records per transaction FAST+ takes the same logged
+    # path as FAST, so their commit costs converge (paper Section 4.2).
+    for per_txn in TXN_SIZES[1:]:
+        fast_commit = data[(per_txn, "fast")].segments_us.get("commit", 0.0)
+        plus_commit = data[(per_txn, "fastplus")].segments_us.get("commit", 0.0)
+        assert plus_commit < 1.5 * fast_commit
+        assert fast_commit < 1.5 * plus_commit
+    # At 1 record/txn the in-place commit is far cheaper than logging.
+    assert (
+        data[(1, "fastplus")].segments_us.get("commit", 0.0)
+        < 0.7 * data[(1, "fast")].segments_us.get("commit", 0.0)
+    )
+    # FAST stays ahead of NVWAL throughout.
+    for per_txn in TXN_SIZES:
+        assert data[(per_txn, "fast")].op_us < data[(per_txn, "nvwal")].op_us

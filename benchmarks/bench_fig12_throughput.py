@@ -1,0 +1,30 @@
+"""Figure 12 (reconstructed): query throughput under mixed
+read/insert workloads."""
+
+from repro.bench.figures import READ_RATIOS, fig12
+
+from conftest import OPS, run_figure
+
+
+def test_fig12_throughput(benchmark, results_dir):
+    result = run_figure(benchmark, fig12, "fig12", results_dir, ops=OPS)
+    data = result["data"]
+    for ratio in READ_RATIOS:
+        nvwal = data[(ratio, "nvwal")].sql_op_us
+        fastplus = data[(ratio, "fastplus")].sql_op_us
+        # Throughput ordering holds at every mix.
+        assert fastplus < nvwal, (ratio, fastplus, nvwal)
+    # More reads -> higher throughput for everyone, and the gap
+    # between schemes narrows (reads don't exercise commit).
+    for scheme in ("nvwal", "fast", "fastplus"):
+        series = [data[(ratio, scheme)].sql_op_us for ratio in READ_RATIOS]
+        assert series == sorted(series, reverse=True), (scheme, series)
+    gap_writes = (
+        data[(READ_RATIOS[0], "nvwal")].sql_op_us
+        - data[(READ_RATIOS[0], "fastplus")].sql_op_us
+    )
+    gap_reads = (
+        data[(READ_RATIOS[-1], "nvwal")].sql_op_us
+        - data[(READ_RATIOS[-1], "fastplus")].sql_op_us
+    )
+    assert gap_reads < gap_writes

@@ -1,0 +1,43 @@
+"""Shared infrastructure for the figure benchmarks.
+
+Each benchmark regenerates one figure/table of the paper via the
+``repro.bench.figures`` harness, asserts the *shape* claims the paper
+makes (who wins, how the trend moves), stores the raw series in
+pytest-benchmark's ``extra_info``, and writes the rendered table to
+``results/<name>.txt``.
+
+Wall-clock times reported by pytest-benchmark measure the simulator,
+not the system under test — the meaningful output is the simulated-
+microsecond tables.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+#: Operations per data point.  The paper uses 100,000; the default
+#: here keeps the full suite within minutes while preserving shape.
+OPS = int(os.environ.get("REPRO_BENCH_OPS", "800"))
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def run_figure(benchmark, generator, name, results_dir, **kwargs):
+    """Run a figure generator under pytest-benchmark and persist it."""
+    from repro.bench.report import table_to_csv
+
+    result = benchmark.pedantic(
+        lambda: generator(**kwargs), rounds=1, iterations=1
+    )
+    (results_dir / ("%s.txt" % name)).write_text(result["table"] + "\n")
+    (results_dir / ("%s.csv" % name)).write_text(table_to_csv(result["table"]))
+    print()
+    print(result["table"])
+    return result

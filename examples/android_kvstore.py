@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""The paper's motivating mobile workload: single-insert transactions.
+
+"In Android applications, it is known that most write transactions
+insert just a single data item into the SQLite database as if it is a
+flat file interface" (paper Section 3.2).  For exactly this pattern
+the in-place commit is optimal: one record write + one atomic slot
+header store.
+
+This example builds a small key-value preference store on each engine
+and compares the per-operation cost and persistence traffic.
+
+Run:  python examples/android_kvstore.py
+"""
+
+from repro.bench.harness import build_config
+from repro.core import open_engine
+
+
+class PreferenceStore:
+    """A flat key-value API like Android's SharedPreferences."""
+
+    def __init__(self, engine):
+        self.engine = engine
+
+    def put(self, key, value):
+        self.engine.insert(key.encode(), value.encode(), replace=True)
+
+    def get(self, key, default=None):
+        value = self.engine.search(key.encode())
+        return default if value is None else value.decode()
+
+    def remove(self, key):
+        return self.engine.delete(key.encode())
+
+
+def drive(store, n):
+    for i in range(n):
+        store.put("setting.%04d" % i, "value-%d" % i)
+    for i in range(0, n, 7):
+        store.put("setting.%04d" % i, "updated-%d" % i)  # rewrites
+    assert store.get("setting.0008") == "value-8"
+    assert store.get("setting.0014") == "updated-14"
+    assert store.get("missing", "fallback") == "fallback"
+
+
+def main():
+    n = 1500
+    print("%-10s %12s %14s %12s %10s" % (
+        "scheme", "us/op", "flushes/op", "fences/op", "RTM commits"))
+    for scheme in ("nvwal", "fast", "fastplus"):
+        engine = open_engine(build_config(scheme, ops=2 * n), scheme=scheme)
+        store = PreferenceStore(engine)
+        snapshot = engine.clock.snapshot()
+        stats = engine.stats.snapshot()
+        drive(store, n)
+        ops = n + n // 7 + 1
+        elapsed, _ = engine.clock.since(snapshot)
+        delta = engine.stats.since(stats)
+        print("%-10s %12.2f %14.2f %12.2f %10d" % (
+            scheme,
+            elapsed / ops / 1000.0,
+            delta.clflushes / ops,
+            delta.fences / ops,
+            delta.rtm_commits,
+        ))
+    print("\nFAST+ commits almost every preference write with a single "
+          "atomic slot-header store (the RTM commit count ~= the ops).")
+
+
+if __name__ == "__main__":
+    main()

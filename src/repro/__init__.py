@@ -1,0 +1,47 @@
+"""repro — Failure-Atomic Slotted Paging for Persistent Memory.
+
+A full-system reproduction of Seo et al., ASPLOS 2017: persistent
+memory as the database buffer cache, with in-place commit (FAST⁺) and
+slot-header logging (FAST) providing failure atomicity, evaluated
+against the NVWAL baseline on a simulated PM/HTM substrate.
+
+Top-level convenience API::
+
+    import repro
+
+    db = repro.open_database(scheme="fastplus")
+    db.execute("CREATE TABLE kv (k TEXT PRIMARY KEY, v TEXT)")
+
+    engine = repro.open_engine(repro.SystemConfig(scheme="fast"))
+    engine.insert(b"key", b"value")
+
+Subpackages: ``repro.pm`` (simulated hardware), ``repro.htm`` (RTM),
+``repro.storage`` (slotted pages), ``repro.btree``, ``repro.wal``
+(logs), ``repro.core`` (the engines), ``repro.db`` (SQL layer),
+``repro.bench`` (paper figures), ``repro.testing`` (crash injection).
+"""
+
+from repro.core import SCHEMES, SystemConfig, open_engine
+from repro.db import Database
+from repro.pm.latency import CostModel, LatencyProfile
+
+__version__ = "1.0.0"
+
+
+def open_database(config=None, *, scheme=None, pm=None, cache_statements=False):
+    """Open (or recover) a SQL database; see ``repro.db.Database.open``."""
+    return Database.open(
+        config, scheme=scheme, pm=pm, cache_statements=cache_statements
+    )
+
+
+__all__ = [
+    "CostModel",
+    "Database",
+    "LatencyProfile",
+    "SCHEMES",
+    "SystemConfig",
+    "open_database",
+    "open_engine",
+    "__version__",
+]

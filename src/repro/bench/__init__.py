@@ -1,0 +1,28 @@
+"""Benchmark harness: workloads, runners, and paper-figure generators.
+
+Every figure of the paper's evaluation has a generator in
+``repro.bench.figures`` (also runnable as ``python -m repro.bench
+fig6``); the pytest-benchmark files under ``benchmarks/`` call the same
+functions.  All reported times are *simulated* microseconds from the
+engines' cost-accounted clocks — deterministic for a given seed and
+independent of the host machine.
+"""
+
+from repro.bench.harness import (
+    RunResult,
+    build_config,
+    run_multi_insert,
+    run_single_inserts,
+    run_sql_statements,
+)
+from repro.bench.workloads import random_keys, sized_payload
+
+__all__ = [
+    "RunResult",
+    "build_config",
+    "random_keys",
+    "run_multi_insert",
+    "run_single_inserts",
+    "run_sql_statements",
+    "sized_payload",
+]

@@ -1,0 +1,64 @@
+"""CLI: regenerate any paper figure.
+
+Usage::
+
+    python -m repro.bench fig6 fig8
+    python -m repro.bench all --ops 5000
+"""
+
+import argparse
+import sys
+import time
+
+from repro.bench.figures import FIGURES
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's evaluation figures "
+                    "(simulated-time results).",
+    )
+    parser.add_argument(
+        "figures", nargs="+",
+        help="figure names (%s) or 'all'" % ", ".join(sorted(FIGURES)),
+    )
+    parser.add_argument("--ops", type=int, default=None,
+                        help="operations per data point (default: "
+                             "REPRO_BENCH_OPS or 1500)")
+    parser.add_argument("--out", default=None, metavar="DIR",
+                        help="also write <DIR>/<figure>.txt and .csv")
+    args = parser.parse_args(argv)
+    names = sorted(FIGURES) if "all" in args.figures else args.figures
+    for name in names:
+        generator = FIGURES.get(name)
+        if generator is None:
+            parser.error("unknown figure %r" % name)
+        started = time.time()
+        try:
+            result = generator(args.ops) if _takes_ops(name) else generator()
+        except TypeError:
+            result = generator()
+        print(result["table"])
+        print("[%s generated in %.1fs wall time]" % (name, time.time() - started))
+        print()
+        if args.out:
+            import pathlib
+
+            from repro.bench.report import table_to_csv
+
+            directory = pathlib.Path(args.out)
+            directory.mkdir(parents=True, exist_ok=True)
+            (directory / ("%s.txt" % name)).write_text(result["table"] + "\n")
+            (directory / ("%s.csv" % name)).write_text(
+                table_to_csv(result["table"])
+            )
+    return 0
+
+
+def _takes_ops(name):
+    return name not in ("ablation_atomicity",)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

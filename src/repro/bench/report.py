@@ -1,0 +1,59 @@
+"""Plain-text table rendering for benchmark reports."""
+
+
+def format_table(title, headers, rows, *, note=None):
+    """Render an aligned ASCII table."""
+    cells = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    if note:
+        lines.append("")
+        lines.append(note)
+    return "\n".join(lines)
+
+
+def _fmt(cell):
+    if isinstance(cell, float):
+        return "%.2f" % cell
+    return str(cell)
+
+
+def table_to_csv(table_text):
+    """Convert a ``format_table`` rendering to CSV.
+
+    The dash ruler row defines the column spans, so cells are sliced
+    positionally — robust to spaces inside header labels.
+    """
+    lines = table_text.splitlines()
+    ruler_index = next(
+        i for i, line in enumerate(lines)
+        if line and set(line.replace("  ", "")) == {"-"}
+    )
+    spans = []
+    position = 0
+    for segment in lines[ruler_index].split("  "):
+        spans.append((position, position + len(segment)))
+        position += len(segment) + 2
+    body = [lines[ruler_index - 1]]  # header row
+    for line in lines[ruler_index + 1 :]:
+        if not line.strip():
+            break  # blank line precedes the optional note
+        body.append(line)
+    out = []
+    for line in body:
+        cells = [line[lo:hi].strip() for lo, hi in spans]
+        out.append(",".join(_csv_escape(cell) for cell in cells))
+    return "\n".join(out) + "\n"
+
+
+def _csv_escape(cell):
+    if "," in cell or '"' in cell:
+        return '"%s"' % cell.replace('"', '""')
+    return cell

@@ -1,0 +1,49 @@
+"""Workload generators.
+
+The paper's primary workload is 100,000 single-record INSERT
+transactions with randomly generated keys (Section 5); secondary
+workloads sweep the record size (Figure 9) and the number of records
+per transaction, and mix reads into the stream for the throughput
+experiment.
+"""
+
+import random
+
+
+def random_keys(count, *, seed=7, width=16):
+    """Distinct fixed-width random keys (decimal-encoded, so lexical
+    order matches numeric order as in the paper's integer keys)."""
+    rng = random.Random(seed)
+    space = 10 ** (width - 1)
+    seen = set()
+    keys = []
+    while len(keys) < count:
+        value = rng.randrange(space)
+        if value in seen:
+            continue
+        seen.add(value)
+        keys.append(b"%0*d" % (width, value))
+    return keys
+
+
+def sized_payload(size, *, seed=11):
+    """A payload of ``size`` pseudorandom (incompressible) bytes."""
+    rng = random.Random(seed)
+    return bytes(rng.randrange(256) for _ in range(size))
+
+
+def mixed_ops(count, *, read_ratio, key_pool, seed=23):
+    """A stream of ("read"|"insert", key) pairs with the given read
+    share, reading keys already inserted (the Figure 12 style mix)."""
+    rng = random.Random(seed)
+    inserted = []
+    pool = iter(key_pool)
+    ops = []
+    for _ in range(count):
+        if inserted and rng.random() < read_ratio:
+            ops.append(("read", rng.choice(inserted)))
+        else:
+            key = next(pool)
+            inserted.append(key)
+            ops.append(("insert", key))
+    return ops

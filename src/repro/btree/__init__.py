@@ -1,0 +1,33 @@
+"""B+-tree over failure-atomic slotted pages (paper Section 4).
+
+The tree mirrors the SQLite B-tree the paper modifies: variable-length
+records in slotted pages, splits that allocate a *left sibling* for the
+smaller keys (paper Figures 4-5), and copy-on-write defragmentation.
+
+All mutation is routed through a transaction-context protocol (see
+``repro.btree.btree``) so the same tree code runs under every commit
+scheme the paper evaluates — FAST, FAST⁺, NVWAL — as well as the
+deliberately unsafe direct-write baseline used by the atomicity
+ablation.
+"""
+
+from repro.btree.cells import (
+    RIGHTMOST_KEY_LEN,
+    internal_cell,
+    leaf_cell,
+    parse_internal,
+    parse_leaf,
+)
+from repro.btree.btree import BTree, DuplicateKeyError
+from repro.btree.direct import DirectContext
+
+__all__ = [
+    "BTree",
+    "DirectContext",
+    "DuplicateKeyError",
+    "RIGHTMOST_KEY_LEN",
+    "internal_cell",
+    "leaf_cell",
+    "parse_internal",
+    "parse_leaf",
+]

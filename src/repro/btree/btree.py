@@ -1,0 +1,644 @@
+"""Scheme-agnostic B+-tree on failure-atomic slotted pages.
+
+The tree never touches persistent memory directly: every read goes
+through a *view* and every mutation through a *transaction context*,
+both duck-typed.  The commit schemes (FAST, FAST⁺, NVWAL, the unsafe
+direct baseline) provide these objects, which is what lets one tree
+implementation run under every recovery scheme the paper compares.
+
+View protocol (read path)::
+
+    view.root_page_no(slot) -> int
+    view.page(page_no) -> SlottedPage      # pending overlay included
+
+Context protocol (mutation path) — extends the view protocol::
+
+    ctx.insert_record(page, slot, payload) -> offset
+    ctx.update_record(page, slot, payload) -> offset
+    ctx.delete_record(page, slot)
+    ctx.allocate_page(page_type) -> (page_no, SlottedPage)
+    ctx.free_page(page_no)                 # deferred to post-commit
+    ctx.set_root(slot, page_no)            # atomic with the commit
+    ctx.defragment(page_no) -> (new_no, new_page)
+
+Structural notes (paper Section 4):
+
+* splits allocate a *left sibling* that receives the smaller keys,
+  leaving the original page (and its committed cells) in place —
+  Figure 4's algorithm;
+* the separator pushed into the parent is the largest key of the left
+  sibling;
+* a page whose total free space suffices but is fragmented is rewritten
+  copy-on-write and the parent's child pointer is swapped as part of
+  the same transaction (Section 4.3);
+* structural changes restart the insert from the root — the context's
+  page cache keeps the pending view consistent across restarts.
+"""
+
+from contextlib import nullcontext
+
+from repro.btree import overflow
+from repro.btree.cells import (
+    internal_cell,
+    is_overflow_cell,
+    leaf_cell,
+    leaf_key,
+    overflow_leaf_cell,
+    parse_internal,
+    parse_leaf_any,
+)
+from repro.storage.slotted_page import PAGE_INTERNAL, PAGE_LEAF, PageFullError
+
+_MAX_RESTARTS = 32
+
+
+def _segment(view, name):
+    """The view's clock segment, if it measures phases (paper Section 5
+    splits insertion time into Search / Page Update / Commit)."""
+    opener = getattr(view, "segment", None)
+    return opener(name) if opener is not None else nullcontext()
+
+
+class DuplicateKeyError(KeyError):
+    """INSERT of a key that already exists (without replace)."""
+
+
+class _PathEntry:
+    """One step of a root-to-leaf descent."""
+
+    __slots__ = ("page_no", "page", "parent_slot")
+
+    def __init__(self, page_no, page, parent_slot):
+        self.page_no = page_no
+        self.page = page
+        self.parent_slot = parent_slot
+
+
+class BTree:
+    """A B+-tree identified by a root-pointer slot in the page store.
+
+    Args:
+        root_slot: which named root pointer of the ``PageStore`` holds
+            this tree's root page number.
+        leaf_capacity: max records per leaf (FAST⁺ uses 28 so the leaf
+            slot-header fits one cache line; ``None`` = space-limited).
+        internal_capacity: max cells per internal page (``None`` for
+            both schemes — the paper keeps internal headers unlimited
+            and always logs them).
+    """
+
+    def __init__(self, *, root_slot=0, leaf_capacity=None, internal_capacity=None):
+        self.root_slot = root_slot
+        self.leaf_capacity = leaf_capacity
+        self.internal_capacity = internal_capacity
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def create(self, ctx):
+        """Allocate an empty root leaf and point the root slot at it."""
+        page_no, _ = ctx.allocate_page(PAGE_LEAF)
+        ctx.set_root(self.root_slot, page_no)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def search(self, view, key):
+        """Value stored under ``key``, or ``None``."""
+        with _segment(view, "search"):
+            leaf = self._descend(view, key)[-1].page
+            found, slot = self._leaf_search(leaf, key)
+            if not found:
+                return None
+            return self._read_value(view, leaf.record(slot))
+
+    def _read_value(self, view, payload):
+        """A leaf cell's full value, following any overflow chain."""
+        _, value, spilled = parse_leaf_any(payload)
+        if spilled is None:
+            return value
+        total, head = spilled
+        value = value + overflow.read_chain(view, head)
+        assert len(value) == total, "overflow chain length mismatch"
+        return value
+
+    def contains(self, view, key):
+        with _segment(view, "search"):
+            leaf = self._descend(view, key)[-1].page
+            return self._leaf_search(leaf, key)[0]
+
+    def scan(self, view, lo=None, hi=None):
+        """Yield ``(key, value)`` in key order for lo <= key <= hi."""
+        root = view.root_page_no(self.root_slot)
+        if root:
+            yield from self._scan_page(view, root, lo, hi)
+
+    def scan_desc(self, view, lo=None, hi=None):
+        """Yield ``(key, value)`` in descending key order."""
+        root = view.root_page_no(self.root_slot)
+        if root:
+            yield from self._scan_page_desc(view, root, lo, hi)
+
+    def count(self, view):
+        """Number of records in the tree."""
+        return sum(1 for _ in self.scan(view))
+
+    def height(self, view):
+        """Number of levels (1 = a single leaf)."""
+        levels = 1
+        page = self._typed_page(view, view.root_page_no(self.root_slot))
+        while page.page_type == PAGE_INTERNAL:
+            levels += 1
+            _, child = parse_internal(page.record(0))
+            page = self._typed_page(view, child)
+        return levels
+
+    def reachable_pages(self, view):
+        """Page numbers of every page in the tree, including overflow
+        chains (for GC)."""
+        pages = set()
+        stack = [view.root_page_no(self.root_slot)]
+        while stack:
+            page_no = stack.pop()
+            if not page_no or page_no in pages:
+                continue
+            pages.add(page_no)
+            page = self._typed_page(view, page_no)
+            if page.page_type == PAGE_INTERNAL:
+                for payload in page.records():
+                    stack.append(parse_internal(payload)[1])
+            else:
+                for payload in page.records():
+                    if is_overflow_cell(payload):
+                        _, _, (_, head) = parse_leaf_any(payload)
+                        stack.extend(overflow.chain_page_nos(view, head))
+        return pages
+
+    def verify(self, view):
+        """Check structural invariants; returns the record count.
+
+        Raises ``AssertionError`` on: unsorted keys, separator bounds
+        violated, malformed rightmost cells, or uneven leaf depth.
+        """
+        root = view.root_page_no(self.root_slot)
+        leaf_depths = set()
+        count = self._verify_page(view, root, None, None, 0, leaf_depths)
+        assert len(leaf_depths) <= 1, "leaves at differing depths: %s" % leaf_depths
+        return count
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+
+    def insert(self, ctx, key, value, *, replace=False):
+        """Insert ``key -> value``; with ``replace`` update an existing
+        key out-of-place instead of raising ``DuplicateKeyError``."""
+        payload = leaf_cell(key, value)
+        spilled = False
+        for _ in range(_MAX_RESTARTS):
+            with _segment(ctx, "search"):
+                path = self._descend(ctx, key)
+                leaf = path[-1]
+                found, slot = self._leaf_search(leaf.page, key)
+            with _segment(ctx, "page_update"):
+                if not spilled:
+                    payload = self._maybe_spill(
+                        ctx, key, value, payload, leaf.page.page_size
+                    )
+                    spilled = True
+                if found:
+                    if not replace:
+                        raise DuplicateKeyError(repr(key))
+                    self._free_overflow_of(ctx, leaf.page.record(slot))
+                    if self._replace(ctx, path, slot, payload):
+                        return
+                    continue
+                if self._try_insert(ctx, path, slot, payload):
+                    return
+        raise PageFullError("insert of %d-byte record did not converge" % len(payload))
+
+    def _maybe_spill(self, ctx, key, value, payload, page_size):
+        """Spill a too-large value's tail to an overflow chain (done
+        once, after the duplicate check cannot reject the insert)."""
+        if len(payload) <= overflow.max_local_payload(page_size):
+            return payload
+        local_room = overflow.local_payload_after_spill(page_size) - (
+            2 + len(key) + 8
+        )
+        if local_room < 0:
+            from repro.storage.slotted_page import RecordTooLargeError
+
+            raise RecordTooLargeError(
+                "key of %d bytes leaves no room in a %d-byte page"
+                % (len(key), page_size)
+            )
+        prefix, tail = value[:local_room], value[local_room:]
+        head = overflow.write_chain(ctx, tail)
+        return overflow_leaf_cell(key, prefix, len(value), head)
+
+    def _free_overflow_of(self, ctx, payload):
+        """Queue an outgoing record's overflow chain for release."""
+        if is_overflow_cell(payload):
+            _, _, (_, head) = parse_leaf_any(payload)
+            overflow.free_chain(ctx, head)
+
+    def update(self, ctx, key, value):
+        """Out-of-place update of an existing key; False if absent."""
+        if not self.contains(ctx, key):
+            return False
+        self.insert(ctx, key, value, replace=True)
+        return True
+
+    def delete(self, ctx, key):
+        """Delete ``key``; returns False if it was not present.
+
+        A leaf emptied by the deletion is unlinked from its parent and
+        freed (and an internal root left with a single child collapses),
+        so delete-heavy workloads return pages to the store.
+        """
+        with _segment(ctx, "search"):
+            path = self._descend(ctx, key)
+            leaf = path[-1]
+            found, slot = self._leaf_search(leaf.page, key)
+        if not found:
+            return False
+        with _segment(ctx, "page_update"):
+            self._free_overflow_of(ctx, leaf.page.record(slot))
+            ctx.delete_record(leaf.page, slot)
+            if leaf.page.nrecords == 0 and len(path) > 1:
+                self._unlink_empty_leaf(ctx, path)
+        return True
+
+    def _unlink_empty_leaf(self, ctx, path):
+        """Drop an empty leaf's cell from its parent and free the page
+        (all through pending operations, so it commits atomically)."""
+        leaf = path[-1]
+        parent = path[-2]
+        slot = leaf.parent_slot
+        nrec = parent.page.nrecords
+        if slot == nrec - 1:
+            # The empty leaf is the rightmost child: promote the
+            # previous child to rightmost and drop its old cell.
+            if nrec < 2:
+                return  # a lone child: keep the leaf as the catch-all
+            _, prev_child = parse_internal(parent.page.record(slot - 1))
+            try:
+                ctx.update_record(parent.page, slot, internal_cell(None, prev_child))
+            except PageFullError:
+                return  # no room for the rewrite: harmless to keep
+            ctx.delete_record(parent.page, slot - 1)
+        else:
+            ctx.delete_record(parent.page, slot)
+        ctx.free_page(leaf.page_no)
+        self._maybe_collapse_root(ctx, path)
+
+    def _maybe_collapse_root(self, ctx, path):
+        """An internal root with a single (rightmost) child hands the
+        root role to that child."""
+        root = path[0]
+        if root.page.page_type != PAGE_INTERNAL or root.page.nrecords != 1:
+            return
+        _, only_child = parse_internal(root.page.record(0))
+        ctx.set_root(self.root_slot, only_child)
+        ctx.free_page(root.page_no)
+
+    # ------------------------------------------------------------------
+    # Descent helpers
+    # ------------------------------------------------------------------
+
+    def _typed_page(self, view, page_no):
+        page = view.page(page_no)
+        if page.page_type == PAGE_LEAF:
+            page.header_capacity = self.leaf_capacity
+        else:
+            page.header_capacity = self.internal_capacity
+        return page
+
+    def _descend(self, view, key):
+        path = []
+        page_no = view.root_page_no(self.root_slot)
+        parent_slot = None
+        while True:
+            page = self._typed_page(view, page_no)
+            path.append(_PathEntry(page_no, page, parent_slot))
+            if page.page_type == PAGE_LEAF:
+                return path
+            parent_slot = self._child_slot(page, key)
+            _, page_no = parse_internal(page.record(parent_slot))
+
+    def _leaf_search(self, page, key):
+        """Binary search a leaf -> (found, slot)."""
+        lo, hi = 0, page.nrecords
+        while lo < hi:
+            mid = (lo + hi) // 2
+            mid_key = leaf_key(page.record(mid))
+            if mid_key < key:
+                lo = mid + 1
+            elif mid_key > key:
+                hi = mid
+            else:
+                return True, mid
+        return False, lo
+
+    def _child_slot(self, page, key):
+        """Slot of the internal cell routing ``key`` (rightmost wins)."""
+        nrec = page.nrecords
+        lo, hi = 0, nrec - 1  # the last cell is the rightmost catch-all
+        while lo < hi:
+            mid = (lo + hi) // 2
+            sep, _ = parse_internal(page.record(mid))
+            if sep is not None and sep < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    # ------------------------------------------------------------------
+    # Insert machinery
+    # ------------------------------------------------------------------
+
+    def _try_insert(self, ctx, path, slot, payload):
+        """One attempt to place ``payload``; False asks for a restart."""
+        leaf = path[-1]
+        try:
+            ctx.insert_record(leaf.page, slot, payload)
+            return True
+        except PageFullError as err:
+            self._make_room(ctx, path, len(path) - 1, len(payload), err)
+            return False
+
+    def _replace(self, ctx, path, slot, payload):
+        leaf = path[-1]
+        try:
+            ctx.update_record(leaf.page, slot, payload)
+            return True
+        except PageFullError:
+            # Replace as delete + (re-descending) insert: the deletion
+            # frees the slot; the insert path handles any split.
+            ctx.delete_record(leaf.page, slot)
+            return False
+
+    def _make_room(self, ctx, path, depth, need, err):
+        """Copy-on-write if compaction would make the record fit —
+        this covers both fragmented committed space and space held
+        hostage by cells this transaction made dead (paper Section
+        4.3) — otherwise split."""
+        del err
+        page = path[depth].page
+        if page.fits_after_copy(need):
+            self._copy_on_write(ctx, path, depth)
+        else:
+            self._split(ctx, path, depth)
+
+    def _copy_on_write(self, ctx, path, depth):
+        """Defragment ``path[depth]`` copy-on-write and swap the parent
+        pointer (paper Section 4.3).
+
+        A context may defragment *in place* (NVWAL's volatile cache can
+        shift records freely), in which case the page number is
+        unchanged and no pointer swap or free is needed.
+        """
+        old = path[depth]
+        new_no, new_page = ctx.defragment(old.page_no)
+        new_page.header_capacity = old.page.header_capacity
+        if new_no != old.page_no:
+            self._swap_child(ctx, path, depth, new_no)
+            ctx.free_page(old.page_no)
+        path[depth] = _PathEntry(new_no, new_page, old.parent_slot)
+
+    def _swap_child(self, ctx, path, depth, new_page_no):
+        """Repoint the parent at a copy-on-write page.
+
+        Two regimes (paper Section 4.3):
+
+        * **in-place** — when the fresh page carries *every* committed
+          record of the old one, its durable header is
+          committed-equivalent, so a single 8-byte-atomic pointer store
+          is crash-safe at any instant;
+        * **transactional** — when this transaction already removed
+          committed records from the page's pending view (a split moved
+          them to a not-yet-committed sibling), the pointer must flip
+          atomically with the commit, so it goes through a normal
+          out-of-place cell update.
+
+        The root-pointer case always goes through the transaction (an
+        8-byte-atomic root slot update).
+        """
+        entry = path[depth]
+        if entry.parent_slot is None:
+            ctx.set_root(self.root_slot, new_page_no)
+            return
+        parent = path[depth - 1]
+        committed = set(entry.page.committed_offsets())
+        if committed <= set(entry.page.slots()):
+            ctx.overwrite_child_pointer(parent.page, entry.parent_slot, new_page_no)
+            return
+        slot = entry.parent_slot
+        sep, _ = parse_internal(parent.page.record(slot))
+        cell = internal_cell(sep, new_page_no)
+        try:
+            ctx.update_record(parent.page, slot, cell)
+        except PageFullError:
+            # No room for the out-of-place cell: replace it through the
+            # full insert machinery (copy-on-write or split the parent).
+            ctx.delete_record(parent.page, slot)
+            self._insert_cell(ctx, path, path.index(parent), slot, cell)
+
+    def _split(self, ctx, path, depth):
+        """Split ``path[depth]``: allocate a left sibling that takes
+        the smaller half (paper Figure 4) and link it into the parent.
+
+        Returns ``(sibling_no, sibling_page, half)`` — ``half`` is how
+        many leading slots moved out, so callers with a pending cell
+        can route it to the correct side.
+        """
+        entry = path[depth]
+        page = entry.page
+        nrec = page.nrecords
+        if nrec < 1:
+            raise PageFullError("cannot split an empty page")
+        half = max(1, nrec // 2)
+        sibling_no, sibling = ctx.allocate_page(page.page_type)
+        sibling.header_capacity = (
+            self.leaf_capacity if page.page_type == PAGE_LEAF
+            else self.internal_capacity
+        )
+        if page.page_type == PAGE_LEAF:
+            for i in range(half):
+                ctx.insert_record(sibling, i, page.record(i))
+            separator = leaf_key(page.record(half - 1))
+        else:
+            # The moved boundary cell becomes the sibling's rightmost;
+            # its key is the separator pushed into the parent.
+            for i in range(half - 1):
+                ctx.insert_record(sibling, i, page.record(i))
+            separator, child = parse_internal(page.record(half - 1))
+            ctx.insert_record(sibling, half - 1, internal_cell(None, child))
+        for _ in range(half):
+            ctx.delete_record(page, 0)
+        self._insert_cell(
+            ctx, path, depth - 1, entry.parent_slot, internal_cell(separator, sibling_no)
+        )
+        return sibling_no, sibling, half
+
+    def _insert_cell(self, ctx, path, depth, slot, cell):
+        """Insert an internal cell at level ``depth`` (depth == -1 means
+        the root split: grow the tree by one level).
+
+        ``path`` entries are tracked as objects (re-located with
+        ``path.index``) because a root split inside the cascade
+        prepends a new entry, shifting every index.
+        """
+        if depth < 0:
+            old_root = path[0]
+            root_no, root = ctx.allocate_page(PAGE_INTERNAL)
+            root.header_capacity = self.internal_capacity
+            ctx.insert_record(root, 0, cell)
+            ctx.insert_record(root, 1, internal_cell(None, old_root.page_no))
+            ctx.set_root(self.root_slot, root_no)
+            path.insert(0, _PathEntry(root_no, root, None))
+            old_root.parent_slot = 1
+            return
+        parent = path[depth]
+        child = path[depth + 1] if depth + 1 < len(path) else None
+        try:
+            ctx.insert_record(parent.page, slot, cell)
+        except PageFullError:
+            if parent.page.fits_after_copy(len(cell)):
+                index = path.index(parent)
+                self._copy_on_write(ctx, path, index)
+                parent = path[index]
+                ctx.insert_record(parent.page, slot, cell)
+            else:
+                _, sibling, half = self._split(ctx, path, path.index(parent))
+                # Cells [0, half) moved to the sibling; route the
+                # pending cell to whichever side owns its slot now.
+                if slot >= half:
+                    try:
+                        ctx.insert_record(parent.page, slot - half, cell)
+                    except PageFullError:
+                        # The kept half still has no in-place room (its
+                        # dead cells are unreclaimable until commit):
+                        # compact it copy-on-write and retry.
+                        index = path.index(parent)
+                        self._copy_on_write(ctx, path, index)
+                        parent = path[index]
+                        ctx.insert_record(parent.page, slot - half, cell)
+                else:
+                    ctx.insert_record(sibling, slot, cell)
+        if child is not None and child.parent_slot is not None:
+            if slot <= child.parent_slot:
+                child.parent_slot += 1
+
+    # ------------------------------------------------------------------
+    # Scan / verify internals
+    # ------------------------------------------------------------------
+
+    def _scan_page(self, view, page_no, lo, hi):
+        page = self._typed_page(view, page_no)
+        if page.page_type == PAGE_LEAF:
+            for payload in page.records():
+                key = leaf_key(payload)
+                if lo is not None and key < lo:
+                    continue
+                if hi is not None and key > hi:
+                    return
+                yield key, self._read_value(view, payload)
+            return
+        for payload in page.records():
+            sep, child = parse_internal(payload)
+            if lo is not None and sep is not None and sep < lo:
+                continue
+            yield from self._scan_page(view, child, lo, hi)
+            if hi is not None and sep is not None and sep >= hi:
+                return
+
+    def _scan_page_desc(self, view, page_no, lo, hi):
+        page = self._typed_page(view, page_no)
+        if page.page_type == PAGE_LEAF:
+            for slot in range(page.nrecords - 1, -1, -1):
+                payload = page.record(slot)
+                key = leaf_key(payload)
+                if hi is not None and key > hi:
+                    continue
+                if lo is not None and key < lo:
+                    return
+                yield key, self._read_value(view, payload)
+            return
+        cells = [parse_internal(p) for p in page.records()]
+        for index in range(len(cells) - 1, -1, -1):
+            sep, child = cells[index]
+            if lo is not None and sep is not None and sep < lo:
+                return
+            previous_sep = cells[index - 1][0] if index else None
+            if (
+                hi is not None
+                and previous_sep is not None
+                and previous_sep >= hi
+            ):
+                continue  # this whole subtree is above the bound
+            yield from self._scan_page_desc(view, child, lo, hi)
+
+    # ------------------------------------------------------------------
+    # Maintenance (VACUUM)
+    # ------------------------------------------------------------------
+
+    def compact(self, ctx, *, min_waste=64):
+        """Rewrite fragmented pages copy-on-write (the paper's Section
+        4.3 mechanism, applied proactively).  Returns the number of
+        pages rewritten.  Runs inside the caller's transaction."""
+        root_no = ctx.root_page_no(self.root_slot)
+        path = [_PathEntry(root_no, self._typed_page(ctx, root_no), None)]
+        return self._compact_walk(ctx, path, min_waste)
+
+    def _compact_walk(self, ctx, path, min_waste):
+        rewritten = 0
+        page = path[-1].page
+        if page.page_type == PAGE_INTERNAL:
+            for slot in range(page.nrecords):
+                _, child_no = parse_internal(page.record(slot))
+                child = self._typed_page(ctx, child_no)
+                path.append(_PathEntry(child_no, child, slot))
+                rewritten += self._compact_walk(ctx, path, min_waste)
+                path.pop()
+        waste = page.total_free() - page.contiguous_free()
+        if waste >= min_waste:
+            self._copy_on_write(ctx, path, len(path) - 1)
+            rewritten += 1
+        return rewritten
+
+    def _verify_page(self, view, page_no, lo, hi, depth, leaf_depths):
+        page = self._typed_page(view, page_no)
+        if page.page_type == PAGE_LEAF:
+            leaf_depths.add(depth)
+            keys = [leaf_key(p) for p in page.records()]
+            assert keys == sorted(keys), "leaf %d keys unsorted" % page_no
+            assert len(set(keys)) == len(keys), "leaf %d duplicate keys" % page_no
+            for key in keys:
+                assert lo is None or key > lo, "key below bound in leaf %d" % page_no
+                assert hi is None or key <= hi, "key above bound in leaf %d" % page_no
+            for payload in page.records():
+                if is_overflow_cell(payload):
+                    _, prefix, (total, head) = parse_leaf_any(payload)
+                    tail = overflow.read_chain(view, head)
+                    assert len(prefix) + len(tail) == total, (
+                        "overflow chain of leaf %d truncated" % page_no
+                    )
+            return len(keys)
+        cells = [parse_internal(p) for p in page.records()]
+        assert cells, "empty internal page %d" % page_no
+        assert cells[-1][0] is None, "internal %d missing rightmost" % page_no
+        seps = [sep for sep, _ in cells[:-1]]
+        assert all(sep is not None for sep in seps), (
+            "internal %d rightmost not last" % page_no
+        )
+        assert seps == sorted(seps), "internal %d separators unsorted" % page_no
+        count = 0
+        prev = lo
+        for sep, child in cells:
+            upper = sep if sep is not None else hi
+            count += self._verify_page(view, child, prev, upper, depth + 1, leaf_depths)
+            prev = upper if upper is not None else prev
+        return count

@@ -1,0 +1,120 @@
+"""Record-cell encodings for B+-tree pages.
+
+Leaf cell payload::
+
+    u16 key_len | key bytes | value bytes
+
+Internal cell payload (child pointer FIRST)::
+
+    u32 child page number | u16 key_len | key bytes
+
+An internal page with ``n`` children stores ``n`` cells in key order;
+the last cell is the *rightmost* child, marked by the reserved key
+length ``RIGHTMOST_KEY_LEN`` and carrying no key: it routes every key
+greater than all separators.  Each non-rightmost cell ``(k, c)`` routes
+keys ``<= k`` (the paper stores "the largest key in the left sibling
+page" as the separator, Figure 4 step 4).
+
+Why child-first: copy-on-write defragmentation swaps a parent's child
+pointer *in place* (paper Section 4.3).  That 4-byte store is only
+crash-safe if it falls inside one failure-atomic 8-byte word, which the
+B-tree guarantees by (a) placing the pointer at the start of the cell
+payload and (b) allocating internal-page cells 8-byte aligned (cell
+header is 4 bytes, so the pointer occupies bytes 4..8 of an aligned
+word).
+"""
+
+RIGHTMOST_KEY_LEN = 0xFFFF
+_MAX_KEY_LEN = 0x7FF0
+
+#: High bit of the leaf key-length field marks an overflow cell: the
+#: value's tail lives in a chain of overflow pages (like SQLite's
+#: payload spilling), and the local payload carries
+#: ``u32 total_value_len | u32 chain_head_page`` after the key.
+OVERFLOW_FLAG = 0x8000
+
+#: Cell-allocation alignment for internal pages (see module docstring).
+INTERNAL_CELL_ALIGN = 8
+
+#: Byte offset of the u32 child pointer within an internal cell payload.
+CHILD_POINTER_OFFSET = 0
+
+
+def leaf_cell(key, value):
+    """Encode a leaf record."""
+    if len(key) > _MAX_KEY_LEN:
+        raise ValueError("key too long (%d bytes)" % len(key))
+    return len(key).to_bytes(2, "little") + key + value
+
+
+def parse_leaf(payload):
+    """Decode an *inline* leaf record -> (key, value).
+
+    Raises if the cell is an overflow cell (callers that may encounter
+    spilled records use ``parse_leaf_any`` / the B-tree's readers).
+    """
+    key_len = int.from_bytes(payload[:2], "little")
+    if key_len & OVERFLOW_FLAG:
+        raise ValueError("overflow cell: use parse_leaf_any")
+    return payload[2 : 2 + key_len], payload[2 + key_len :]
+
+
+def leaf_key(payload):
+    """Just the key of a leaf record (cheaper comparisons)."""
+    key_len = int.from_bytes(payload[:2], "little") & ~OVERFLOW_FLAG
+    return payload[2 : 2 + key_len]
+
+
+def overflow_leaf_cell(key, value_prefix, total_value_len, chain_head):
+    """Encode a leaf record whose value tail is spilled to an overflow
+    chain starting at page ``chain_head``."""
+    if len(key) > _MAX_KEY_LEN:
+        raise ValueError("key too long (%d bytes)" % len(key))
+    return (
+        (len(key) | OVERFLOW_FLAG).to_bytes(2, "little")
+        + key
+        + total_value_len.to_bytes(4, "little")
+        + chain_head.to_bytes(4, "little")
+        + value_prefix
+    )
+
+
+def parse_leaf_any(payload):
+    """Decode either kind of leaf record.
+
+    Returns ``(key, value, None)`` for inline records, or
+    ``(key, value_prefix, (total_value_len, chain_head))`` for
+    overflow records.
+    """
+    raw_len = int.from_bytes(payload[:2], "little")
+    key_len = raw_len & ~OVERFLOW_FLAG
+    key = payload[2 : 2 + key_len]
+    if not raw_len & OVERFLOW_FLAG:
+        return key, payload[2 + key_len :], None
+    cursor = 2 + key_len
+    total = int.from_bytes(payload[cursor : cursor + 4], "little")
+    head = int.from_bytes(payload[cursor + 4 : cursor + 8], "little")
+    return key, payload[cursor + 8 :], (total, head)
+
+
+def is_overflow_cell(payload):
+    return bool(int.from_bytes(payload[:2], "little") & OVERFLOW_FLAG)
+
+
+def internal_cell(key, child):
+    """Encode an internal separator cell; ``key=None`` = rightmost."""
+    prefix = child.to_bytes(4, "little")
+    if key is None:
+        return prefix + RIGHTMOST_KEY_LEN.to_bytes(2, "little")
+    if len(key) > _MAX_KEY_LEN:
+        raise ValueError("key too long (%d bytes)" % len(key))
+    return prefix + len(key).to_bytes(2, "little") + key
+
+
+def parse_internal(payload):
+    """Decode an internal cell -> (key or None, child page number)."""
+    child = int.from_bytes(payload[:4], "little")
+    key_len = int.from_bytes(payload[4:6], "little")
+    if key_len == RIGHTMOST_KEY_LEN:
+        return None, child
+    return payload[6 : 6 + key_len], child

@@ -1,0 +1,370 @@
+"""Engine and transaction base classes.
+
+An ``Engine`` owns the simulated persistent memory, the page store,
+and one B-tree per named root slot.  Subclasses provide the commit
+scheme by implementing ``_new_context`` / ``_commit`` / ``_rollback``
+/ ``recover``.
+
+The measured quantity everywhere is *simulated* time: the engine's
+``clock`` accumulates nanoseconds charged by the memory hierarchy, and
+the named segments ("search", "page_update", "commit", plus the
+sub-phases) correspond to the bars of the paper's breakdown figures.
+"""
+
+from repro.btree.btree import BTree
+from repro.pm.clock import SimClock
+from repro.pm.memory import PersistentMemory
+from repro.pm.stats import MemoryStats
+from repro.storage.pagestore import N_ROOT_SLOTS, PageStore
+
+
+class TransactionError(Exception):
+    """Illegal transaction state (nested begin, reuse after close...)."""
+
+
+class ReadView:
+    """Committed-state view over the page store (no pending overlays)."""
+
+    def __init__(self, store):
+        self.store = store
+
+    def root_page_no(self, slot):
+        return self.store.root(slot)
+
+    def page(self, page_no):
+        return self.store.page(page_no)
+
+    def segment(self, name):
+        return self.store.pm.clock.segment(name)
+
+
+class Transaction:
+    """A database transaction: a scheme context plus B-tree bindings.
+
+    Usable as a context manager — commits on normal exit, rolls back
+    on exception::
+
+        with engine.transaction() as txn:
+            txn.insert(b"key", b"value")
+    """
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.ctx = engine._new_context()
+        self._done = False
+
+    # -- data operations ------------------------------------------------
+
+    def insert(self, key, value, *, root_slot=0, replace=False):
+        self._check_open()
+        self.engine.tree(root_slot).insert(self.ctx, key, value, replace=replace)
+
+    def update(self, key, value, *, root_slot=0):
+        self._check_open()
+        return self.engine.tree(root_slot).update(self.ctx, key, value)
+
+    def delete(self, key, *, root_slot=0):
+        self._check_open()
+        return self.engine.tree(root_slot).delete(self.ctx, key)
+
+    def search(self, key, *, root_slot=0):
+        """Read inside the transaction (sees its own writes)."""
+        self._check_open()
+        return self.engine.tree(root_slot).search(self.ctx, key)
+
+    def scan(self, lo=None, hi=None, *, root_slot=0):
+        self._check_open()
+        return self.engine.tree(root_slot).scan(self.ctx, lo, hi)
+
+    def create_tree(self, root_slot):
+        """Allocate an empty tree at ``root_slot`` (commits with txn)."""
+        self._check_open()
+        self.engine.tree(root_slot).create(self.ctx)
+
+    def savepoint(self):
+        """Capture a point to partially roll back to (``rollback_to``).
+
+        Returns an opaque token.  Schemes that apply changes in place
+        immediately (naive) cannot support this.
+        """
+        self._check_open()
+        snapshot = getattr(self.ctx, "snapshot_state", None)
+        if snapshot is None:
+            raise TransactionError(
+                "the %r scheme does not support savepoints" % self.engine.scheme
+            )
+        return snapshot()
+
+    def rollback_to(self, token):
+        """Undo every change made after ``savepoint()`` returned
+        ``token``; the transaction stays open."""
+        self._check_open()
+        self.ctx.restore_state(token)
+
+    # -- lifecycle --------------------------------------------------------
+
+    def commit(self):
+        self._check_open()
+        self._done = True
+        try:
+            self.engine._commit(self.ctx)
+        finally:
+            self.engine._active = None
+
+    def rollback(self):
+        self._check_open()
+        self._done = True
+        try:
+            self.engine._rollback(self.ctx)
+        finally:
+            self.engine._active = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        if self._done:
+            return False
+        if exc_type is None:
+            self.commit()
+        else:
+            self.rollback()
+        return False
+
+    def _check_open(self):
+        if self._done:
+            raise TransactionError("transaction already finished")
+
+
+class Engine:
+    """Abstract storage engine over a simulated PM arena."""
+
+    scheme = "abstract"
+    #: leaf slot-header record cap (None = space-limited); FAST⁺
+    #: overrides this with the one-cache-line bound.
+    leaf_capacity = None
+
+    def __init__(self, config, pm, store):
+        self.config = config
+        self.pm = pm
+        self.store = store
+        self._trees = {}
+        self._active = None
+        self._seq = 1
+        # Per-commit dirty-page counts: fed to the legacy block-device
+        # models that reproduce the paper's write-amplification
+        # motivation (Figure 1).
+        self.commit_page_counts = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build_pm(cls, config):
+        """A fresh arena with the config's latency/cost/crash model."""
+        return PersistentMemory(
+            config.arena_bytes,
+            latency=config.latency,
+            cost=config.cost,
+            clock=SimClock(),
+            stats=MemoryStats(),
+            atomic_granularity=config.atomic_granularity,
+            cache_lines=config.cache_lines,
+            flush_instruction=config.flush_instruction,
+        )
+
+    @classmethod
+    def create(cls, config, pm=None):
+        """Format a fresh arena and bootstrap tree 0."""
+        pm = pm or cls.build_pm(config)
+        store = PageStore.format(pm, config.store_base, config.npages, config.page_size)
+        engine = cls(config, pm, store)
+        engine._format()
+        with engine.transaction() as txn:
+            txn.create_tree(0)
+        return engine
+
+    @classmethod
+    def attach(cls, config, pm):
+        """Re-open an existing arena (post-crash) and run recovery."""
+        store = PageStore.attach(pm, config.store_base)
+        engine = cls(config, pm, store)
+        engine._attach_regions()
+        engine.recover()
+        return engine
+
+    # Subclass hooks -----------------------------------------------------
+
+    def _format(self):
+        """Format scheme-specific regions (log, heap...)."""
+
+    def _attach_regions(self):
+        """Attach scheme-specific regions after a restart."""
+
+    def _new_context(self):
+        raise NotImplementedError
+
+    def _commit(self, ctx):
+        raise NotImplementedError
+
+    def _rollback(self, ctx):
+        raise NotImplementedError
+
+    def recover(self):
+        """Bring the committed state to consistency after a crash."""
+        raise NotImplementedError
+
+    def read_view(self):
+        """A view of committed state for searches/scans."""
+        return ReadView(self.store)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    @property
+    def clock(self):
+        return self.pm.clock
+
+    @property
+    def stats(self):
+        return self.pm.stats
+
+    def tree(self, root_slot=0):
+        """The B-tree bound to ``root_slot``."""
+        tree = self._trees.get(root_slot)
+        if tree is None:
+            tree = BTree(root_slot=root_slot, leaf_capacity=self.leaf_capacity)
+            self._trees[root_slot] = tree
+        return tree
+
+    def transaction(self):
+        if self._active is not None:
+            raise TransactionError("a transaction is already active")
+        txn = Transaction(self)
+        self._active = txn
+        return txn
+
+    def insert(self, key, value, *, root_slot=0, replace=False):
+        """Single-statement transaction (the paper's mobile workload)."""
+        with self.transaction() as txn:
+            txn.insert(key, value, root_slot=root_slot, replace=replace)
+
+    def delete(self, key, *, root_slot=0):
+        with self.transaction() as txn:
+            return txn.delete(key, root_slot=root_slot)
+
+    def search(self, key, *, root_slot=0):
+        """Committed read."""
+        return self.tree(root_slot).search(self.read_view(), key)
+
+    def scan(self, lo=None, hi=None, *, root_slot=0):
+        return self.tree(root_slot).scan(self.read_view(), lo, hi)
+
+    def verify(self, root_slot=0):
+        """Structural invariant check; returns the record count."""
+        return self.tree(root_slot).verify(self.read_view())
+
+    def active_root_slots(self):
+        """Root slots holding live structures (NVWAL overlays root
+        pointers in its WAL until checkpoint, so go through the view)."""
+        view = self.read_view()
+        return [
+            slot for slot in range(N_ROOT_SLOTS)
+            if view.root_page_no(slot) != 0
+        ]
+
+    def reachable_pages(self):
+        """Pages referenced by any live structure.
+
+        Root slots may hold B-trees (leaf/internal root page) or hash
+        indexes (META directory page, see ``repro.hashindex``); the
+        root page's type says which reachability walk applies.
+        """
+        from repro.hashindex.index import HashIndex
+        from repro.storage.slotted_page import PAGE_META
+
+        view = self.read_view()
+        pages = set()
+        for slot in self.active_root_slots():
+            root_no = view.root_page_no(slot)
+            if view.page(root_no).page_type == PAGE_META:
+                pages |= HashIndex.reachable_from_directory(view, root_no)
+            else:
+                pages |= self.tree(slot).reachable_pages(view)
+        return pages
+
+    def garbage_collect(self):
+        """Reclaim pages leaked by crashes (paper Section 4.4)."""
+        return self.store.garbage_collect(self.reachable_pages())
+
+    def compact(self, root_slot=0, *, min_waste=64):
+        """VACUUM one tree: rewrite fragmented pages copy-on-write in
+        a single transaction.  Returns the number of pages rewritten.
+        """
+        from repro.storage.slotted_page import PAGE_META
+
+        view = self.read_view()
+        root_no = view.root_page_no(root_slot)
+        if not root_no or view.page(root_no).page_type == PAGE_META:
+            return 0  # empty slot / hash directory
+        with self.transaction() as txn:
+            return self.tree(root_slot).compact(txn.ctx, min_waste=min_waste)
+
+    def compact_all(self, *, min_waste=64):
+        """VACUUM every live tree; returns total pages rewritten."""
+        return sum(
+            self.compact(slot, min_waste=min_waste)
+            for slot in self.active_root_slots()
+        )
+
+    def repair_free_lists(self):
+        """Lazily rebuild every reachable page's in-page free list
+        (they are reconstructible; see paper Section 4.3)."""
+        for page_no in self.reachable_pages():
+            self.store.page(page_no).rebuild_free_list()
+
+    def page_stats(self):
+        """Storage-health snapshot: page counts by type, fill factor,
+        and fragmentation (the quantities Section 4.3's
+        defragmentation policy reasons about)."""
+        from repro.storage.slotted_page import (
+            PAGE_INTERNAL,
+            PAGE_LEAF,
+            PAGE_META,
+            PAGE_OVERFLOW,
+        )
+
+        names = {
+            PAGE_LEAF: "leaf",
+            PAGE_INTERNAL: "internal",
+            PAGE_META: "meta",
+            PAGE_OVERFLOW: "overflow",
+        }
+        view = self.read_view()
+        counts = {}
+        used_bytes = 0
+        fragmented_bytes = 0
+        data_capacity = 0
+        for page_no in self.reachable_pages():
+            page = view.page(page_no)
+            kind = names.get(page.page_type, "other")
+            counts[kind] = counts.get(kind, 0) + 1
+            if page.page_type in (PAGE_LEAF, PAGE_INTERNAL):
+                total_free = page.total_free()
+                used_bytes += self.config.page_size - total_free
+                fragmented_bytes += total_free - page.contiguous_free()
+                data_capacity += self.config.page_size
+        return {
+            "pages_by_type": counts,
+            "reachable_pages": sum(counts.values()),
+            "free_pages": self.store.free_page_count(),
+            "fill_factor": (used_bytes / data_capacity) if data_capacity else 0.0,
+            "fragmented_bytes": fragmented_bytes,
+        }
+
+    def next_seq(self):
+        seq = self._seq
+        self._seq += 1
+        return seq

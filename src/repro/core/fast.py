@@ -1,0 +1,440 @@
+"""FAST and FAST⁺: the paper's failure-atomic slotted-paging engines.
+
+FAST (Section 4.1) commits every transaction through the slot-header
+log: record bytes are written in place into page free space and
+flushed during the page update; at commit the (small) slot headers of
+all dirty pages are redo-logged, an 8-byte commit mark is persisted,
+and the headers are immediately ("eagerly") checkpointed into the
+pages so readers never consult the log.
+
+FAST⁺ (Section 4.2) adds the in-place commit: when a transaction
+modified exactly one page — the common case, a single-record insert —
+the slot header fits one cache line (the leaf record cap is 28) and is
+published with a single RTM transaction + flush; the header itself is
+the commit mark and no logging happens at all.
+
+Clock segments produced per transaction (mapped to the paper's bars):
+
+    search                    Figure 6 "Search"
+    page_update               Figure 6 "Page Update"
+      in_place_record_insert    Figure 7
+      clflush_record            Figure 7
+      defrag                    Figure 7 "defragment(page)"
+    commit                    Figure 6 "Commit"
+      update_slot_header        Figure 7/8 (frame stores, unflushed)
+      log_flush                 Figure 8 "Log Flush"
+      atomic_commit             Figure 8 "Atomic 64B Write"
+      checkpoint                Figure 8 "Checkpointing"
+"""
+
+from repro.core.base import Engine
+from repro.core.config import FASTPLUS_LEAF_CAPACITY
+from repro.htm.rtm import RTM
+from repro.pm.memory import CACHE_LINE
+from repro.storage.defrag import defragment_into
+from repro.wal.slot_header_log import SlotHeaderLog
+
+
+class FASTContext:
+    """Transaction context implementing the B-tree mutation protocol
+    with in-place record writes and deferred (logged) header commits."""
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.store = engine.store
+        self.pm = engine.pm
+        self.clock = engine.pm.clock
+        self._pages = {}
+        self.dirty = {}        # page_no -> page whose header will be logged
+        self.new_pages = {}    # page_no -> page created by this txn
+        self.freed = []        # page_nos released once the txn commits
+        self.reclaims = []     # (page, offset) cells dead once committed
+        self.root_updates = {}
+        # In-place child-pointer swaps (durable immediately): recorded
+        # as (address, old_child, new_child) so savepoint rollback can
+        # reverse them — both directions are crash-safe because both
+        # pages are committed-equivalent.
+        self.pointer_swaps = []
+
+    # -- view protocol ---------------------------------------------------
+
+    def segment(self, name):
+        return self.clock.segment(name)
+
+    def root_page_no(self, slot):
+        if slot in self.root_updates:
+            return self.root_updates[slot]
+        return self.store.root(slot)
+
+    def page(self, page_no):
+        page = self._pages.get(page_no)
+        if page is None:
+            page = self.store.page(page_no)
+            self._pages[page_no] = page
+        return page
+
+    # -- mutation protocol -------------------------------------------------
+
+    def insert_record(self, page, slot, payload):
+        with self.clock.segment("in_place_record_insert"):
+            offset = page.pending_insert(slot, payload)
+        with self.clock.segment("clflush_record"):
+            page.flush_record(offset, len(payload))
+        self._mark_dirty(page)
+        return offset
+
+    def update_record(self, page, slot, payload):
+        old_offset = page.slot_offset(slot)
+        with self.clock.segment("in_place_record_insert"):
+            offset = page.pending_update(slot, payload)
+        with self.clock.segment("clflush_record"):
+            page.flush_record(offset, len(payload))
+        self._mark_dirty(page)
+        self.reclaims.append((page, old_offset))
+        return offset
+
+    def delete_record(self, page, slot):
+        old_offset = page.slot_offset(slot)
+        page.pending_delete(slot)
+        self._mark_dirty(page)
+        self.reclaims.append((page, old_offset))
+
+    def allocate_page(self, page_type):
+        page = self.store.allocate_page(page_type)
+        page_no = self.store.page_no_of(page)
+        self._pages[page_no] = page
+        self.new_pages[page_no] = page
+        return page_no, page
+
+    def free_page(self, page_no):
+        """Release a page once the transaction commits.
+
+        The free is ALWAYS deferred — even for pages this transaction
+        allocated — so no page is ever reused within a transaction:
+        reuse would otherwise corrupt state through stale page objects
+        (deferred cell reclaims, savepoint snapshots, reversed pointer
+        swaps all reference the page by identity).
+        """
+        # Cells awaiting post-commit reclamation on this page die with it.
+        self.reclaims = [
+            (page, offset) for page, offset in self.reclaims
+            if self.store.page_no_of(page) != page_no
+        ]
+        self.new_pages.pop(page_no, None)
+        self.dirty.pop(page_no, None)
+        self.freed.append(page_no)
+
+    def set_root(self, slot, page_no):
+        self.root_updates[slot] = page_no
+
+    def overwrite_child_pointer(self, parent_page, slot, new_child_no):
+        """The paper's in-place parent-pointer swap after copy-on-write
+        (Section 4.3): one 8-byte-atomic u32 store + flush.  Safe at
+        any crash instant because the new page's durable header is
+        committed-equivalent to the old page's.
+
+        The published page becomes reachable, so its pending header
+        now commits through the log like any dirty page.
+        """
+        from repro.storage.slotted_page import CELL_HEADER_SIZE
+
+        offset = parent_page.slot_offset(slot)
+        position = parent_page.base + offset + CELL_HEADER_SIZE
+        with self.clock.segment("defrag"):
+            old_child_no = self.pm.read_u32(position)
+            self.pm.write_u32(position, new_child_no)
+            self.pm.persist(position, 4)
+        self.pointer_swaps.append((position, old_child_no, new_child_no))
+        if new_child_no in self.new_pages:
+            self.dirty[new_child_no] = self.new_pages.pop(new_child_no)
+
+    def defragment(self, page_no):
+        with self.clock.segment("defrag"):
+            fresh = defragment_into(self.store, self.page(page_no))
+        fresh_no = self.store.page_no_of(fresh)
+        self._pages[fresh_no] = fresh
+        self.new_pages[fresh_no] = fresh
+        return fresh_no, fresh
+
+    # -- savepoints --------------------------------------------------------
+
+    def snapshot_state(self):
+        """Capture the transaction's volatile state for a savepoint."""
+        return {
+            "pending": {
+                page_no: page.clone_pending()
+                for page_no, page in self._pages.items()
+            },
+            "dirty": set(self.dirty),
+            "new_pages": set(self.new_pages),
+            "freed": list(self.freed),
+            "reclaims": list(self.reclaims),
+            "root_updates": dict(self.root_updates),
+            "swap_count": len(self.pointer_swaps),
+        }
+
+    def restore_state(self, snapshot):
+        """Partial rollback to a savepoint snapshot.
+
+        Pages allocated after the savepoint are released; pending
+        headers are restored; record bytes written after the savepoint
+        become free space (they were never reachable); durable
+        child-pointer swaps are reversed (newest first).
+        """
+        while len(self.pointer_swaps) > snapshot["swap_count"]:
+            position, old_child, _ = self.pointer_swaps.pop()
+            self.pm.write_u32(position, old_child)
+            self.pm.persist(position, 4)
+        for page_no in list(self.new_pages):
+            if page_no not in snapshot["new_pages"]:
+                self.new_pages.pop(page_no)
+                self._pages.pop(page_no, None)
+                self.dirty.pop(page_no, None)
+                self.store.free_page(page_no)
+        for page_no, page in list(self._pages.items()):
+            if page_no not in snapshot["pending"]:
+                if page.has_pending:
+                    page.discard_pending()
+                self._pages.pop(page_no)
+                continue
+            page.restore_pending(snapshot["pending"][page_no])
+        self.dirty = {
+            page_no: self._pages[page_no] for page_no in snapshot["dirty"]
+        }
+        self.new_pages = {
+            page_no: self._pages[page_no] for page_no in snapshot["new_pages"]
+        }
+        self.freed = list(snapshot["freed"])
+        self.reclaims = list(snapshot["reclaims"])
+        self.root_updates = dict(snapshot["root_updates"])
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _mark_dirty(self, page):
+        page_no = self.store.page_no_of(page)
+        if page_no not in self.new_pages:
+            self.dirty[page_no] = page
+
+    @property
+    def is_read_only(self):
+        return not (self.dirty or self.new_pages or self.freed or self.root_updates)
+
+    @property
+    def is_single_page(self):
+        """Eligible for the in-place commit: exactly one dirty page and
+        no structural changes (paper Section 4.2's commit-time check)."""
+        return (
+            len(self.dirty) == 1
+            and not self.new_pages
+            and not self.freed
+            and not self.root_updates
+        )
+
+
+class FASTEngine(Engine):
+    """Slot-header logging for every transaction (Section 4.1)."""
+
+    scheme = "fast"
+    leaf_capacity = None  # record offset array can be arbitrarily large
+
+    def __init__(self, config, pm, store):
+        super().__init__(config, pm, store)
+        self.log = None
+
+    def _format(self):
+        self.log = SlotHeaderLog.format(self.pm, self.config.log_base,
+                                        self.config.log_bytes)
+
+    def _attach_regions(self):
+        self.log = SlotHeaderLog.attach(self.pm, self.config.log_base,
+                                        self.config.log_bytes)
+
+    def _new_context(self):
+        return FASTContext(self)
+
+    # -- commit ------------------------------------------------------------
+
+    def _commit(self, ctx):
+        with self.clock.segment("commit"):
+            if ctx.is_read_only:
+                return
+            self.commit_page_counts.append(len(ctx.dirty) + len(ctx.new_pages))
+            with self.clock.segment("misc"):
+                self.clock.advance(self.pm.cost.pager_commit_ns)
+            self._commit_logged(ctx)
+
+    def _commit_logged(self, ctx):
+        """The slot-header logging commit (paper Figures 3-5)."""
+        # New pages are unreachable until the commit mark, so their
+        # headers are applied directly (Figure 4 step 3: the sibling is
+        # fully built in place, never logged).
+        with self.clock.segment("new_page_headers"):
+            for page in ctx.new_pages.values():
+                if page.has_pending:
+                    image = page.pending_header_image()
+                    page.apply_header(image)
+                    self.pm.flush_range(page.base, len(image))
+        # Stage + store the slot-header frames (no flushes yet).
+        with self.clock.segment("update_slot_header"):
+            for page_no, page in ctx.dirty.items():
+                self.log.stage_page_header(page_no, page.pending_header_image())
+            for slot, page_no in ctx.root_updates.items():
+                self.log.stage_root_update(slot, page_no)
+            self.log.write_frames()
+        # Everything the commit mark depends on becomes durable here.
+        with self.clock.segment("log_flush"):
+            self.log.flush_frames()
+            self.pm.sfence()
+        with self.clock.segment("atomic_commit"):
+            self.log.commit(self.next_seq())
+        # Eager checkpoint: apply the logged headers to the pages right
+        # away so other transactions never read the log (Section 3.3).
+        with self.clock.segment("checkpoint"):
+            self._checkpoint(ctx)
+        self._finish(ctx)
+
+    def _checkpoint(self, ctx):
+        for entry in self.log.replay():
+            if entry[0] == "page":
+                _, page_no, image = entry
+                page = ctx.page(page_no)
+                page.apply_header(image)
+                self.pm.flush_range(page.base, len(image))
+            else:
+                _, slot, page_no = entry
+                self.store.set_root(slot, page_no, persist=False)
+                self.pm.flush_range(self.store.base, 64)
+        self.pm.sfence()
+        self.log.truncate()
+
+    def _finish(self, ctx):
+        """Post-commit housekeeping: reclaim dead cells, free pages.
+
+        These touch only reconstructible state (free lists, the page
+        free list), so they happen after the commit mark.
+        """
+        for page, offset in ctx.reclaims:
+            page.reclaim_cell(offset)
+        for page_no in ctx.freed:
+            self.store.free_page(page_no)
+
+    # -- rollback / recovery -------------------------------------------------
+
+    def _rollback(self, ctx):
+        for page in list(ctx.dirty.values()) + list(ctx.new_pages.values()):
+            if page.has_pending:
+                page.discard_pending()
+        self.log.discard()
+        # Pages allocated by the transaction — including copy-on-write
+        # pages whose parent pointer was already swapped in place (the
+        # swap is durable but harmless: such pages expose only
+        # committed content) — are reclaimed by reachability, exactly
+        # like crash recovery does.
+        self.garbage_collect()
+
+    def recover(self):
+        """Crash recovery (paper Section 4.4).
+
+        * commit mark present -> replay the logged headers (idempotent
+          checkpoint), then truncate;
+        * no commit mark -> nothing to do: the pages' durable headers
+          are the pre-transaction state and every partial record write
+          sits in unreachable free space.
+
+        Afterwards, leaked pages are garbage collected and in-page free
+        lists are lazily rebuilt from the offset arrays.
+        """
+        if self.log.pending_bytes():
+            for entry in self.log.replay():
+                if entry[0] == "page":
+                    _, page_no, image = entry
+                    page = self.store.page(page_no)
+                    page.apply_header(image)
+                    self.pm.flush_range(page.base, len(image))
+                else:
+                    _, slot, page_no = entry
+                    self.store.set_root(slot, page_no, persist=False)
+                    self.pm.flush_range(self.store.base, 64)
+            self.pm.sfence()
+            self.log.truncate()
+        self._seq = self.log.committed_seq() + 1
+        if self.config.eager_recovery_gc:
+            self.garbage_collect()
+
+
+class FASTPlusEngine(FASTEngine):
+    """FAST plus the RTM in-place commit (Section 4.2).
+
+    Single-page transactions publish their slot header with one RTM
+    transaction followed by one flush + fence; everything else falls
+    back to slot-header logging.  Leaf pages cap their offset array at
+    28 records so the header always fits the RTM write set (one cache
+    line); internal pages stay unlimited because internal updates only
+    ever happen alongside a leaf split, which logs anyway.
+    """
+
+    scheme = "fastplus"
+    leaf_capacity = FASTPLUS_LEAF_CAPACITY
+
+    #: After this many transient RTM aborts the commit falls back to
+    #: slot-header logging instead of retrying forever — the paper's
+    #: alternative fallback policy (footnote 1).  ``None`` = retry
+    #: until the hardware transaction succeeds.
+    rtm_max_retries = 64
+
+    def __init__(self, config, pm, store):
+        super().__init__(config, pm, store)
+        self.rtm = RTM(pm, max_write_lines=1)
+        self.inplace_commits = 0
+        self.logged_commits = 0
+        self.rtm_fallbacks = 0
+
+    def _commit(self, ctx):
+        with self.clock.segment("commit"):
+            if ctx.is_read_only:
+                return
+            self.commit_page_counts.append(len(ctx.dirty) + len(ctx.new_pages))
+            with self.clock.segment("misc"):
+                self.clock.advance(self.pm.cost.pager_commit_ns)
+            if ctx.is_single_page:
+                (page,) = ctx.dirty.values()
+                image = page.pending_header_image()
+                line_start = page.base - page.base % CACHE_LINE
+                fits_line = (
+                    page.base + len(image) <= line_start + CACHE_LINE
+                )
+                if fits_line:
+                    self._commit_inplace(ctx, page)
+                    return
+            self.logged_commits += 1
+            self._commit_logged(ctx)
+
+    def _commit_inplace(self, ctx, page):
+        """One RTM store of the header + one flush: optimal commit.
+
+        If the best-effort hardware transaction keeps aborting, the
+        commit falls back to slot-header logging (the page's pending
+        header is still intact, so the logged path proceeds normally).
+        """
+        with self.clock.segment("log_flush"):
+            # The records flushed during the page update must be durable
+            # before the header becomes visible.
+            self.pm.sfence()
+        fell_back = []
+
+        def fall_back_to_logging():
+            fell_back.append(True)
+
+        with self.clock.segment("atomic_commit"):
+            page.commit_pending_inplace(
+                self.rtm,
+                max_retries=self.rtm_max_retries,
+                fallback=fall_back_to_logging,
+            )
+        if fell_back:
+            self.rtm_fallbacks += 1
+            self.logged_commits += 1
+            self._commit_logged(ctx)
+            return
+        self.inplace_commits += 1
+        self._finish(ctx)

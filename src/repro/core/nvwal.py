@@ -1,0 +1,450 @@
+"""The NVWAL engine: volatile buffer cache + persistent WAL.
+
+This is the paper's comparison baseline (Section 5).  Transactions
+update page copies in a DRAM buffer cache ("volatile buffer caching"
+in Figure 7); at commit the dirty pages are word-diffed against their
+transaction-start snapshots and only the deltas go to a persistent WAL
+(differential logging), allocated from a user-level persistent heap
+and indexed by a volatile WAL index.  Checkpointing is lazy: dirty
+pages reach the PM database pages only when the WAL passes a size
+threshold.
+
+Clock segments (mapping to Figure 8's commit-time bars):
+
+    volatile_buffer_caching   Figure 7 (DRAM updates + page fetches)
+    nvwal_computation         "NVWAL Computation" (differential diff)
+    heap_mgmt                 "Heap Management"
+    log_flush                 "Log Flush"
+    atomic_commit             commit-mark store (part of "Log Flush"
+                              in the paper's accounting)
+    wal_index                 "Misc" (WAL index construction)
+    nvwal_checkpoint          lazy checkpoint (the paper excludes it
+                              from per-query commit time; reported
+                              separately by the harness)
+"""
+
+from collections import OrderedDict
+
+from repro.core.base import Engine
+from repro.pm.memory import VolatileMemory
+from repro.storage.slotted_page import SlottedPage
+from repro.wal.nvwal import (
+    FRAME_FREE,
+    FRAME_PAGE,
+    FRAME_ROOT,
+    NVWALog,
+    encode_frame,
+    word_diff,
+)
+
+
+class BufferCache:
+    """Page frames in DRAM with LRU eviction of unpinned pages."""
+
+    def __init__(self, dram, page_size):
+        self.dram = dram
+        self.page_size = page_size
+        self.nframes = dram.size // page_size
+        if self.nframes < 4:
+            raise ValueError("DRAM buffer cache needs at least 4 frames")
+        self._frame_of = OrderedDict()  # page_no -> frame index (LRU order)
+        self._free = list(range(self.nframes))
+        self.pinned = set()
+
+    def lookup(self, page_no):
+        """Frame base address if resident (refreshes LRU)."""
+        frame = self._frame_of.get(page_no)
+        if frame is None:
+            return None
+        self._frame_of.move_to_end(page_no)
+        return frame * self.page_size
+
+    def install(self, page_no):
+        """Assign a frame (evicting an unpinned page if needed)."""
+        if self._free:
+            frame = self._free.pop()
+        else:
+            victim = next(
+                (no for no in self._frame_of if no not in self.pinned), None
+            )
+            if victim is None:
+                raise MemoryError("buffer cache full of pinned pages")
+            frame = self._frame_of.pop(victim)
+        self._frame_of[page_no] = frame
+        return frame * self.page_size
+
+    def drop(self, page_no):
+        frame = self._frame_of.pop(page_no, None)
+        if frame is not None:
+            self._free.append(frame)
+        self.pinned.discard(page_no)
+
+    def clear(self):
+        self._frame_of.clear()
+        self._free = list(range(self.nframes))
+        self.pinned.clear()
+
+    def resident(self, page_no):
+        return page_no in self._frame_of
+
+
+class NVWALView:
+    """Committed-state view: fetches pages through the buffer cache."""
+
+    def __init__(self, engine):
+        self.engine = engine
+
+    def segment(self, name):
+        return self.engine.clock.segment(name)
+
+    def root_page_no(self, slot):
+        return self.engine._root(slot)
+
+    def page(self, page_no):
+        return self.engine._fetch_page(page_no)
+
+
+class NVWALContext(NVWALView):
+    """Transaction context: volatile page updates + commit-time WAL."""
+
+    def __init__(self, engine):
+        super().__init__(engine)
+        self.clock = engine.clock
+        self.dirty = {}       # page_no -> SlottedPage (DRAM)
+        self.snapshots = {}   # page_no -> bytes at first touch
+        self.new_pages = set()
+        self.freed = []
+        self.root_updates = {}
+
+    def root_page_no(self, slot):
+        if slot in self.root_updates:
+            return self.root_updates[slot]
+        return self.engine._root(slot)
+
+    # -- mutation protocol -------------------------------------------------
+
+    def insert_record(self, page, slot, payload):
+        with self.clock.segment("volatile_buffer_caching"):
+            self._snapshot(page)
+            offset = page.pending_insert(slot, payload)
+            self._apply(page)
+        return offset
+
+    def update_record(self, page, slot, payload):
+        with self.clock.segment("volatile_buffer_caching"):
+            self._snapshot(page)
+            old_offset = page.slot_offset(slot)
+            offset = page.pending_update(slot, payload)
+            self._apply(page)
+            page.reclaim_cell(old_offset)  # volatile copy: free to move
+        return offset
+
+    def delete_record(self, page, slot):
+        with self.clock.segment("volatile_buffer_caching"):
+            self._snapshot(page)
+            old_offset = page.slot_offset(slot)
+            page.pending_delete(slot)
+            self._apply(page)
+            page.reclaim_cell(old_offset)
+
+    def allocate_page(self, page_type):
+        engine = self.engine
+        with self.clock.segment("volatile_buffer_caching"):
+            page_no = engine.store.reserve_page_no()
+            base = engine.cache.install(page_no)
+            engine.dram.write(base, bytes(engine.config.page_size))
+            page = SlottedPage.initialize(
+                engine.dram, base, engine.config.page_size, page_type, persist=False
+            )
+            page.page_no = page_no
+            engine.cache.pinned.add(page_no)
+            self.dirty[page_no] = page
+            self.snapshots[page_no] = bytes(engine.config.page_size)
+            self.new_pages.add(page_no)
+        return page_no, page
+
+    def free_page(self, page_no):
+        """Deferred to commit, like the FAST contexts: no page reuse
+        within a transaction (savepoints and rollback rely on it).
+        All other tracking stays intact so rollback can still restore
+        the page if the free itself is rolled back."""
+        self.freed.append(page_no)
+
+    def set_root(self, slot, page_no):
+        self.root_updates[slot] = page_no
+
+    def overwrite_child_pointer(self, parent_page, slot, new_child_no):
+        """Volatile pointer rewrite (NVWAL pages live in DRAM)."""
+        from repro.storage.slotted_page import CELL_HEADER_SIZE
+
+        with self.clock.segment("volatile_buffer_caching"):
+            self._snapshot(parent_page)
+            offset = parent_page.slot_offset(slot)
+            self.engine.dram.write_u32(
+                parent_page.base + offset + CELL_HEADER_SIZE, new_child_no
+            )
+
+    def defragment(self, page_no):
+        """In the volatile cache, defragmentation is an in-frame
+        compaction — no copy-on-write is needed because DRAM pages may
+        shift records freely (paper Section 4.3's contrast)."""
+        with self.clock.segment("volatile_buffer_caching"):
+            page = self.page(page_no)
+            self._snapshot(page)
+            records = page.records()
+            base, size = page.base, page.page_size
+            page_type = page.page_type
+            self.engine.dram.write(base, bytes(size))
+            fresh = SlottedPage.initialize(
+                self.engine.dram, base, size, page_type, persist=False
+            )
+            for slot, payload in enumerate(records):
+                fresh.pending_insert(slot, payload)
+            fresh.apply_header(fresh.pending_header_image())
+            fresh.page_no = page_no
+            self.dirty[page_no] = fresh
+        return page_no, fresh
+
+    # -- savepoints --------------------------------------------------------
+
+    def snapshot_state(self):
+        """Savepoint snapshot: DRAM page images + tracking sets."""
+        dram = self.engine.dram
+        page_size = self.engine.config.page_size
+        return {
+            "content": {
+                page_no: bytes(dram._data[page.base : page.base + page_size])
+                for page_no, page in self.dirty.items()
+            },
+            "dirty": set(self.dirty),
+            "new_pages": set(self.new_pages),
+            "snapshots": dict(self.snapshots),
+            "freed": list(self.freed),
+            "root_updates": dict(self.root_updates),
+        }
+
+    def restore_state(self, snapshot):
+        """Partial rollback: restore DRAM page images to the savepoint."""
+        engine = self.engine
+        for page_no, page in list(self.dirty.items()):
+            if page_no in snapshot["content"]:
+                engine.dram.write(page.base, snapshot["content"][page_no])
+                page._pending = None
+            elif page_no in self.new_pages and page_no not in snapshot["new_pages"]:
+                # Created after the savepoint: release entirely.
+                engine.cache.drop(page_no)
+                engine.store.free_page(page_no)
+            else:
+                # Committed page first dirtied after the savepoint:
+                # its transaction-start image is the savepoint image.
+                engine.dram.write(page.base, self.snapshots[page_no])
+                page._pending = None
+                engine.cache.pinned.discard(page_no)
+        self.dirty = {
+            page_no: self.dirty[page_no] for page_no in snapshot["dirty"]
+        }
+        self.new_pages = set(snapshot["new_pages"])
+        self.snapshots = dict(snapshot["snapshots"])
+        self.freed = list(snapshot["freed"])
+        self.root_updates = dict(snapshot["root_updates"])
+
+    # -- helpers -----------------------------------------------------------
+
+    def page(self, page_no):
+        page = self.dirty.get(page_no)
+        if page is not None:
+            return page
+        return self.engine._fetch_page(page_no)
+
+    def _snapshot(self, page):
+        page_no = page.page_no
+        if page_no in self.snapshots:
+            self.dirty.setdefault(page_no, page)
+            return
+        self.snapshots[page_no] = bytes(
+            self.engine.dram._data[page.base : page.base + page.page_size]
+        )
+        self.dirty[page_no] = page
+        self.engine.cache.pinned.add(page_no)
+
+    def _apply(self, page):
+        page.apply_header(page.pending_header_image())
+
+    @property
+    def is_read_only(self):
+        return not (self.dirty or self.freed or self.root_updates)
+
+
+class NVWALEngine(Engine):
+    """DRAM buffer cache + differential WAL in PM (the baseline)."""
+
+    scheme = "nvwal"
+    leaf_capacity = None
+
+    def __init__(self, config, pm, store):
+        super().__init__(config, pm, store)
+        self.dram = VolatileMemory(
+            config.dram_bytes,
+            latency=config.latency,
+            cost=config.cost,
+            clock=pm.clock,
+            stats=pm.stats,
+        )
+        self.cache = BufferCache(self.dram, config.page_size)
+        self.wal = None
+        self.checkpoints = 0
+
+    def _format(self):
+        self.wal = NVWALog.format(self.pm, self.config.heap_base,
+                                  self.config.heap_bytes)
+
+    def _attach_regions(self):
+        self.wal = NVWALog.attach(self.pm, self.config.heap_base,
+                                  self.config.heap_bytes)
+
+    def _new_context(self):
+        return NVWALContext(self)
+
+    def read_view(self):
+        return NVWALView(self)
+
+    # ------------------------------------------------------------------
+    # Page fetch path (DRAM miss -> database page + WAL deltas)
+    # ------------------------------------------------------------------
+
+    def _root(self, slot):
+        if slot in self.wal.roots:
+            return self.wal.roots[slot]
+        return self.store.root(slot)
+
+    def _fetch_page(self, page_no):
+        base = self.cache.lookup(page_no)
+        if base is None:
+            with self.clock.segment("volatile_buffer_caching"):
+                base = self.cache.install(page_no)
+                content = self.pm.read(
+                    self.store.page_base(page_no), self.config.page_size
+                )
+                self.dram.write(base, content)
+                for offset, data in self.wal.deltas_for(page_no):
+                    self.dram.write(base + offset, data)
+        page = SlottedPage(self.dram, base, self.config.page_size)
+        page.page_no = page_no  # reverse mapping for snapshotting
+        return page
+
+    # ------------------------------------------------------------------
+    # Commit
+    # ------------------------------------------------------------------
+
+    def _commit(self, ctx):
+        with self.clock.segment("commit"):
+            if ctx.is_read_only:
+                return
+            self.commit_page_counts.append(len(ctx.dirty))
+            with self.clock.segment("misc"):
+                self.clock.advance(self.pm.cost.pager_commit_ns)
+            seq = self.next_seq()
+            deltas = {}
+            freed = set(ctx.freed)
+            with self.clock.segment("nvwal_computation"):
+                for page_no, page in ctx.dirty.items():
+                    if page_no in freed:
+                        continue
+                    current = self.dram._data[
+                        page.base : page.base + self.config.page_size
+                    ]
+                    deltas[page_no] = word_diff(ctx.snapshots[page_no], current)
+                    self.clock.advance(
+                        self.pm.cost.diff_byte_ns * self.config.page_size
+                    )
+            frames = []
+            for page_no, ranges in deltas.items():
+                if not ranges:
+                    continue
+                frame = encode_frame(seq, FRAME_PAGE, page_no, ranges)
+                frames.append(self._append(frame))
+            for page_no in ctx.freed:
+                frames.append(
+                    self._append(encode_frame(seq, FRAME_FREE, page_no, []))
+                )
+            for slot, page_no in ctx.root_updates.items():
+                payload = [(0, page_no.to_bytes(4, "little"))]
+                frames.append(
+                    self._append(encode_frame(seq, FRAME_ROOT, slot, payload))
+                )
+            with self.clock.segment("log_flush"):
+                self.pm.sfence()
+            with self.clock.segment("atomic_commit"):
+                self.wal.commit(seq)
+            with self.clock.segment("wal_index"):
+                self.wal.publish(frames)
+                self.clock.advance(self.pm.cost.wal_index_insert_ns * len(frames))
+            self.wal.roots.update(ctx.root_updates)
+            for page_no in ctx.freed:
+                self.cache.drop(page_no)
+                self.store.free_page(page_no)
+            for page_no in ctx.dirty:
+                self.cache.pinned.discard(page_no)
+        if self.wal.bytes_used >= self.config.nvwal_checkpoint_bytes:
+            self.checkpoint()
+
+    def _append(self, frame):
+        with self.clock.segment("heap_mgmt"):
+            addr = self.wal.heap.pmalloc(len(frame))
+        with self.clock.segment("log_flush"):
+            self.wal.install_frame(addr, frame)
+        return addr
+
+    def _rollback(self, ctx):
+        for page_no, page in ctx.dirty.items():
+            if page_no in ctx.new_pages:
+                self.cache.drop(page_no)
+                self.store.free_page(page_no)
+                continue
+            self.dram.write(page.base, ctx.snapshots[page_no])
+            page._pending = None
+            self.cache.pinned.discard(page_no)
+
+    # ------------------------------------------------------------------
+    # Checkpoint + recovery
+    # ------------------------------------------------------------------
+
+    def checkpoint(self):
+        """Lazy checkpoint: write every WAL-covered page back to the
+        database region and reset the log (paper Section 2.2)."""
+        self.checkpoints += 1
+        with self.clock.segment("nvwal_checkpoint"):
+            for page_no in list(self.wal.index):
+                page = self._fetch_page(page_no)
+                content = bytes(
+                    self.dram._data[page.base : page.base + self.config.page_size]
+                )
+                target = self.store.page_base(page_no)
+                self.pm.write(target, content)
+                self.pm.flush_range(target, self.config.page_size)
+            for slot, page_no in self.wal.roots.items():
+                self.store.set_root(slot, page_no, persist=False)
+                self.pm.flush_range(self.store.base, 64)
+            self.pm.sfence()
+            self.wal.roots.clear()
+            self.wal.reset()
+
+    def recover(self):
+        """After a crash: DRAM is gone; the WAL chain prefix up to the
+        commit mark is rebuilt into the index (done by ``attach``), and
+        reads reconstruct pages from database + deltas on demand."""
+        self.cache.clear()
+        self._seq = self.wal.committed_seq + 1
+        if self.config.eager_recovery_gc:
+            self.garbage_collect_after_recovery()
+
+    def garbage_collect_after_recovery(self):
+        """Reclaim pages leaked by uncommitted allocations.
+
+        A page is live if a tree reaches it *or* the WAL still carries
+        deltas for it (it may hold committed content not yet
+        checkpointed).
+        """
+        reachable = self.reachable_pages()
+        reachable |= set(self.wal.index)
+        self.store.garbage_collect(reachable)

@@ -1,0 +1,38 @@
+"""A small SQLite-like SQL layer over the storage engines.
+
+The paper implements its schemes inside SQLite 3.8 and reports two
+kinds of numbers: pager + B-tree time (Figures 6-9, measured below the
+SQL layer) and full query response time including SQL parsing and
+bytecode processing (Figures 11-12).  This package provides the latter
+surface: a SQL subset (CREATE/DROP TABLE, INSERT, SELECT, UPDATE,
+DELETE, BEGIN/COMMIT/ROLLBACK) with a lexer, recursive-descent parser,
+simple index-aware planner, and an executor over the B-tree engines.
+
+Quickstart::
+
+    from repro.db import Database
+
+    db = Database.open(scheme="fastplus")
+    db.execute("CREATE TABLE kv (k TEXT PRIMARY KEY, v TEXT)")
+    db.execute("INSERT INTO kv VALUES (?, ?)", ("hello", "world"))
+    rows = db.execute("SELECT v FROM kv WHERE k = ?", ("hello",)).rows
+"""
+
+from repro.db.errors import (
+    ConstraintError,
+    ParseError,
+    SchemaError,
+    SqlError,
+    TypeError_,
+)
+from repro.db.database import Database, Result
+
+__all__ = [
+    "ConstraintError",
+    "Database",
+    "ParseError",
+    "Result",
+    "SchemaError",
+    "SqlError",
+    "TypeError_",
+]

@@ -1,0 +1,21 @@
+"""SQL-layer exceptions."""
+
+
+class SqlError(Exception):
+    """Base class for all SQL-layer errors."""
+
+
+class ParseError(SqlError):
+    """The statement is not valid SQL (for the supported subset)."""
+
+
+class SchemaError(SqlError):
+    """Unknown table/column, duplicate table, too many tables..."""
+
+
+class ConstraintError(SqlError):
+    """PRIMARY KEY violation or NOT NULL on the key."""
+
+
+class TypeError_(SqlError):
+    """A value does not fit the declared column type."""

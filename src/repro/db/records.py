@@ -1,0 +1,221 @@
+"""Row and key serialisation (SQLite-style serial types).
+
+Rows are stored as the B-tree record *value*; the primary key is
+encoded order-preservingly as the B-tree *key* so that range scans in
+key order match SQL ordering.
+
+Row format::
+
+    varint column_count | serial_type per column | payloads
+
+Serial types: 0 NULL, 1 int64, 2 float64, 3 text (varint length),
+4 blob (varint length).
+
+Key format (single-column primary keys)::
+
+    0x01 | (i + 2^63) big-endian  -- INTEGER: two's-complement biased
+    0x02 | order-flipped IEEE754  -- REAL
+    0x03 | utf-8 bytes            -- TEXT (bytewise == codepoint order)
+    0x04 | raw bytes              -- BLOB
+"""
+
+import struct
+
+from repro.db.errors import TypeError_
+
+_T_NULL = 0
+_T_INT = 1
+_T_REAL = 2
+_T_TEXT = 3
+_T_BLOB = 4
+
+_INT_BIAS = 1 << 63
+
+
+def write_varint(value, out):
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def read_varint(buf, pos):
+    result = 0
+    shift = 0
+    while True:
+        byte = buf[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+
+
+def encode_row(values):
+    """Serialise a row (tuple of None/int/float/str/bytes)."""
+    out = bytearray()
+    write_varint(len(values), out)
+    payloads = []
+    for value in values:
+        if value is None:
+            out.append(_T_NULL)
+            payloads.append(b"")
+        elif isinstance(value, bool):
+            raise TypeError_("booleans are not a supported SQL type")
+        elif isinstance(value, int):
+            out.append(_T_INT)
+            payloads.append(value.to_bytes(8, "little", signed=True))
+        elif isinstance(value, float):
+            out.append(_T_REAL)
+            payloads.append(struct.pack("<d", value))
+        elif isinstance(value, str):
+            out.append(_T_TEXT)
+            payloads.append(value.encode("utf-8"))
+        elif isinstance(value, (bytes, bytearray)):
+            out.append(_T_BLOB)
+            payloads.append(bytes(value))
+        else:
+            raise TypeError_("unsupported value type %r" % type(value).__name__)
+    for value, payload in zip(values, payloads):
+        if isinstance(value, (str, bytes, bytearray)):
+            write_varint(len(payload), out)
+        out += payload
+    return bytes(out)
+
+
+def decode_row(buf):
+    """Deserialise a row back to a tuple."""
+    count, pos = read_varint(buf, 0)
+    types = buf[pos : pos + count]
+    pos += count
+    values = []
+    for serial in types:
+        if serial == _T_NULL:
+            values.append(None)
+        elif serial == _T_INT:
+            values.append(int.from_bytes(buf[pos : pos + 8], "little", signed=True))
+            pos += 8
+        elif serial == _T_REAL:
+            values.append(struct.unpack("<d", buf[pos : pos + 8])[0])
+            pos += 8
+        elif serial in (_T_TEXT, _T_BLOB):
+            length, pos = read_varint(buf, pos)
+            raw = buf[pos : pos + length]
+            pos += length
+            values.append(raw.decode("utf-8") if serial == _T_TEXT else bytes(raw))
+        else:
+            raise ValueError("corrupt row: serial type %d" % serial)
+    return tuple(values)
+
+
+def encode_key(value):
+    """Order-preserving key encoding for a primary-key value.
+
+    ``None`` encodes below every other value (SQLite's NULLs-first
+    index order); primary keys reject NULL at the executor level.
+    """
+    if value is None:
+        return b"\x00"
+    if isinstance(value, bool):
+        raise TypeError_("booleans cannot be keys")
+    if isinstance(value, int):
+        return b"\x01" + (value + _INT_BIAS).to_bytes(8, "big")
+    if isinstance(value, float):
+        if value == 0.0:
+            value = 0.0  # normalise -0.0: it compares equal to 0.0
+        bits = struct.unpack(">Q", struct.pack(">d", value))[0]
+        if bits & (1 << 63):
+            bits = ~bits & 0xFFFF_FFFF_FFFF_FFFF  # negative: flip all
+        else:
+            bits |= 1 << 63  # positive: flip sign bit
+        return b"\x02" + bits.to_bytes(8, "big")
+    if isinstance(value, str):
+        return b"\x03" + value.encode("utf-8")
+    if isinstance(value, (bytes, bytearray)):
+        return b"\x04" + bytes(value)
+    raise TypeError_("unsupported key type %r" % type(value).__name__)
+
+
+def encode_composite(parts):
+    """Order-preserving encoding of a tuple of key values.
+
+    Each part is ``encode_key``-ed, then escaped so the concatenation
+    compares like the tuple: 0x00 bytes become ``00 FF`` and parts are
+    terminated by ``00 00`` (the classic escape-terminator scheme —
+    a shorter part sorts before any extension of it).
+    """
+    out = bytearray()
+    for part in parts:
+        encoded = encode_key(part)
+        out += encoded.replace(b"\x00", b"\x00\xff")
+        out += b"\x00\x00"
+    return bytes(out)
+
+
+def composite_prefix_range(parts):
+    """(lo, hi) byte-key bounds covering every composite key whose
+    leading parts equal ``parts`` (hi is inclusive for our scans)."""
+    prefix = encode_composite(parts)
+    return prefix, prefix + b"\xff" * 8
+
+
+def composite_lower_bound(value):
+    """Smallest composite key whose first part is >= ``value``."""
+    return encode_key(value).replace(b"\x00", b"\x00\xff")
+
+
+def composite_upper_bound(value):
+    """A key above every composite whose first part is <= ``value``
+    (every encoded part starts with a tag byte < 0xFF, so appending
+    0xFF bytes caps all continuations)."""
+    return encode_key(value).replace(b"\x00", b"\x00\xff") + b"\xff" * 8
+
+
+def decode_composite(key):
+    """Split a composite key back into its parts' ``encode_key`` forms
+    (escaping undone)."""
+    parts = []
+    current = bytearray()
+    position = 0
+    while position < len(key):
+        byte = key[position]
+        if byte != 0x00:
+            current.append(byte)
+            position += 1
+            continue
+        marker = key[position + 1]
+        if marker == 0xFF:
+            current.append(0x00)
+            position += 2
+        elif marker == 0x00:
+            parts.append(bytes(current))
+            current.clear()
+            position += 2
+        else:
+            raise ValueError("corrupt composite key escape")
+    return parts
+
+
+def decode_key(key):
+    """Inverse of :func:`encode_key`."""
+    if key == b"\x00":
+        return None
+    tag, payload = key[0], key[1:]
+    if tag == 0x01:
+        return int.from_bytes(payload, "big") - _INT_BIAS
+    if tag == 0x02:
+        bits = int.from_bytes(payload, "big")
+        if bits & (1 << 63):
+            bits &= ~(1 << 63) & 0xFFFF_FFFF_FFFF_FFFF
+        else:
+            bits = ~bits & 0xFFFF_FFFF_FFFF_FFFF
+        return struct.unpack(">d", bits.to_bytes(8, "big"))[0]
+    if tag == 0x03:
+        return payload.decode("utf-8")
+    if tag == 0x04:
+        return bytes(payload)
+    raise ValueError("corrupt key tag %d" % tag)

@@ -1,0 +1,5 @@
+"""SQL front end: lexer, AST, parser, planner, executor."""
+
+from repro.db.sql.parser import parse
+
+__all__ = ["parse"]

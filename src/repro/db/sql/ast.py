@@ -1,0 +1,226 @@
+"""SQL abstract syntax tree.
+
+Plain dataclasses; the planner/executor dispatch on these types.
+Expressions evaluate over a row namespace (column name -> value).
+"""
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: object
+
+
+@dataclass(frozen=True)
+class Param:
+    index: int
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    name: str
+    table: Optional[str] = None  # qualifier ("t.col"), alias-resolved
+
+
+@dataclass(frozen=True)
+class Unary:
+    op: str  # "-", "NOT"
+    operand: object
+
+
+@dataclass(frozen=True)
+class Binary:
+    op: str  # = != < <= > >= AND OR + - * /
+    left: object
+    right: object
+
+
+@dataclass(frozen=True)
+class IsNull:
+    operand: object
+    negated: bool
+
+
+@dataclass(frozen=True)
+class Between:
+    operand: object
+    low: object
+    high: object
+    negated: bool
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    func: str  # COUNT SUM AVG MIN MAX
+    arg: object  # ColumnRef or None (COUNT(*))
+
+
+@dataclass(frozen=True)
+class Like:
+    operand: object
+    pattern: object
+    negated: bool
+
+
+@dataclass(frozen=True)
+class InList:
+    operand: object
+    options: tuple
+    negated: bool
+
+
+@dataclass(frozen=True)
+class FuncCall:
+    name: str     # LENGTH, UPPER, LOWER, ABS, COALESCE
+    args: tuple
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    name: str
+    type: str
+    primary_key: bool
+
+
+@dataclass(frozen=True)
+class CreateTable:
+    name: str
+    columns: tuple
+    if_not_exists: bool
+
+
+@dataclass(frozen=True)
+class DropTable:
+    name: str
+    if_exists: bool
+
+
+@dataclass(frozen=True)
+class CreateIndex:
+    name: str
+    table: str
+    columns: tuple
+    if_not_exists: bool
+
+
+@dataclass(frozen=True)
+class DropIndex:
+    name: str
+    if_exists: bool
+
+
+@dataclass(frozen=True)
+class Insert:
+    table: str
+    columns: Optional[tuple]  # None = all, in declaration order
+    rows: tuple               # tuple of tuples of expressions
+    replace: bool             # INSERT OR REPLACE
+
+
+@dataclass(frozen=True)
+class OrderBy:
+    column: str  # possibly qualified ("alias.col")
+    descending: bool
+
+    def reference(self):
+        """The column as a ColumnRef (resolving any qualifier)."""
+        if "." in self.column:
+            qualifier, name = self.column.split(".", 1)
+            return ColumnRef(name, table=qualifier)
+        return ColumnRef(self.column)
+
+    @property
+    def base_name(self):
+        return self.column.split(".", 1)[-1]
+
+
+@dataclass(frozen=True)
+class Join:
+    table: str
+    alias: Optional[str]
+    on: object
+
+
+@dataclass(frozen=True)
+class Select:
+    table: str
+    items: tuple              # of (expr, alias or None); expr may be "*"
+    where: Optional[object]
+    order_by: Optional[OrderBy]
+    limit: Optional[object]
+    offset: Optional[object]
+    group_by: Optional[str] = None
+    having: Optional[object] = None
+    table_alias: Optional[str] = None
+    join: Optional[Join] = None
+
+
+@dataclass(frozen=True)
+class Update:
+    table: str
+    assignments: tuple        # of (column, expr)
+    where: Optional[object]
+
+
+@dataclass(frozen=True)
+class Delete:
+    table: str
+    where: Optional[object]
+
+
+@dataclass(frozen=True)
+class Begin:
+    pass
+
+
+@dataclass(frozen=True)
+class Commit:
+    pass
+
+
+@dataclass(frozen=True)
+class Rollback:
+    pass
+
+
+@dataclass(frozen=True)
+class Vacuum:
+    pass
+
+
+@dataclass(frozen=True)
+class Savepoint:
+    name: str
+
+
+@dataclass(frozen=True)
+class Release:
+    name: str
+
+
+@dataclass(frozen=True)
+class RollbackTo:
+    name: str
+
+
+@dataclass
+class Statement:
+    """Wrapper carrying parse metadata (e.g. token count for the
+    simulated parse-cost model)."""
+
+    node: object
+    token_count: int = 0
+    param_count: int = 0
+    extra: dict = field(default_factory=dict)

@@ -1,0 +1,879 @@
+"""Statement execution over an engine transaction.
+
+The executor mirrors SQLite's virtual machine at a coarse grain: it
+evaluates expressions over decoded rows and drives B-tree point
+lookups / range scans chosen by the planner.  A small per-statement
+and per-row CPU cost is charged to the simulated clock (segment
+``sql``) so that full query response times — the paper's Figures 11-12
+surface — include the "SQL parsing and SQLite bytecode processing"
+component the pager-level figures exclude.
+"""
+
+from repro.db.catalog import Column
+from repro.db.errors import ConstraintError, SchemaError, SqlError, TypeError_
+from repro.db.records import (
+    composite_prefix_range,
+    decode_row,
+    encode_composite,
+    encode_key,
+    encode_row,
+)
+from repro.db.sql import ast
+from repro.db.sql.planner import plan_access
+from repro.btree.btree import DuplicateKeyError
+
+#: Per-row virtual-machine step cost (decode + predicate + project).
+VM_ROW_NS = 120.0
+#: Fixed statement setup/teardown cost (cursor open, code dispatch).
+VM_STMT_NS = 1200.0
+
+
+class Rows:
+    """Execution result: column names + row tuples + affected count."""
+
+    def __init__(self, columns=(), rows=(), rowcount=0):
+        self.columns = list(columns)
+        self.rows = list(rows)
+        self.rowcount = rowcount
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self):
+        return len(self.rows)
+
+    def fetchall(self):
+        return list(self.rows)
+
+    def fetchone(self):
+        return self.rows[0] if self.rows else None
+
+    def scalar(self):
+        """First column of the first row (aggregate convenience)."""
+        return self.rows[0][0] if self.rows else None
+
+
+class Executor:
+    """Executes parsed statements against a catalog + transaction."""
+
+    def __init__(self, catalog, clock):
+        self.catalog = catalog
+        self.clock = clock
+
+    def execute(self, node, params, txn):
+        with self.clock.segment("sql"):
+            self.clock.advance(VM_STMT_NS)
+        if isinstance(node, ast.CreateTable):
+            return self._create_table(node, txn)
+        if isinstance(node, ast.DropTable):
+            return self._drop_table(node, txn)
+        if isinstance(node, ast.CreateIndex):
+            return self._create_index(node, txn)
+        if isinstance(node, ast.DropIndex):
+            return self._drop_index(node, txn)
+        if isinstance(node, ast.Insert):
+            return self._insert(node, params, txn)
+        if isinstance(node, ast.Select):
+            return self._select(node, params, txn)
+        if isinstance(node, ast.Update):
+            return self._update(node, params, txn)
+        if isinstance(node, ast.Delete):
+            return self._delete(node, params, txn)
+        raise SqlError("unsupported statement %r" % type(node).__name__)
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+
+    def _create_table(self, node, txn):
+        if node.if_not_exists and self.catalog.exists(node.name):
+            return Rows()
+        columns = [
+            Column(col.name, col.type, col.primary_key) for col in node.columns
+        ]
+        names = [col.name for col in columns]
+        if len(set(names)) != len(names):
+            raise SchemaError("duplicate column name in %s" % node.name)
+        self.catalog.create_table(txn, node.name, columns)
+        return Rows()
+
+    def _drop_table(self, node, txn):
+        if node.if_exists and not self.catalog.exists(node.name):
+            return Rows()
+        self.catalog.drop_table(txn, node.name)
+        return Rows()
+
+    def _create_index(self, node, txn):
+        if node.if_not_exists and self.catalog.index_exists(node.name):
+            return Rows()
+        index = self.catalog.create_index(txn, node.name, node.table, node.columns)
+        # Backfill: index every existing row.
+        table = self.catalog.get(node.table)
+        count = 0
+        for _, payload in txn.scan(root_slot=table.root_slot):
+            row = decode_row(payload)
+            txn.insert(
+                self._entry_key(table, index, row), b"",
+                root_slot=index.root_slot,
+            )
+            count += 1
+        self._charge_rows(count)
+        return Rows()
+
+    def _drop_index(self, node, txn):
+        if node.if_exists and not self.catalog.index_exists(node.name):
+            return Rows()
+        self.catalog.drop_index(txn, node.name)
+        return Rows()
+
+    # ------------------------------------------------------------------
+    # Secondary-index maintenance
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _entry_key(table, index, row):
+        parts = [
+            row[table.column_index(name)] for name in index.column_names
+        ]
+        parts.append(row[table.pk_index])
+        return encode_composite(parts)
+
+    def _index_row(self, txn, table, row):
+        for index in self.catalog.indexes_on(table.name):
+            txn.insert(
+                self._entry_key(table, index, row), b"",
+                root_slot=index.root_slot, replace=True,
+            )
+
+    def _unindex_row(self, txn, table, row):
+        for index in self.catalog.indexes_on(table.name):
+            txn.delete(
+                self._entry_key(table, index, row),
+                root_slot=index.root_slot,
+            )
+
+    # ------------------------------------------------------------------
+    # DML
+    # ------------------------------------------------------------------
+
+    def _insert(self, node, params, txn):
+        table = self.catalog.get(node.table)
+        count = 0
+        indexed = bool(self.catalog.indexes_on(table.name))
+        for value_exprs in node.rows:
+            row = self._build_row(table, node.columns, value_exprs, params)
+            key = table.key_for_row(row)
+            if indexed and node.replace:
+                old_payload = txn.search(key, root_slot=table.root_slot)
+                if old_payload is not None:
+                    self._unindex_row(txn, table, decode_row(old_payload))
+            try:
+                txn.insert(
+                    key, encode_row(row),
+                    root_slot=table.root_slot, replace=node.replace,
+                )
+            except DuplicateKeyError:
+                raise ConstraintError(
+                    "UNIQUE constraint failed: %s.%s"
+                    % (table.name, table.columns[table.pk_index].name)
+                ) from None
+            if indexed:
+                self._index_row(txn, table, row)
+            count += 1
+            self._charge_rows(1)
+        return Rows(rowcount=count)
+
+    def _build_row(self, table, columns, value_exprs, params):
+        if columns is None:
+            if len(value_exprs) != len(table.columns):
+                raise SqlError(
+                    "table %s has %d columns but %d values supplied"
+                    % (table.name, len(table.columns), len(value_exprs))
+                )
+            named = dict(zip(table.column_names, value_exprs))
+        else:
+            if len(columns) != len(value_exprs):
+                raise SqlError("column/value count mismatch")
+            named = dict(zip(columns, value_exprs))
+            for name in named:
+                table.column_index(name)  # validates
+        row = []
+        for index, col in enumerate(table.columns):
+            expr = named.get(col.name)
+            value = None if expr is None else _eval(expr, None, params, table)
+            value = _coerce(col, value)
+            if index == table.pk_index and value is None:
+                raise ConstraintError(
+                    "NOT NULL constraint failed: %s.%s" % (table.name, col.name)
+                )
+            if not col.accepts(value):
+                raise TypeError_(
+                    "column %s.%s (%s) rejects %r"
+                    % (table.name, col.name, col.type, value)
+                )
+            row.append(value)
+        return tuple(row)
+
+    def _select(self, node, params, txn):
+        if node.join is not None:
+            return self._join_select(node, params, txn)
+        table = self.catalog.get(node.table)
+        rows = list(self._matching_rows(table, node.where, params, txn))
+        if node.group_by is not None:
+            return self._grouped_select(node, table, rows, params)
+        if any(isinstance(item[0], ast.Aggregate) for item in node.items):
+            return self._aggregate(node, table, rows, params)
+        columns = self._projection_names(node, table)
+        projected = [
+            self._project(node.items, table, row, params) for row in rows
+        ]
+        if node.order_by is not None:
+            order = list(range(len(rows)))
+            # Stable multi-pass sort: least-significant term first.
+            for term in reversed(node.order_by):
+                index = table.column_index(term.base_name)
+                order.sort(
+                    key=lambda i: _sort_key(rows[i][index]),
+                    reverse=term.descending,
+                )
+            projected = [projected[i] for i in order]
+        projected = self._window(projected, node, params, table)
+        return Rows(columns, projected, len(projected))
+
+    # ------------------------------------------------------------------
+    # JOIN
+    # ------------------------------------------------------------------
+
+    def _join_select(self, node, params, txn):
+        """Two-table inner join: nested loop with an index/PK lookup on
+        the inner table when the ON clause is an equi-join."""
+        if node.group_by is not None:
+            raise SqlError("GROUP BY with JOIN is not supported")
+        left = self.catalog.get(node.table)
+        left_alias = node.table_alias or node.table
+        right = self.catalog.get(node.join.table)
+        right_alias = node.join.alias or node.join.table
+        on = node.join.on
+        lookup = self._equi_join_lookup(on, left, left_alias, right, right_alias)
+        out_rows = []
+        for left_row in self._matching_rows(left, None, params, txn):
+            if lookup is not None:
+                left_column, fetch = lookup
+                inner = fetch(txn, left_row[left_column])
+            else:
+                inner = (
+                    decode_row(payload)
+                    for _, payload in txn.scan(root_slot=right.root_slot)
+                )
+            for right_row in inner:
+                namespace = _join_namespace(
+                    left, left_alias, left_row, right, right_alias, right_row
+                )
+                self._charge_rows(1)
+                if not _truthy(_eval(on, namespace, params, left)):
+                    continue
+                if node.where is not None and not _truthy(
+                    _eval(node.where, namespace, params, left)
+                ):
+                    continue
+                out_rows.append((left_row, right_row, namespace))
+        columns, projected = self._project_join(
+            node, left, right, out_rows, params
+        )
+        if node.order_by is not None:
+            order = list(range(len(out_rows)))
+            for term in reversed(node.order_by):
+                reference = term.reference()
+                order.sort(
+                    key=lambda i: _sort_key(
+                        _eval(reference, out_rows[i][2], params, left)
+                    ),
+                    reverse=term.descending,
+                )
+            projected = [projected[i] for i in order]
+        projected = self._window(projected, node, params, left)
+        return Rows(columns, projected, len(projected))
+
+    def _equi_join_lookup(self, on, left, left_alias, right, right_alias):
+        """If ON is ``left.col = right.col``, return (left column index,
+        fetch(txn, value) -> rows of the right table); else None."""
+        if not (isinstance(on, ast.Binary) and on.op == "="):
+            return None
+        sides = [on.left, on.right]
+        if not all(isinstance(s, ast.ColumnRef) and s.table for s in sides):
+            return None
+        by_alias = {s.table: s for s in sides}
+        if set(by_alias) != {left_alias, right_alias}:
+            return None
+        left_column = left.column_index(by_alias[left_alias].name)
+        right_name = by_alias[right_alias].name
+        right_pk = right.columns[right.pk_index].name
+        if right_name == right_pk:
+            def fetch(txn, value):
+                if value is None:
+                    return
+                payload = txn.search(encode_key(value), root_slot=right.root_slot)
+                if payload is not None:
+                    yield decode_row(payload)
+            return left_column, fetch
+        index = self.catalog.index_on_column(right.name, right_name)
+        if index is not None:
+            from repro.db.records import decode_composite
+
+            def fetch(txn, value):
+                if value is None:
+                    return
+                lo, hi = composite_prefix_range([value])
+                for entry_key, _ in txn.scan(lo, hi, root_slot=index.root_slot):
+                    pk_key = decode_composite(entry_key)[-1]
+                    payload = txn.search(pk_key, root_slot=right.root_slot)
+                    if payload is not None:
+                        yield decode_row(payload)
+            return left_column, fetch
+        right_column = right.column_index(right_name)
+
+        def fetch(txn, value):
+            for _, payload in txn.scan(root_slot=right.root_slot):
+                row = decode_row(payload)
+                if value is not None and row[right_column] == value:
+                    yield row
+        return left_column, fetch
+
+    def _project_join(self, node, left, right, out_rows, params):
+        columns = []
+        for expr, alias in node.items:
+            if expr == "*":
+                columns.extend(left.column_names)
+                columns.extend(right.column_names)
+            elif alias:
+                columns.append(alias)
+            elif isinstance(expr, ast.ColumnRef):
+                columns.append(expr.name)
+            else:
+                columns.append("expr")
+        projected = []
+        for left_row, right_row, namespace in out_rows:
+            values = []
+            for expr, _ in node.items:
+                if expr == "*":
+                    values.extend(left_row)
+                    values.extend(right_row)
+                else:
+                    values.append(_eval(expr, namespace, params, left))
+            projected.append(tuple(values))
+        return columns, projected
+
+    def _window(self, rows, node, params, table):
+        offset = 0
+        if node.offset is not None:
+            offset = int(_eval(node.offset, None, params, table))
+        if node.limit is not None:
+            limit = int(_eval(node.limit, None, params, table))
+            return rows[offset : offset + limit]
+        return rows[offset:] if offset else rows
+
+    def _grouped_select(self, node, table, rows, params):
+        """GROUP BY one column, with aggregates and optional HAVING."""
+        group_index = table.column_index(node.group_by)
+        groups = {}
+        order = []
+        for row in rows:
+            key = row[group_index]
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(row)
+        order.sort(key=_sort_key)
+        if node.order_by is not None:
+            if (
+                len(node.order_by) != 1
+                or node.order_by[0].base_name != node.group_by
+            ):
+                raise SqlError(
+                    "ORDER BY with GROUP BY must order by the group column"
+                )
+            if node.order_by[0].descending:
+                order.reverse()
+        columns = []
+        for expr, alias in node.items:
+            if expr == "*":
+                raise SqlError("SELECT * is not valid with GROUP BY")
+            if alias:
+                columns.append(alias)
+            elif isinstance(expr, ast.Aggregate):
+                columns.append(_aggregate_name(expr))
+            elif isinstance(expr, ast.ColumnRef):
+                columns.append(expr.name)
+            else:
+                columns.append("expr")
+        out = []
+        for key in order:
+            group_rows = groups[key]
+            if node.having is not None:
+                if not _truthy(
+                    self._eval_grouped(node.having, table, group_rows, params)
+                ):
+                    continue
+            out.append(tuple(
+                self._eval_grouped(expr, table, group_rows, params)
+                for expr, _ in node.items
+            ))
+        out = self._window(out, node, params, table)
+        return Rows(columns, out, len(out))
+
+    def _eval_grouped(self, expr, table, group_rows, params):
+        """Evaluate an expression in group context: aggregates run over
+        the group, bare columns take the first row's value (SQLite's
+        arbitrary-row semantics, made deterministic)."""
+        if isinstance(expr, ast.Aggregate):
+            return _run_aggregate(expr, table, group_rows)
+        if isinstance(expr, ast.Binary):
+            if expr.op in ("AND", "OR"):
+                left = _truthy(self._eval_grouped(expr.left, table, group_rows, params))
+                if expr.op == "AND":
+                    return left and _truthy(
+                        self._eval_grouped(expr.right, table, group_rows, params)
+                    )
+                return left or _truthy(
+                    self._eval_grouped(expr.right, table, group_rows, params)
+                )
+            resolved = ast.Binary(
+                expr.op,
+                ast.Literal(self._eval_grouped(expr.left, table, group_rows, params)),
+                ast.Literal(self._eval_grouped(expr.right, table, group_rows, params)),
+            )
+            return _eval(resolved, None, params, table)
+        if isinstance(expr, ast.Unary):
+            resolved = ast.Unary(
+                expr.op,
+                ast.Literal(self._eval_grouped(expr.operand, table, group_rows, params)),
+            )
+            return _eval(resolved, None, params, table)
+        namespace = dict(zip(table.column_names, group_rows[0]))
+        return _eval(expr, namespace, params, table)
+
+    def _aggregate(self, node, table, rows, params):
+        columns = []
+        out = []
+        for expr, alias in node.items:
+            if not isinstance(expr, ast.Aggregate):
+                raise SqlError("cannot mix aggregates and plain columns")
+            columns.append(alias or _aggregate_name(expr))
+            out.append(_run_aggregate(expr, table, rows))
+        return Rows(columns, [tuple(out)], 1)
+
+    def _update(self, node, params, txn):
+        table = self.catalog.get(node.table)
+        assignments = [
+            (table.column_index(name), expr) for name, expr in node.assignments
+        ]
+        matches = list(self._matching_rows(table, node.where, params, txn))
+        count = 0
+        for row in matches:
+            new_row = list(row)
+            namespace = dict(zip(table.column_names, row))
+            for index, expr in assignments:
+                new_row[index] = _coerce(
+                    table.columns[index], _eval(expr, namespace, params, table)
+                )
+                if not table.columns[index].accepts(new_row[index]):
+                    raise TypeError_(
+                        "column %s rejects %r"
+                        % (table.columns[index].name, new_row[index])
+                    )
+            new_row = tuple(new_row)
+            old_key = table.key_for_row(row)
+            new_key = table.key_for_row(new_row)
+            self._unindex_row(txn, table, row)
+            if new_key != old_key:
+                if txn.search(new_key, root_slot=table.root_slot) is not None:
+                    raise ConstraintError(
+                        "UNIQUE constraint failed on primary-key update"
+                    )
+                txn.delete(old_key, root_slot=table.root_slot)
+                txn.insert(new_key, encode_row(new_row), root_slot=table.root_slot)
+            else:
+                txn.insert(
+                    old_key, encode_row(new_row),
+                    root_slot=table.root_slot, replace=True,
+                )
+            self._index_row(txn, table, new_row)
+            count += 1
+        self._charge_rows(count)
+        return Rows(rowcount=count)
+
+    def _delete(self, node, params, txn):
+        table = self.catalog.get(node.table)
+        rows = list(self._matching_rows(table, node.where, params, txn))
+        for row in rows:
+            self._unindex_row(txn, table, row)
+            txn.delete(table.key_for_row(row), root_slot=table.root_slot)
+        self._charge_rows(len(rows))
+        return Rows(rowcount=len(rows))
+
+    # ------------------------------------------------------------------
+    # Row access
+    # ------------------------------------------------------------------
+
+    def _matching_rows(self, table, where, params, txn):
+        """Decoded rows satisfying ``where``.
+
+        Access-path priority: primary-key point/range, then a
+        secondary-index point/range, then a full scan.  The whole
+        WHERE is always re-checked as a residual filter.
+        """
+        pk_name = table.columns[table.pk_index].name
+        path = plan_access(where, pk_name)
+        if path.is_point:
+            value = _eval(path.point, None, params, table)
+            payload = (
+                None if value is None
+                else txn.search(encode_key(value), root_slot=table.root_slot)
+            )
+            candidates = [] if payload is None else [decode_row(payload)]
+        elif path.lo is not None or path.hi is not None or where is None:
+            lo = hi = None
+            if path.lo is not None:
+                lo = encode_key(_eval(path.lo, None, params, table))
+            if path.hi is not None:
+                hi = encode_key(_eval(path.hi, None, params, table))
+            candidates = (
+                decode_row(payload)
+                for _, payload in txn.scan(lo, hi, root_slot=table.root_slot)
+            )
+        else:
+            candidates = self._indexed_or_full_scan(table, where, params, txn)
+        for row in candidates:
+            self._charge_rows(1)
+            if where is None:
+                yield row
+                continue
+            namespace = dict(zip(table.column_names, row))
+            if _truthy(_eval(where, namespace, params, table)):
+                yield row
+
+    def _indexed_or_full_scan(self, table, where, params, txn):
+        """Rows via the best secondary index, else a full table scan.
+
+        Index selection: the longest run of equality constraints on an
+        index's leading columns wins, optionally extended by a range on
+        the next column (the textbook composite-index rule).
+        """
+        from repro.db.records import (
+            composite_lower_bound,
+            composite_upper_bound,
+            decode_composite,
+            encode_composite,
+        )
+        from repro.db.sql.planner import analyze_conjuncts
+
+        constraints = analyze_conjuncts(where)
+        best = None  # (eq_depth, has_range, index, bounds)
+        for index in self.catalog.indexes_on(table.name):
+            eq_parts = []
+            for column in index.column_names:
+                entry = constraints.get(column)
+                if entry is not None and entry.eq is not None:
+                    eq_parts.append(
+                        _eval(entry.eq, None, params, table)
+                    )
+                else:
+                    break
+            next_column = (
+                index.column_names[len(eq_parts)]
+                if len(eq_parts) < len(index.column_names) else None
+            )
+            range_entry = constraints.get(next_column) if next_column else None
+            has_range = range_entry is not None and (
+                range_entry.lo is not None or range_entry.hi is not None
+            )
+            if not eq_parts and not has_range:
+                continue
+            prefix = encode_composite(eq_parts) if eq_parts else b""
+            if has_range:
+                lo = hi = None
+                if range_entry.lo is not None:
+                    lo = prefix + composite_lower_bound(
+                        _eval(range_entry.lo, None, params, table)
+                    )
+                if range_entry.hi is not None:
+                    hi = prefix + composite_upper_bound(
+                        _eval(range_entry.hi, None, params, table)
+                    )
+                if lo is None and eq_parts:
+                    lo = prefix
+                if hi is None and eq_parts:
+                    hi = prefix + b"\xff" * 8
+            elif eq_parts:
+                lo, hi = composite_prefix_range(eq_parts)
+            score = (len(eq_parts), 1 if has_range else 0)
+            if best is None or score > best[0]:
+                best = (score, index, lo, hi)
+        if best is not None:
+            _, index, lo, hi = best
+
+            def fetch():
+                for entry_key, _ in txn.scan(lo, hi, root_slot=index.root_slot):
+                    pk_key = decode_composite(entry_key)[-1]
+                    payload = txn.search(pk_key, root_slot=table.root_slot)
+                    if payload is not None:
+                        yield decode_row(payload)
+            return fetch()
+        return (
+            decode_row(payload)
+            for _, payload in txn.scan(root_slot=table.root_slot)
+        )
+
+    def _project(self, items, table, row, params):
+        namespace = dict(zip(table.column_names, row))
+        out = []
+        for expr, _ in items:
+            if expr == "*":
+                out.extend(row)
+            else:
+                out.append(_eval(expr, namespace, params, table))
+        return tuple(out)
+
+    def _projection_names(self, node, table):
+        names = []
+        for expr, alias in node.items:
+            if expr == "*":
+                names.extend(table.column_names)
+            elif alias:
+                names.append(alias)
+            elif isinstance(expr, ast.ColumnRef):
+                names.append(expr.name)
+            else:
+                names.append("expr")
+        return names
+
+    def _charge_rows(self, count):
+        if count:
+            with self.clock.segment("sql"):
+                self.clock.advance(VM_ROW_NS * count)
+
+
+# ----------------------------------------------------------------------
+# Expression evaluation
+# ----------------------------------------------------------------------
+
+
+def _eval(expr, namespace, params, table):
+    if isinstance(expr, ast.Literal):
+        return expr.value
+    if isinstance(expr, ast.Param):
+        try:
+            return params[expr.index]
+        except IndexError:
+            raise SqlError(
+                "statement needs %d parameters, %d supplied"
+                % (expr.index + 1, len(params))
+            ) from None
+    if isinstance(expr, ast.ColumnRef):
+        if namespace is None:
+            raise SqlError("column %r not allowed here" % expr.name)
+        key = "%s.%s" % (expr.table, expr.name) if expr.table else expr.name
+        if key not in namespace:
+            raise SchemaError(
+                "no column %r in table %r" % (key, table.name)
+            )
+        value = namespace[key]
+        if value is _AMBIGUOUS:
+            raise SqlError("ambiguous column name %r" % expr.name)
+        return value
+    if isinstance(expr, ast.Unary):
+        value = _eval(expr.operand, namespace, params, table)
+        if expr.op == "-":
+            return None if value is None else -value
+        return not _truthy(value)
+    if isinstance(expr, ast.IsNull):
+        value = _eval(expr.operand, namespace, params, table)
+        return (value is None) != expr.negated
+    if isinstance(expr, ast.Between):
+        value = _eval(expr.operand, namespace, params, table)
+        low = _eval(expr.low, namespace, params, table)
+        high = _eval(expr.high, namespace, params, table)
+        if value is None or low is None or high is None:
+            return False
+        result = low <= value <= high
+        return result != expr.negated
+    if isinstance(expr, ast.Binary):
+        return _eval_binary(expr, namespace, params, table)
+    if isinstance(expr, ast.Like):
+        value = _eval(expr.operand, namespace, params, table)
+        pattern = _eval(expr.pattern, namespace, params, table)
+        if value is None or pattern is None:
+            return False
+        return _like(str(value), str(pattern)) != expr.negated
+    if isinstance(expr, ast.InList):
+        value = _eval(expr.operand, namespace, params, table)
+        if value is None:
+            return False
+        options = [
+            _eval(option, namespace, params, table) for option in expr.options
+        ]
+        return (value in [o for o in options if o is not None]) != expr.negated
+    if isinstance(expr, ast.FuncCall):
+        return _eval_function(expr, namespace, params, table)
+    if isinstance(expr, ast.Aggregate):
+        raise SqlError("aggregate not allowed in this context")
+    raise SqlError("cannot evaluate %r" % (expr,))
+
+
+def _like(value, pattern):
+    """SQLite's LIKE: %% and _ wildcards, ASCII case-insensitive."""
+    import re
+
+    out = []
+    for ch in pattern:
+        if ch == "%":
+            out.append(".*")
+        elif ch == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(ch))
+    return re.fullmatch("".join(out), value, re.IGNORECASE | re.DOTALL) is not None
+
+
+def _eval_function(expr, namespace, params, table):
+    args = [_eval(arg, namespace, params, table) for arg in expr.args]
+    name = expr.name
+    if name == "COALESCE":
+        for arg in args:
+            if arg is not None:
+                return arg
+        return None
+    if len(args) != 1:
+        raise SqlError("%s takes exactly one argument" % name)
+    (value,) = args
+    if value is None:
+        return None
+    try:
+        if name == "LENGTH":
+            return len(value)
+        if name == "UPPER":
+            return value.upper()
+        if name == "LOWER":
+            return value.lower()
+        if name == "ABS":
+            return abs(value)
+    except (TypeError, AttributeError):
+        raise TypeError_("%s cannot take %r" % (name, value)) from None
+    raise SqlError("unknown function %r" % name)
+
+
+def _eval_binary(expr, namespace, params, table):
+    op = expr.op
+    if op == "AND":
+        return _truthy(_eval(expr.left, namespace, params, table)) and _truthy(
+            _eval(expr.right, namespace, params, table)
+        )
+    if op == "OR":
+        return _truthy(_eval(expr.left, namespace, params, table)) or _truthy(
+            _eval(expr.right, namespace, params, table)
+        )
+    left = _eval(expr.left, namespace, params, table)
+    right = _eval(expr.right, namespace, params, table)
+    if op in ("=", "!=", "<", "<=", ">", ">="):
+        if left is None or right is None:
+            return False  # SQL UNKNOWN collapses to not-matched
+        if op == "=":
+            return left == right
+        if op == "!=":
+            return left != right
+        try:
+            if op == "<":
+                return left < right
+            if op == "<=":
+                return left <= right
+            if op == ">":
+                return left > right
+            return left >= right
+        except TypeError:
+            raise TypeError_(
+                "cannot compare %r and %r" % (left, right)
+            ) from None
+    if left is None or right is None:
+        return None
+    try:
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if right == 0:
+                return None  # SQLite yields NULL on division by zero
+            result = left / right
+            if isinstance(left, int) and isinstance(right, int):
+                return left // right
+            return result
+    except TypeError:
+        raise TypeError_("bad operands for %s: %r, %r" % (op, left, right)) from None
+    raise SqlError("unknown operator %r" % op)
+
+
+_AMBIGUOUS = object()
+
+
+def _join_namespace(left, left_alias, left_row, right, right_alias, right_row):
+    """Evaluation namespace for a joined row pair: qualified names
+    always work; unqualified names work when unambiguous."""
+    namespace = {}
+    for name, value in zip(left.column_names, left_row):
+        namespace["%s.%s" % (left_alias, name)] = value
+        namespace[name] = value
+    for name, value in zip(right.column_names, right_row):
+        namespace["%s.%s" % (right_alias, name)] = value
+        if name in left.column_names:
+            namespace[name] = _AMBIGUOUS
+        else:
+            namespace[name] = value
+    return namespace
+
+
+def _truthy(value):
+    return bool(value) and value is not None
+
+
+def _coerce(col, value):
+    """INTEGER literals flow into REAL columns as floats (so the key
+    encoding of a REAL primary key is stable)."""
+    if col.type == "REAL" and isinstance(value, int) and not isinstance(value, bool):
+        return float(value)
+    return value
+
+
+def _sort_key(value):
+    # NULLs sort first (SQLite's default), then by value within type.
+    if value is None:
+        return (0, 0)
+    if isinstance(value, (int, float)):
+        return (1, value)
+    if isinstance(value, str):
+        return (2, value)
+    return (3, value)
+
+
+def _aggregate_name(expr):
+    arg = "*" if expr.arg is None else expr.arg.name
+    return "%s(%s)" % (expr.func, arg)
+
+
+def _run_aggregate(expr, table, rows):
+    if expr.arg is None:
+        return len(rows)
+    index = table.column_index(expr.arg.name)
+    values = [row[index] for row in rows if row[index] is not None]
+    if expr.func == "COUNT":
+        return len(values)
+    if not values:
+        return None
+    if expr.func == "SUM":
+        return sum(values)
+    if expr.func == "AVG":
+        return sum(values) / len(values)
+    if expr.func == "MIN":
+        return min(values)
+    return max(values)

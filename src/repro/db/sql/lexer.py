@@ -1,0 +1,149 @@
+"""SQL tokenizer.
+
+Token kinds: KEYWORD, IDENT, INT, FLOAT, STRING, BLOB, PARAM, OP,
+PUNCT, EOF.  Keywords are case-insensitive; identifiers keep their
+case.  String literals use single quotes with ``''`` escaping; blob
+literals are ``x'hex'``.
+"""
+
+from repro.db.errors import ParseError
+
+KEYWORDS = {
+    "AND", "ASC", "AS", "AVG", "BEGIN", "BETWEEN", "BLOB", "BY", "COMMIT",
+    "COUNT", "CREATE", "DELETE", "DESC", "DROP", "EXISTS", "FROM", "GROUP",
+    "HAVING", "IF", "INDEX", "INSERT", "INTEGER", "INTO", "IS", "KEY",
+    "IN", "INNER", "JOIN", "LIKE", "LIMIT", "MAX", "MIN", "NOT", "NULL",
+    "OFFSET", "ON", "OR", "ORDER",
+    "PRIMARY", "REAL", "RELEASE", "REPLACE", "ROLLBACK", "SAVEPOINT",
+    "SELECT", "SET", "SUM", "TABLE", "TEXT", "TO", "TRANSACTION",
+    "UPDATE", "VACUUM", "VALUES", "WHERE",
+}
+
+_TWO_CHAR_OPS = ("<=", ">=", "<>", "!=", "==")
+_ONE_CHAR_OPS = "=<>+-*/"
+_PUNCT = "(),.;"
+
+
+class Token:
+    __slots__ = ("kind", "value", "pos")
+
+    def __init__(self, kind, value, pos):
+        self.kind = kind
+        self.value = value
+        self.pos = pos
+
+    def __repr__(self):
+        return "Token(%s, %r)" % (self.kind, self.value)
+
+
+def tokenize(sql):
+    """Tokenize ``sql``; returns a list ending with an EOF token."""
+    tokens = []
+    pos = 0
+    length = len(sql)
+    while pos < length:
+        ch = sql[pos]
+        if ch.isspace():
+            pos += 1
+            continue
+        if sql.startswith("--", pos):
+            newline = sql.find("\n", pos)
+            pos = length if newline < 0 else newline + 1
+            continue
+        if ch == "'":
+            value, pos = _string(sql, pos)
+            tokens.append(Token("STRING", value, pos))
+            continue
+        if ch in ("x", "X") and pos + 1 < length and sql[pos + 1] == "'":
+            value, pos = _string(sql, pos + 1)
+            try:
+                tokens.append(Token("BLOB", bytes.fromhex(value), pos))
+            except ValueError:
+                raise ParseError("invalid blob literal at %d" % pos) from None
+            continue
+        if ch.isdigit() or (ch == "." and pos + 1 < length and sql[pos + 1].isdigit()):
+            token, pos = _number(sql, pos)
+            tokens.append(token)
+            continue
+        if ch.isalpha() or ch == "_":
+            start = pos
+            while pos < length and (sql[pos].isalnum() or sql[pos] == "_"):
+                pos += 1
+            word = sql[start:pos]
+            if word.upper() in KEYWORDS:
+                tokens.append(Token("KEYWORD", word.upper(), start))
+            else:
+                tokens.append(Token("IDENT", word, start))
+            continue
+        if ch == '"':
+            end = sql.find('"', pos + 1)
+            if end < 0:
+                raise ParseError("unterminated quoted identifier at %d" % pos)
+            tokens.append(Token("IDENT", sql[pos + 1 : end], pos))
+            pos = end + 1
+            continue
+        if ch == "?":
+            tokens.append(Token("PARAM", None, pos))
+            pos += 1
+            continue
+        two = sql[pos : pos + 2]
+        if two in _TWO_CHAR_OPS:
+            tokens.append(Token("OP", "!=" if two in ("<>", "!=") else
+                                ("=" if two == "==" else two), pos))
+            pos += 2
+            continue
+        if ch in _ONE_CHAR_OPS:
+            tokens.append(Token("OP", ch, pos))
+            pos += 1
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token("PUNCT", ch, pos))
+            pos += 1
+            continue
+        raise ParseError("unexpected character %r at %d" % (ch, pos))
+    tokens.append(Token("EOF", None, length))
+    return tokens
+
+
+def _string(sql, pos):
+    """Parse a single-quoted string starting at ``pos``."""
+    assert sql[pos] == "'"
+    pos += 1
+    out = []
+    while pos < len(sql):
+        ch = sql[pos]
+        if ch == "'":
+            if pos + 1 < len(sql) and sql[pos + 1] == "'":
+                out.append("'")
+                pos += 2
+                continue
+            return "".join(out), pos + 1
+        out.append(ch)
+        pos += 1
+    raise ParseError("unterminated string literal")
+
+
+def _number(sql, pos):
+    start = pos
+    length = len(sql)
+    while pos < length and sql[pos].isdigit():
+        pos += 1
+    is_float = False
+    if pos < length and sql[pos] == ".":
+        is_float = True
+        pos += 1
+        while pos < length and sql[pos].isdigit():
+            pos += 1
+    if pos < length and sql[pos] in "eE":
+        is_float = True
+        pos += 1
+        if pos < length and sql[pos] in "+-":
+            pos += 1
+        if pos >= length or not sql[pos].isdigit():
+            raise ParseError("malformed number at %d" % start)
+        while pos < length and sql[pos].isdigit():
+            pos += 1
+    text = sql[start:pos]
+    if is_float:
+        return Token("FLOAT", float(text), start), pos
+    return Token("INT", int(text), start), pos

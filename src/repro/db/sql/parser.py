@@ -1,0 +1,454 @@
+"""Recursive-descent parser for the supported SQL subset.
+
+Grammar (roughly)::
+
+    stmt      := create | drop | insert | select | update | delete
+               | BEGIN [TRANSACTION] | COMMIT | ROLLBACK
+    create    := CREATE TABLE [IF NOT EXISTS] name '(' coldef (',' coldef)* ')'
+    coldef    := name type [PRIMARY KEY]
+    insert    := INSERT [OR REPLACE] INTO name ['(' cols ')']
+                 VALUES tuple (',' tuple)*
+    select    := SELECT items FROM name [WHERE expr]
+                 [ORDER BY name [ASC|DESC]] [LIMIT expr [OFFSET expr]]
+    update    := UPDATE name SET name '=' expr (',' ...)* [WHERE expr]
+    delete    := DELETE FROM name [WHERE expr]
+
+Expressions support literals, ``?`` parameters, column refs, unary
+``-``/``NOT``, arithmetic, comparisons, ``IS [NOT] NULL``,
+``[NOT] BETWEEN``, ``AND``/``OR``, and the aggregates COUNT/SUM/AVG/
+MIN/MAX in the select list.
+"""
+
+from repro.db.errors import ParseError
+from repro.db.sql import ast
+from repro.db.sql.lexer import tokenize
+
+_AGGREGATES = ("COUNT", "SUM", "AVG", "MIN", "MAX")
+_TYPES = ("INTEGER", "REAL", "TEXT", "BLOB")
+
+
+def parse(sql):
+    """Parse one statement -> ``ast.Statement``."""
+    tokens = tokenize(sql)
+    parser = _Parser(tokens)
+    node = parser.statement()
+    parser.expect_end()
+    return ast.Statement(
+        node=node,
+        token_count=len(tokens),
+        param_count=parser.param_count,
+    )
+
+
+class _Parser:
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.pos = 0
+        self.param_count = 0
+
+    # -- token helpers ---------------------------------------------------
+
+    def peek(self):
+        return self.tokens[self.pos]
+
+    def advance(self):
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def accept_keyword(self, *words):
+        token = self.peek()
+        if token.kind == "KEYWORD" and token.value in words:
+            return self.advance()
+        return None
+
+    def expect_keyword(self, *words):
+        token = self.accept_keyword(*words)
+        if token is None:
+            raise ParseError(
+                "expected %s, got %r" % ("/".join(words), self.peek().value)
+            )
+        return token
+
+    def accept_punct(self, char):
+        token = self.peek()
+        if token.kind == "PUNCT" and token.value == char:
+            return self.advance()
+        return None
+
+    def expect_punct(self, char):
+        if self.accept_punct(char) is None:
+            raise ParseError("expected %r, got %r" % (char, self.peek().value))
+
+    def expect_ident(self):
+        token = self.peek()
+        if token.kind != "IDENT":
+            raise ParseError("expected identifier, got %r" % (token.value,))
+        return self.advance().value
+
+    def expect_end(self):
+        self.accept_punct(";")
+        if self.peek().kind != "EOF":
+            raise ParseError("unexpected trailing input: %r" % self.peek().value)
+
+    # -- statements --------------------------------------------------------
+
+    def statement(self):
+        token = self.peek()
+        if token.kind != "KEYWORD":
+            raise ParseError("expected a statement, got %r" % (token.value,))
+        word = token.value
+        if word == "CREATE":
+            return self.create_table()
+        if word == "DROP":
+            return self.drop_table()
+        if word == "INSERT":
+            return self.insert()
+        if word == "SELECT":
+            return self.select()
+        if word == "UPDATE":
+            return self.update()
+        if word == "DELETE":
+            return self.delete()
+        if word == "BEGIN":
+            self.advance()
+            self.accept_keyword("TRANSACTION")
+            return ast.Begin()
+        if word == "COMMIT":
+            self.advance()
+            return ast.Commit()
+        if word == "ROLLBACK":
+            self.advance()
+            if self.accept_keyword("TO"):
+                self.accept_keyword("SAVEPOINT")
+                return ast.RollbackTo(self.expect_ident())
+            return ast.Rollback()
+        if word == "SAVEPOINT":
+            self.advance()
+            return ast.Savepoint(self.expect_ident())
+        if word == "RELEASE":
+            self.advance()
+            self.accept_keyword("SAVEPOINT")
+            return ast.Release(self.expect_ident())
+        if word == "VACUUM":
+            self.advance()
+            return ast.Vacuum()
+        raise ParseError("unsupported statement %r" % word)
+
+    def create_table(self):
+        self.expect_keyword("CREATE")
+        if self.accept_keyword("INDEX"):
+            return self.create_index()
+        self.expect_keyword("TABLE")
+        if_not_exists = False
+        if self.accept_keyword("IF"):
+            self.expect_keyword("NOT")
+            self.expect_keyword("EXISTS")
+            if_not_exists = True
+        name = self.expect_ident()
+        self.expect_punct("(")
+        columns = [self.column_def()]
+        while self.accept_punct(","):
+            columns.append(self.column_def())
+        self.expect_punct(")")
+        return ast.CreateTable(name, tuple(columns), if_not_exists)
+
+    def column_def(self):
+        name = self.expect_ident()
+        type_token = self.expect_keyword(*_TYPES)
+        primary = False
+        if self.accept_keyword("PRIMARY"):
+            self.expect_keyword("KEY")
+            primary = True
+        return ast.ColumnDef(name, type_token.value, primary)
+
+    def create_index(self):
+        """``CREATE INDEX`` — the CREATE keyword was already consumed."""
+        if_not_exists = False
+        if self.accept_keyword("IF"):
+            self.expect_keyword("NOT")
+            self.expect_keyword("EXISTS")
+            if_not_exists = True
+        name = self.expect_ident()
+        self.expect_keyword("ON")
+        table = self.expect_ident()
+        self.expect_punct("(")
+        columns = [self.expect_ident()]
+        while self.accept_punct(","):
+            columns.append(self.expect_ident())
+        self.expect_punct(")")
+        return ast.CreateIndex(name, table, tuple(columns), if_not_exists)
+
+    def drop_table(self):
+        self.expect_keyword("DROP")
+        if self.accept_keyword("INDEX"):
+            if_exists = False
+            if self.accept_keyword("IF"):
+                self.expect_keyword("EXISTS")
+                if_exists = True
+            return ast.DropIndex(self.expect_ident(), if_exists)
+        self.expect_keyword("TABLE")
+        if_exists = False
+        if self.accept_keyword("IF"):
+            self.expect_keyword("EXISTS")
+            if_exists = True
+        return ast.DropTable(self.expect_ident(), if_exists)
+
+    def insert(self):
+        self.expect_keyword("INSERT")
+        replace = False
+        if self.accept_keyword("OR"):
+            self.expect_keyword("REPLACE")
+            replace = True
+        self.expect_keyword("INTO")
+        table = self.expect_ident()
+        columns = None
+        if self.accept_punct("("):
+            columns = [self.expect_ident()]
+            while self.accept_punct(","):
+                columns.append(self.expect_ident())
+            self.expect_punct(")")
+            columns = tuple(columns)
+        self.expect_keyword("VALUES")
+        rows = [self.value_tuple()]
+        while self.accept_punct(","):
+            rows.append(self.value_tuple())
+        return ast.Insert(table, columns, tuple(rows), replace)
+
+    def value_tuple(self):
+        self.expect_punct("(")
+        values = [self.expression()]
+        while self.accept_punct(","):
+            values.append(self.expression())
+        self.expect_punct(")")
+        return tuple(values)
+
+    def select(self):
+        self.expect_keyword("SELECT")
+        items = [self.select_item()]
+        while self.accept_punct(","):
+            items.append(self.select_item())
+        self.expect_keyword("FROM")
+        table = self.expect_ident()
+        table_alias = self.optional_alias()
+        join = None
+        if self.accept_keyword("INNER"):
+            self.expect_keyword("JOIN")
+            join = self.join_clause()
+        elif self.accept_keyword("JOIN"):
+            join = self.join_clause()
+        where = self.optional_where()
+        group_by = None
+        having = None
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            group_by = self.expect_ident()
+            if self.accept_keyword("HAVING"):
+                having = self.expression()
+        order_by = None
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            order_by = (self.order_term(),)
+            while self.accept_punct(","):
+                order_by += (self.order_term(),)
+        limit = offset = None
+        if self.accept_keyword("LIMIT"):
+            limit = self.expression()
+            if self.accept_keyword("OFFSET"):
+                offset = self.expression()
+        return ast.Select(table, tuple(items), where, order_by, limit, offset,
+                          group_by, having, table_alias, join)
+
+    def order_term(self):
+        column = self.expect_ident()
+        if self.accept_punct("."):
+            column = "%s.%s" % (column, self.expect_ident())
+        descending = False
+        if self.accept_keyword("DESC"):
+            descending = True
+        else:
+            self.accept_keyword("ASC")
+        return ast.OrderBy(column, descending)
+
+    def optional_alias(self):
+        if self.accept_keyword("AS"):
+            return self.expect_ident()
+        if self.peek().kind == "IDENT":
+            return self.advance().value
+        return None
+
+    def join_clause(self):
+        table = self.expect_ident()
+        alias = self.optional_alias()
+        self.expect_keyword("ON")
+        return ast.Join(table, alias, self.expression())
+
+    def select_item(self):
+        if self.peek().kind == "OP" and self.peek().value == "*":
+            self.advance()
+            return ("*", None)
+        expr = self.expression()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_ident()
+        return (expr, alias)
+
+    def update(self):
+        self.expect_keyword("UPDATE")
+        table = self.expect_ident()
+        self.expect_keyword("SET")
+        assignments = [self.assignment()]
+        while self.accept_punct(","):
+            assignments.append(self.assignment())
+        return ast.Update(table, tuple(assignments), self.optional_where())
+
+    def assignment(self):
+        column = self.expect_ident()
+        token = self.peek()
+        if token.kind != "OP" or token.value != "=":
+            raise ParseError("expected '=' in SET clause")
+        self.advance()
+        return (column, self.expression())
+
+    def delete(self):
+        self.expect_keyword("DELETE")
+        self.expect_keyword("FROM")
+        table = self.expect_ident()
+        return ast.Delete(table, self.optional_where())
+
+    def optional_where(self):
+        if self.accept_keyword("WHERE"):
+            return self.expression()
+        return None
+
+    # -- expressions (precedence climbing) ---------------------------------
+
+    def expression(self):
+        return self.or_expr()
+
+    def or_expr(self):
+        left = self.and_expr()
+        while self.accept_keyword("OR"):
+            left = ast.Binary("OR", left, self.and_expr())
+        return left
+
+    def and_expr(self):
+        left = self.not_expr()
+        while self.accept_keyword("AND"):
+            left = ast.Binary("AND", left, self.not_expr())
+        return left
+
+    def not_expr(self):
+        if self.accept_keyword("NOT"):
+            return ast.Unary("NOT", self.not_expr())
+        return self.comparison()
+
+    def comparison(self):
+        left = self.additive()
+        token = self.peek()
+        if token.kind == "OP" and token.value in ("=", "!=", "<", "<=", ">", ">="):
+            self.advance()
+            return ast.Binary(token.value, left, self.additive())
+        if self.accept_keyword("IS"):
+            negated = bool(self.accept_keyword("NOT"))
+            self.expect_keyword("NULL")
+            return ast.IsNull(left, negated)
+        negated = bool(self.accept_keyword("NOT"))
+        if self.accept_keyword("BETWEEN"):
+            low = self.additive()
+            self.expect_keyword("AND")
+            high = self.additive()
+            return ast.Between(left, low, high, negated)
+        if self.accept_keyword("LIKE"):
+            return ast.Like(left, self.additive(), negated)
+        if self.accept_keyword("IN"):
+            self.expect_punct("(")
+            options = [self.expression()]
+            while self.accept_punct(","):
+                options.append(self.expression())
+            self.expect_punct(")")
+            return ast.InList(left, tuple(options), negated)
+        if negated:
+            raise ParseError("expected BETWEEN, LIKE or IN after NOT")
+        return left
+
+    def additive(self):
+        left = self.multiplicative()
+        while True:
+            token = self.peek()
+            if token.kind == "OP" and token.value in ("+", "-"):
+                self.advance()
+                left = ast.Binary(token.value, left, self.multiplicative())
+            else:
+                return left
+
+    def multiplicative(self):
+        left = self.unary()
+        while True:
+            token = self.peek()
+            if token.kind == "OP" and token.value in ("*", "/"):
+                self.advance()
+                left = ast.Binary(token.value, left, self.unary())
+            else:
+                return left
+
+    def unary(self):
+        token = self.peek()
+        if token.kind == "OP" and token.value == "-":
+            self.advance()
+            return ast.Unary("-", self.unary())
+        return self.primary()
+
+    def primary(self):
+        token = self.peek()
+        if token.kind in ("INT", "FLOAT", "STRING", "BLOB"):
+            self.advance()
+            return ast.Literal(token.value)
+        if token.kind == "KEYWORD" and token.value == "NULL":
+            self.advance()
+            return ast.Literal(None)
+        if token.kind == "PARAM":
+            self.advance()
+            index = self.param_count
+            self.param_count += 1
+            return ast.Param(index)
+        if token.kind == "KEYWORD" and token.value in _AGGREGATES:
+            return self.aggregate()
+        if token.kind == "IDENT":
+            name = self.advance().value
+            if self.peek().kind == "PUNCT" and self.peek().value == "(":
+                return self.function_call(name)
+            if self.peek().kind == "PUNCT" and self.peek().value == ".":
+                self.advance()
+                return ast.ColumnRef(self.expect_ident(), table=name)
+            return ast.ColumnRef(name)
+        if token.kind == "PUNCT" and token.value == "(":
+            self.advance()
+            expr = self.expression()
+            self.expect_punct(")")
+            return expr
+        raise ParseError("unexpected token %r in expression" % (token.value,))
+
+    def function_call(self, name):
+        upper = name.upper()
+        if upper not in ("LENGTH", "UPPER", "LOWER", "ABS", "COALESCE"):
+            raise ParseError("unknown function %r" % name)
+        self.expect_punct("(")
+        args = [self.expression()]
+        while self.accept_punct(","):
+            args.append(self.expression())
+        self.expect_punct(")")
+        return ast.FuncCall(upper, tuple(args))
+
+    def aggregate(self):
+        func = self.advance().value
+        self.expect_punct("(")
+        if self.peek().kind == "OP" and self.peek().value == "*":
+            if func != "COUNT":
+                raise ParseError("%s(*) is not valid" % func)
+            self.advance()
+            arg = None
+        else:
+            arg = ast.ColumnRef(self.expect_ident())
+        self.expect_punct(")")
+        return ast.Aggregate(func, arg)

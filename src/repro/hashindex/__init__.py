@@ -1,0 +1,14 @@
+"""Hash index over failure-atomic slotted pages.
+
+The paper argues its persistent slotted-page optimisation "can be used
+not only for B+-trees (or any of its variants) but also for other
+hash-based indexes" (Section 2.2).  This package substantiates the
+claim: a static-hashing file (the paper's Section 3.1 taxonomy) whose
+directory and buckets are all slotted pages driven through the same
+transaction-context protocol as the B-tree — so it inherits in-place
+commit, slot-header logging, and NVWAL behaviour unchanged.
+"""
+
+from repro.hashindex.index import HashIndex
+
+__all__ = ["HashIndex"]

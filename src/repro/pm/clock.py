@@ -1,0 +1,75 @@
+"""Simulated nanosecond clock with named measurement segments.
+
+The paper reports times broken down into phases (Search, Page Update,
+Commit) and sub-phases (``clflush(record)``, ``update slot header``,
+``Log Flush``, ``Checkpointing`` ...).  ``SimClock`` supports this by
+letting callers open nested *segments*; every ``advance()`` charges the
+elapsed simulated time to the total and to every segment currently open.
+"""
+
+from contextlib import contextmanager
+
+
+class SimClock:
+    """Accumulates simulated nanoseconds, attributed to open segments.
+
+    Segments nest: while ``commit`` and ``log_flush`` are both open, an
+    ``advance(100)`` adds 100 ns to the total, to ``commit`` and to
+    ``log_flush``.  This mirrors how the paper's sub-phase bars sum into
+    their parent phase bars.
+    """
+
+    def __init__(self):
+        self.now_ns = 0.0
+        self._buckets = {}
+        self._open = []
+
+    def advance(self, ns):
+        """Advance simulated time by ``ns`` nanoseconds."""
+        if ns <= 0:
+            return
+        self.now_ns += ns
+        for name in self._open:
+            self._buckets[name] = self._buckets.get(name, 0.0) + ns
+
+    @contextmanager
+    def segment(self, name):
+        """Attribute all time advanced inside the block to ``name``."""
+        self._open.append(name)
+        try:
+            yield self
+        finally:
+            self._open.pop()
+
+    def elapsed(self, name):
+        """Total nanoseconds charged to segment ``name`` so far."""
+        return self._buckets.get(name, 0.0)
+
+    def segments(self):
+        """A copy of all segment totals (name -> nanoseconds)."""
+        return dict(self._buckets)
+
+    def reset(self):
+        """Zero the clock and every segment (open segments stay open)."""
+        self.now_ns = 0.0
+        self._buckets.clear()
+
+    def snapshot(self):
+        """Capture (now, segments) for later differencing via ``since``."""
+        return self.now_ns, dict(self._buckets)
+
+    def since(self, snapshot):
+        """Return (elapsed_ns, per-segment deltas) since ``snapshot``."""
+        then, buckets = snapshot
+        deltas = {}
+        for name, value in self._buckets.items():
+            delta = value - buckets.get(name, 0.0)
+            if delta:
+                deltas[name] = delta
+        return self.now_ns - then, deltas
+
+    def __repr__(self):
+        return "SimClock(now_ns=%.1f, segments=%d)" % (
+            self.now_ns,
+            len(self._buckets),
+        )

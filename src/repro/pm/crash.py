@@ -1,0 +1,82 @@
+"""Crash (power-failure) persistence policies.
+
+When the machine loses power, data that was only in the CPU cache or in
+the store buffer may or may not have reached the persistence domain:
+cache lines are written back in arbitrary order, so *any subset* of the
+unflushed data can survive.  What the hardware does guarantee is an
+atomic-write unit — next-generation PM is expected to provide
+failure-atomic 8-byte writes, and the paper (following Dulloor et al.)
+additionally assumes failure-atomic *cache-line* writes when hardware
+transactional memory is used.
+
+A ``CrashPolicy`` decides, for each atomic unit that was dirty at crash
+time, whether it reached persistence.  ``PersistentMemory.crash()``
+applies the policy to every dirty unit independently, which explores the
+full space of writeback orderings the hardware could produce.
+"""
+
+import random
+
+
+class CrashPolicy:
+    """Decides whether a dirty atomic unit survives a crash.
+
+    Subclasses implement :meth:`survives`.  ``line`` is the cache-line
+    number and ``unit`` the index of the atomic unit within that line
+    (always 0 when the atomic granularity is a full line).
+    """
+
+    def survives(self, line, unit):
+        raise NotImplementedError
+
+    def fresh(self):
+        """A policy instance to use for a new crash (hook for policies
+        that carry per-crash state)."""
+        return self
+
+
+class PersistAll(CrashPolicy):
+    """Every dirty unit reaches persistence (crash right after a full
+    writeback — the most forgiving ordering)."""
+
+    def survives(self, line, unit):
+        return True
+
+
+class DropAll(CrashPolicy):
+    """No dirty unit reaches persistence (crash before any writeback —
+    the most adversarial ordering for durability, the friendliest for
+    atomicity)."""
+
+    def survives(self, line, unit):
+        return False
+
+
+class RandomPersist(CrashPolicy):
+    """Each dirty unit independently survives with probability ``p``.
+
+    With a seeded ``rng`` the outcome is reproducible; repeated crashes
+    sample different subsets, which is how the property-based crash
+    tests explore orderings.
+    """
+
+    def __init__(self, rng=None, p=0.5):
+        self._rng = rng or random.Random(0)
+        self.p = p
+
+    def survives(self, line, unit):
+        return self._rng.random() < self.p
+
+
+class PersistSubset(CrashPolicy):
+    """Exactly the listed ``(line, unit)`` pairs survive.
+
+    Used by exhaustive tests that enumerate every subset of a small
+    number of dirty units.
+    """
+
+    def __init__(self, surviving):
+        self._surviving = set(surviving)
+
+    def survives(self, line, unit):
+        return (line, unit) in self._surviving

@@ -1,0 +1,496 @@
+"""Byte-addressable persistent and volatile memory with cache semantics.
+
+``PersistentMemory`` models the path a store takes on real hardware:
+
+1. ``write()`` lands in the (volatile) CPU cache — cheap, and invisible
+   to the persistence domain;
+2. ``clflush()`` puts the cache line's current content *in flight*
+   toward memory (and, like the real instruction, evicts the line);
+3. a fence (``sfence``/``mfence``) guarantees in-flight flushes have
+   completed — only then is the data durable.
+
+``crash()`` discards all volatile state and lets a ``CrashPolicy``
+decide which still-unfenced atomic units happened to reach persistence,
+torn at the configured granularity (8-byte words, the baseline hardware
+guarantee, or full 64-byte lines, the paper's HTM-era assumption).
+
+Every load miss charges the PM read latency and every ``clflush``
+charges the PM write latency to the shared ``SimClock``, mirroring how
+the paper drives Quartz and injects post-``clflush`` delays.
+"""
+
+from collections import OrderedDict
+
+from repro.pm.clock import SimClock
+from repro.pm.crash import PersistAll
+from repro.pm.latency import CostModel, LatencyProfile
+from repro.pm.stats import MemoryStats
+
+CACHE_LINE = 64
+WORD = 8
+_WORDS_PER_LINE = CACHE_LINE // WORD
+
+
+class _DirtyLine:
+    """Cache-resident state of one dirty line."""
+
+    __slots__ = ("data", "dirty_words")
+
+    def __init__(self, data):
+        self.data = bytearray(data)
+        self.dirty_words = set()
+
+
+class _ResidencySet:
+    """Bounded LRU set of cache-resident line numbers (for read-latency
+    accounting only; dirty data is tracked separately and never silently
+    dropped)."""
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self._lines = OrderedDict()
+
+    def touch(self, line):
+        """Record an access; return True on hit, False on miss."""
+        if line in self._lines:
+            self._lines.move_to_end(line)
+            return True
+        self._lines[line] = None
+        if len(self._lines) > self.capacity:
+            self._lines.popitem(last=False)
+        return False
+
+    def evict(self, line):
+        self._lines.pop(line, None)
+
+    def clear(self):
+        self._lines.clear()
+
+
+class PersistentMemory:
+    """A simulated persistent-memory arena.
+
+    Args:
+        size: arena size in bytes (multiple of the cache-line size).
+        latency: PM/DRAM latency profile (the paper's sweep variable).
+        cost: fixed per-operation cost model.
+        clock: shared simulated clock (created if omitted).
+        stats: shared counters (created if omitted).
+        atomic_granularity: failure-atomic write unit in bytes — 8 for
+            the baseline hardware guarantee, 64 when assuming
+            failure-atomic cache-line writes (paper Section 3.2).
+        cache_lines: capacity of the read-residency model, in lines.
+    """
+
+    def __init__(
+        self,
+        size,
+        *,
+        latency=None,
+        cost=None,
+        clock=None,
+        stats=None,
+        atomic_granularity=CACHE_LINE,
+        cache_lines=4096,
+        flush_instruction="clflush",
+    ):
+        if size % CACHE_LINE:
+            raise ValueError("size must be a multiple of %d" % CACHE_LINE)
+        if atomic_granularity not in (WORD, CACHE_LINE):
+            raise ValueError("atomic_granularity must be 8 or 64")
+        if flush_instruction not in ("clflush", "clwb"):
+            raise ValueError("flush_instruction must be clflush or clwb")
+        self.size = size
+        self.latency = latency or LatencyProfile()
+        self.cost = cost or CostModel()
+        self.clock = clock or SimClock()
+        self.stats = stats or MemoryStats()
+        self.atomic_granularity = atomic_granularity
+        self.flush_instruction = flush_instruction
+        self._durable = bytearray(size)
+        self._dirty = {}
+        self._inflight = {}
+        self._resident = _ResidencySet(cache_lines)
+        # Set by the RTM emulation while a hardware transaction is open:
+        # clflush inside an RTM region aborts on real hardware (paper
+        # footnote 2), so the simulation forbids it outright.
+        self.flush_forbidden = False
+
+    # ------------------------------------------------------------------
+    # Loads
+    # ------------------------------------------------------------------
+
+    def read(self, addr, length):
+        """Read ``length`` bytes at ``addr`` through the cache.
+
+        The first missing line of a read pays the full PM read
+        latency; further lines of the *same* call stream at the
+        prefetch/bandwidth rate (bulk page copies are not N serialized
+        misses on real hardware).
+        """
+        self._check(addr, length)
+        self.stats.loads += 1
+        first = addr // CACHE_LINE
+        last = (addr + length - 1) // CACHE_LINE
+        out = bytearray()
+        missed_before = False
+        for line in range(first, last + 1):
+            if not self._resident.touch(line):
+                self.stats.load_misses += 1
+                if missed_before:
+                    # Streaming rate degrades with the PM latency knob:
+                    # Quartz injects its delay per epoch, so bulk reads
+                    # slow down proportionally, floored at the DRAM-class
+                    # prefetch rate.
+                    self.clock.advance(
+                        max(self.cost.stream_line_ns, 0.15 * self.latency.read_ns)
+                    )
+                else:
+                    self.clock.advance(self.latency.read_ns)
+                    missed_before = True
+            else:
+                self.clock.advance(self.cost.cache_hit_ns)
+            lo = max(addr, line * CACHE_LINE)
+            hi = min(addr + length, (line + 1) * CACHE_LINE)
+            out += self._visible(line)[lo - line * CACHE_LINE : hi - line * CACHE_LINE]
+        return bytes(out)
+
+    def read_u16(self, addr):
+        return int.from_bytes(self.read(addr, 2), "little")
+
+    def read_u32(self, addr):
+        return int.from_bytes(self.read(addr, 4), "little")
+
+    def read_u64(self, addr):
+        return int.from_bytes(self.read(addr, 8), "little")
+
+    # ------------------------------------------------------------------
+    # Stores
+    # ------------------------------------------------------------------
+
+    def write(self, addr, data):
+        """Store ``data`` at ``addr``.
+
+        The store is absorbed by the cache/store buffer: it is cheap,
+        latency-independent (the paper inserts no delay for stores) and
+        *not durable* until flushed and fenced.
+        """
+        length = len(data)
+        self._check(addr, length)
+        self.stats.stores += 1
+        self.stats.bytes_stored += length
+        self.clock.advance(self.cost.store_ns + self.cost.store_byte_ns * length)
+        offset = 0
+        while offset < length:
+            pos = addr + offset
+            line = pos // CACHE_LINE
+            line_base = line * CACHE_LINE
+            take = min(length - offset, line_base + CACHE_LINE - pos)
+            entry = self._dirty.get(line)
+            if entry is None:
+                entry = _DirtyLine(self._visible(line))
+                self._dirty[line] = entry
+            start = pos - line_base
+            entry.data[start : start + take] = data[offset : offset + take]
+            first_word = start // WORD
+            last_word = (start + take - 1) // WORD
+            entry.dirty_words.update(range(first_word, last_word + 1))
+            self._resident.touch(line)
+            offset += take
+
+    def write_u16(self, addr, value):
+        self.write(addr, value.to_bytes(2, "little"))
+
+    def write_u32(self, addr, value):
+        self.write(addr, value.to_bytes(4, "little"))
+
+    def write_u64(self, addr, value):
+        self.write(addr, value.to_bytes(8, "little"))
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def clflush(self, addr):
+        """Flush the cache line containing ``addr``.
+
+        The line's current content starts moving toward the persistence
+        domain (guaranteed complete only after a fence) and the line is
+        evicted from the cache, as real ``clflush`` does.  Charges the
+        PM write latency — the same post-``clflush`` delay injection the
+        paper uses to emulate PM write latency.
+        """
+        self._check(addr, 1)
+        if self.flush_forbidden:
+            raise RuntimeError(
+                "clflush inside an RTM transaction violates hardware "
+                "transactional semantics (paper Section 3.2, footnote 2)"
+            )
+        line = addr // CACHE_LINE
+        self.stats.clflushes += 1
+        self.clock.advance(self.cost.clflush_ns + self.latency.write_ns)
+        entry = self._dirty.pop(line, None)
+        if entry is not None:
+            self.stats.bytes_flushed += WORD * len(entry.dirty_words)
+            pending = self._inflight.get(line)
+            if pending is None:
+                self._inflight[line] = entry
+            else:
+                pending.data = entry.data
+                pending.dirty_words |= entry.dirty_words
+        self._resident.evict(line)
+
+    def clwb(self, addr):
+        """Write back the cache line containing ``addr`` WITHOUT
+        evicting it (the instruction the paper's Figure 3 shows).
+
+        Same persistence semantics as ``clflush`` — complete only
+        after a fence — but subsequent reads of the line stay cache
+        hits.
+        """
+        self._check(addr, 1)
+        if self.flush_forbidden:
+            raise RuntimeError(
+                "cache write-back inside an RTM transaction violates "
+                "hardware transactional semantics"
+            )
+        line = addr // CACHE_LINE
+        self.stats.clflushes += 1
+        self.clock.advance(self.cost.clflush_ns + self.latency.write_ns)
+        entry = self._dirty.pop(line, None)
+        if entry is not None:
+            self.stats.bytes_flushed += WORD * len(entry.dirty_words)
+            pending = self._inflight.get(line)
+            if pending is None:
+                self._inflight[line] = entry
+            else:
+                pending.data = entry.data
+                pending.dirty_words |= entry.dirty_words
+        self._resident.touch(line)  # the line stays cached
+
+    def flush_range(self, addr, length):
+        """Write back every line overlapping ``[addr, addr+length)``
+        using the configured instruction (``clflush`` evicts, as on the
+        paper's Haswell testbed; ``clwb`` keeps the line cached)."""
+        if length <= 0:
+            return
+        write_back = (
+            self.clwb if self.flush_instruction == "clwb" else self.clflush
+        )
+        first = addr // CACHE_LINE
+        last = (addr + length - 1) // CACHE_LINE
+        for line in range(first, last + 1):
+            write_back(line * CACHE_LINE)
+
+    def sfence(self):
+        """Complete all in-flight flushes (store fence)."""
+        self.stats.fences += 1
+        self.clock.advance(self.cost.fence_ns)
+        for line, entry in self._inflight.items():
+            self._apply_words(line, entry, entry.dirty_words)
+        self._inflight.clear()
+
+    # The single-threaded simulation gives mfence and sfence identical
+    # semantics; both names exist so call sites read like the paper.
+    mfence = sfence
+
+    def persist(self, addr, length):
+        """Flush + fence a range: the canonical durability sequence."""
+        self.flush_range(addr, length)
+        self.sfence()
+
+    # ------------------------------------------------------------------
+    # Crash simulation
+    # ------------------------------------------------------------------
+
+    def crash(self, policy=None):
+        """Power-fail the machine.
+
+        Every atomic unit that was dirty or in flight (flushed but not
+        fenced) survives iff the ``policy`` says so; all volatile state
+        is then discarded.  Fenced data always survives.
+        """
+        policy = (policy or PersistAll()).fresh()
+        granule_words = self.atomic_granularity // WORD
+        for source in (self._inflight, self._dirty):
+            for line, entry in source.items():
+                if granule_words == _WORDS_PER_LINE:
+                    if policy.survives(line, 0):
+                        self._apply_words(line, entry, entry.dirty_words)
+                else:
+                    surviving = {
+                        word
+                        for word in entry.dirty_words
+                        if policy.survives(line, word)
+                    }
+                    self._apply_words(line, entry, surviving)
+        self._dirty.clear()
+        self._inflight.clear()
+        self._resident.clear()
+
+    def dirty_unit_count(self):
+        """Number of atomic units currently at risk (for exhaustive
+        crash enumeration in tests)."""
+        units = 0
+        for source in (self._inflight, self._dirty):
+            for entry in source.values():
+                if self.atomic_granularity == CACHE_LINE:
+                    units += 1
+                else:
+                    units += len(entry.dirty_words)
+        return units
+
+    def dirty_units(self):
+        """The ``(line, unit)`` pairs currently at risk."""
+        pairs = set()
+        for source in (self._inflight, self._dirty):
+            for line, entry in source.items():
+                if self.atomic_granularity == CACHE_LINE:
+                    pairs.add((line, 0))
+                else:
+                    pairs.update((line, word) for word in entry.dirty_words)
+        return sorted(pairs)
+
+    # ------------------------------------------------------------------
+    # Introspection (tests and tooling)
+    # ------------------------------------------------------------------
+
+    def durable_bytes(self, addr, length):
+        """What persistence currently holds (bypasses the cache)."""
+        self._check(addr, length)
+        return bytes(self._durable[addr : addr + length])
+
+    def is_durably_clean(self, addr, length):
+        """True if no byte of the range has unfenced modifications."""
+        first = addr // CACHE_LINE
+        last = (addr + length - 1) // CACHE_LINE
+        return not any(
+            line in self._dirty or line in self._inflight
+            for line in range(first, last + 1)
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _visible(self, line):
+        """The content of ``line`` as the CPU currently sees it."""
+        entry = self._dirty.get(line)
+        if entry is not None:
+            return entry.data
+        entry = self._inflight.get(line)
+        if entry is not None:
+            return entry.data
+        base = line * CACHE_LINE
+        return self._durable[base : base + CACHE_LINE]
+
+    def _apply_words(self, line, entry, words):
+        base = line * CACHE_LINE
+        for word in words:
+            lo = word * WORD
+            self._durable[base + lo : base + lo + WORD] = entry.data[lo : lo + WORD]
+
+    def _check(self, addr, length):
+        if addr < 0 or addr + length > self.size:
+            raise IndexError(
+                "access [%d, %d) outside arena of %d bytes"
+                % (addr, addr + length, self.size)
+            )
+
+
+class VolatileMemory:
+    """A DRAM arena: same accounting interface, no persistence.
+
+    Used by the NVWAL baseline's volatile buffer cache.  Loads charge
+    the (lower) DRAM latency on residency misses; a crash erases the
+    entire contents.
+    """
+
+    def __init__(self, size, *, latency=None, cost=None, clock=None, stats=None,
+                 cache_lines=4096):
+        self.size = size
+        self.latency = latency or LatencyProfile()
+        self.cost = cost or CostModel()
+        self.clock = clock or SimClock()
+        self.stats = stats or MemoryStats()
+        self._data = bytearray(size)
+        self._resident = _ResidencySet(cache_lines)
+
+    def read(self, addr, length):
+        self._check(addr, length)
+        self.stats.dram_loads += 1
+        first = addr // CACHE_LINE
+        last = (addr + length - 1) // CACHE_LINE
+        missed_before = False
+        for line in range(first, last + 1):
+            if not self._resident.touch(line):
+                self.stats.dram_load_misses += 1
+                if missed_before:
+                    self.clock.advance(self.cost.dram_stream_line_ns)
+                else:
+                    self.clock.advance(self.latency.dram_ns)
+                    missed_before = True
+            else:
+                self.clock.advance(self.cost.cache_hit_ns)
+        return bytes(self._data[addr : addr + length])
+
+    def write(self, addr, data):
+        length = len(data)
+        self._check(addr, length)
+        self.stats.dram_stores += 1
+        self.stats.dram_bytes_stored += length
+        self.clock.advance(self.cost.store_ns + self.cost.store_byte_ns * length)
+        self._data[addr : addr + length] = data
+        first = addr // CACHE_LINE
+        last = (addr + length - 1) // CACHE_LINE
+        for line in range(first, last + 1):
+            self._resident.touch(line)
+
+    def read_u16(self, addr):
+        return int.from_bytes(self.read(addr, 2), "little")
+
+    def read_u32(self, addr):
+        return int.from_bytes(self.read(addr, 4), "little")
+
+    def read_u64(self, addr):
+        return int.from_bytes(self.read(addr, 8), "little")
+
+    def write_u16(self, addr, value):
+        self.write(addr, value.to_bytes(2, "little"))
+
+    def write_u32(self, addr, value):
+        self.write(addr, value.to_bytes(4, "little"))
+
+    def write_u64(self, addr, value):
+        self.write(addr, value.to_bytes(8, "little"))
+
+    # Persistence operations are no-ops on DRAM: data here is volatile
+    # by definition.  They exist so the slotted-page code runs
+    # unchanged on the NVWAL volatile buffer cache.
+
+    def clflush(self, addr):
+        del addr
+
+    def flush_range(self, addr, length):
+        del addr, length
+
+    def sfence(self):
+        pass
+
+    mfence = sfence
+
+    def persist(self, addr, length):
+        del addr, length
+
+    def crash(self, policy=None):
+        """DRAM loses everything on power failure."""
+        del policy
+        self._data = bytearray(self.size)
+        self._resident.clear()
+
+    def _check(self, addr, length):
+        if addr < 0 or addr + length > self.size:
+            raise IndexError(
+                "access [%d, %d) outside arena of %d bytes"
+                % (addr, addr + length, self.size)
+            )

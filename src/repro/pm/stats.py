@@ -1,0 +1,61 @@
+"""Operation counters for the simulated memory hierarchy.
+
+The paper reports structural metrics alongside times — most prominently
+the number of cache-line flush instructions per insertion (Figure 9b).
+``MemoryStats`` counts every interesting event so harnesses can report
+them without instrumenting call sites.
+"""
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class MemoryStats:
+    """Mutable event counters shared by one simulation's memory objects."""
+
+    loads: int = 0
+    load_misses: int = 0
+    stores: int = 0
+    bytes_stored: int = 0
+    clflushes: int = 0
+    bytes_flushed: int = 0
+    fences: int = 0
+    dram_loads: int = 0
+    dram_load_misses: int = 0
+    dram_stores: int = 0
+    dram_bytes_stored: int = 0
+    rtm_begins: int = 0
+    rtm_commits: int = 0
+    rtm_aborts: int = 0
+    pm_allocs: int = 0
+    pm_frees: int = 0
+
+    def snapshot(self):
+        """An independent copy of the current counter values."""
+        return MemoryStats(**{f.name: getattr(self, f.name) for f in fields(self)})
+
+    def since(self, snapshot):
+        """Counter deltas accumulated since ``snapshot`` was taken."""
+        return MemoryStats(
+            **{
+                f.name: getattr(self, f.name) - getattr(snapshot, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def reset(self):
+        """Zero every counter in place."""
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+    def as_dict(self):
+        """Counters as a plain ``dict`` (for reports and extra_info)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def __add__(self, other):
+        return MemoryStats(
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(self)
+            }
+        )

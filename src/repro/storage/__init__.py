@@ -1,0 +1,43 @@
+"""Slotted-page storage over persistent memory.
+
+This package implements the paper's central data structure — the
+slotted page (Section 3.1) — directly on top of ``repro.pm``:
+
+* ``SlottedPage`` — fixed 8-byte metadata (type, flags, record count,
+  content-area start, free-list head) followed by the record offset
+  array growing toward the end of the page, with the record content
+  area growing backward from the end;
+* an in-page free list of reclaimed cells that is *reconstructible from
+  the offset array* (Section 4.3), so its updates need not be
+  failure-atomic;
+* copy-on-write defragmentation for records that no contiguous free
+  chunk can hold;
+* ``PageStore`` — a fixed-size-page arena with a persistent free-page
+  list and reachability-based garbage collection (orphan split pages
+  after a crash are reclaimed, Section 4.4).
+"""
+
+from repro.storage.slotted_page import (
+    FIXED_HEADER_SIZE,
+    PAGE_INTERNAL,
+    PAGE_LEAF,
+    PageFullError,
+    RecordTooLargeError,
+    SlottedPage,
+    max_header_records,
+)
+from repro.storage.pagestore import OutOfPagesError, PageStore
+from repro.storage.defrag import defragment_into
+
+__all__ = [
+    "FIXED_HEADER_SIZE",
+    "OutOfPagesError",
+    "PAGE_INTERNAL",
+    "PAGE_LEAF",
+    "PageFullError",
+    "PageStore",
+    "RecordTooLargeError",
+    "SlottedPage",
+    "defragment_into",
+    "max_header_records",
+]

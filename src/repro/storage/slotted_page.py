@@ -1,0 +1,649 @@
+"""The failure-atomic slotted page (paper Sections 3.1-3.3).
+
+Layout of a page of ``page_size`` bytes::
+
+    +--------+--------------------------+------------~~~+------------+
+    | fixed  | record offset array      |  free space   | record     |
+    | 8 B    | u16 x nrecords (grows ->)|               | content    |
+    |        |                          |   (<- grows)  | area       |
+    +--------+--------------------------+------------~~~+------------+
+    0        8                          header_end      content_start
+
+Fixed metadata (8 bytes, so that one 64-byte cache line holds it plus
+28 two-byte record offsets — the paper's ``(64-8)/2`` bound for FAST⁺
+leaf pages):
+
+    offset 0  u8   page type (free / leaf / internal / meta)
+    offset 1  u8   flags
+    offset 2  u16  number of records
+    offset 4  u16  content_start — beginning of the record content area
+    offset 6  u16  free-list head (0 = empty)
+
+A record cell is ``u16 payload length`` followed by the payload; cells
+are allocated backward from ``content_start`` or carved out of the
+in-page free list of reclaimed cells.
+
+Failure-atomicity protocol
+--------------------------
+The slot header *is* the per-page commit mark.  All mutation therefore
+goes through a two-phase API:
+
+1. ``pending_insert / pending_update / pending_delete`` write record
+   bytes into free space (never over live data) and update only a
+   *volatile* pending copy of the header — the paper's "new record
+   offset array constructed in the CPU cache";
+2. the commit scheme then either writes ``pending_header_image()`` to
+   the page in one failure-atomic cache-line store (in-place commit,
+   Section 3.2) or redo-logs it and checkpoints after the transaction's
+   commit mark (slot-header logging, Section 3.3).
+
+A crash before step 2 leaves the durable header untouched, so the
+partially written record bytes are unreachable free space (paper
+Section 4.4: "perishable scratch space").
+
+The free list is intentionally *not* crash-consistent: it is fully
+reconstructible from the record offset array (Section 4.3), which
+:meth:`rebuild_free_list` implements.
+"""
+
+FIXED_HEADER_SIZE = 8
+SLOT_SIZE = 2
+# Cell header: u16 payload length + u16 allocated size.  Recording the
+# allocated size (not just the payload length) keeps free-list
+# reconstruction exact even when a free-chunk allocation absorbed an
+# unusably small remainder.
+CELL_HEADER_SIZE = 4
+_MIN_CHUNK = 4
+
+PAGE_FREE = 0
+PAGE_LEAF = 1
+PAGE_INTERNAL = 2
+PAGE_META = 3
+PAGE_OVERFLOW = 4
+
+_OFF_TYPE = 0
+_OFF_FLAGS = 1
+_OFF_NRECORDS = 2
+_OFF_CONTENT_START = 4
+_OFF_FREELIST = 6
+
+
+class PageFullError(Exception):
+    """The page cannot hold the record (split or defragment needed).
+
+    ``needs_defrag`` is True when the *total* free space would suffice
+    but no contiguous chunk does (paper Section 4.3's trigger for
+    copy-on-write defragmentation).
+    """
+
+    def __init__(self, message, needs_defrag=False):
+        super().__init__(message)
+        self.needs_defrag = needs_defrag
+
+
+class RecordTooLargeError(Exception):
+    """The record cannot fit even in an empty page."""
+
+
+def max_header_records(header_budget):
+    """How many record offsets fit in ``header_budget`` header bytes
+    (the paper's 28 for a 64-byte cache line)."""
+    return (header_budget - FIXED_HEADER_SIZE) // SLOT_SIZE
+
+
+class _PendingHeader:
+    """Volatile (CPU-cache) copy of a page's slot header."""
+
+    __slots__ = ("page_type", "flags", "content_start", "freelist_head",
+                 "offsets")
+
+    def __init__(self, page_type, flags, content_start, freelist_head, offsets):
+        self.page_type = page_type
+        self.flags = flags
+        self.content_start = content_start
+        self.freelist_head = freelist_head
+        self.offsets = offsets
+
+    @property
+    def nrecords(self):
+        return len(self.offsets)
+
+    def clone(self):
+        return _PendingHeader(
+            self.page_type, self.flags, self.content_start,
+            self.freelist_head, list(self.offsets),
+        )
+
+
+class SlottedPage:
+    """A slotted page at ``base`` within a ``PersistentMemory``.
+
+    Args:
+        pm: the persistent memory holding the page.
+        base: byte address of the page start (cache-line aligned).
+        page_size: page size in bytes.
+        header_capacity: optional cap on the number of record offsets
+            (FAST⁺ leaf pages use 28 so the header fits one cache
+            line); ``None`` means limited only by free space.
+    """
+
+    def __init__(self, pm, base, page_size, header_capacity=None):
+        self.pm = pm
+        self.base = base
+        self.page_size = page_size
+        self.header_capacity = header_capacity
+        self._pending = None
+        # While a pending header exists, no allocation may dip below
+        # the *committed* header's extent: those bytes are still the
+        # durable offset array a crash would recover from.
+        self._floor = 0
+        # Lazy free-list validation (paper Section 4.3): the list is
+        # checked against the offset array on first use and rebuilt if
+        # a crash left it inconsistent — so recovery never has to walk
+        # pages eagerly.
+        self._freelist_checked = False
+
+    # ------------------------------------------------------------------
+    # Initialisation
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def initialize(cls, pm, base, page_size, page_type, *, header_capacity=None,
+                   persist=True):
+        """Format a fresh page of ``page_type`` and return it."""
+        page = cls(pm, base, page_size, header_capacity)
+        pm.write(base + _OFF_TYPE, bytes([page_type]))
+        pm.write(base + _OFF_FLAGS, b"\x00")
+        pm.write_u16(base + _OFF_NRECORDS, 0)
+        pm.write_u16(base + _OFF_CONTENT_START, page_size)
+        pm.write_u16(base + _OFF_FREELIST, 0)
+        if persist:
+            pm.persist(base, FIXED_HEADER_SIZE)
+        return page
+
+    # ------------------------------------------------------------------
+    # Header accessors (pending overlay wins)
+    # ------------------------------------------------------------------
+
+    @property
+    def page_type(self):
+        if self._pending is not None:
+            return self._pending.page_type
+        return self.pm.read(self.base + _OFF_TYPE, 1)[0]
+
+    @property
+    def cell_align(self):
+        """Cell-allocation alignment.
+
+        Internal B-tree pages align cells to 8 bytes so that the child
+        pointer at the start of each cell payload (4-byte cell header +
+        4-byte pointer = one word) can be overwritten failure-atomically
+        during copy-on-write pointer swaps.  Other pages pack at 2.
+        """
+        return 8 if self.page_type == PAGE_INTERNAL else 2
+
+    @property
+    def flags(self):
+        if self._pending is not None:
+            return self._pending.flags
+        return self.pm.read(self.base + _OFF_FLAGS, 1)[0]
+
+    @property
+    def nrecords(self):
+        if self._pending is not None:
+            return self._pending.nrecords
+        return self.pm.read_u16(self.base + _OFF_NRECORDS)
+
+    @property
+    def content_start(self):
+        if self._pending is not None:
+            return self._pending.content_start
+        return self.pm.read_u16(self.base + _OFF_CONTENT_START)
+
+    @property
+    def freelist_head(self):
+        if self._pending is not None:
+            return self._pending.freelist_head
+        return self.pm.read_u16(self.base + _OFF_FREELIST)
+
+    def slot_offset(self, slot):
+        """Content-area offset of the record in ``slot``."""
+        if self._pending is not None:
+            return self._pending.offsets[slot]
+        if not 0 <= slot < self.nrecords:
+            raise IndexError("slot %d out of range" % slot)
+        return self.pm.read_u16(self.base + FIXED_HEADER_SIZE + SLOT_SIZE * slot)
+
+    def slots(self):
+        """All record offsets, in slot order."""
+        if self._pending is not None:
+            return list(self._pending.offsets)
+        count = self.nrecords
+        if not count:
+            return []
+        raw = self.pm.read(self.base + FIXED_HEADER_SIZE, SLOT_SIZE * count)
+        return [
+            int.from_bytes(raw[i : i + SLOT_SIZE], "little")
+            for i in range(0, len(raw), SLOT_SIZE)
+        ]
+
+    def header_length(self):
+        """Length in bytes of the effective slot header."""
+        return FIXED_HEADER_SIZE + SLOT_SIZE * self.nrecords
+
+    def header_image(self):
+        """The effective slot header as bytes (fixed part + offsets)."""
+        if self._pending is not None:
+            return self._encode(self._pending)
+        return self.pm.read(self.base, self.header_length())
+
+    def committed_header_image(self):
+        """The header as currently stored in the page, ignoring any
+        pending overlay (mid-transaction this is the committed state:
+        transactions never write the in-page header before commit)."""
+        count = self.pm.read_u16(self.base + _OFF_NRECORDS)
+        return self.pm.read(self.base, FIXED_HEADER_SIZE + SLOT_SIZE * count)
+
+    def committed_offsets(self):
+        """Record offsets of the committed (in-page) header."""
+        image = self.committed_header_image()
+        return [
+            int.from_bytes(image[i : i + SLOT_SIZE], "little")
+            for i in range(FIXED_HEADER_SIZE, len(image), SLOT_SIZE)
+        ]
+
+    # ------------------------------------------------------------------
+    # Records
+    # ------------------------------------------------------------------
+
+    def record(self, slot):
+        """Payload bytes of the record in ``slot``."""
+        return self.read_cell(self.slot_offset(slot))
+
+    def read_cell(self, offset):
+        """Payload of the cell at content-area ``offset``."""
+        length = self.pm.read_u16(self.base + offset)
+        return self.pm.read(self.base + offset + CELL_HEADER_SIZE, length)
+
+    def cell_allocated_size(self, offset):
+        """Bytes the cell at ``offset`` occupies (header + padding +
+        any absorbed free-chunk remainder)."""
+        return self.pm.read_u16(self.base + offset + 2)
+
+    def records(self):
+        """All record payloads in slot order."""
+        return [self.read_cell(offset) for offset in self.slots()]
+
+    # ------------------------------------------------------------------
+    # Space accounting
+    # ------------------------------------------------------------------
+
+    def header_end(self, nrecords=None):
+        count = self.nrecords if nrecords is None else nrecords
+        return FIXED_HEADER_SIZE + SLOT_SIZE * count
+
+    def contiguous_free(self):
+        """Free bytes between the offset array and the content area."""
+        return self.content_start - self.header_end()
+
+    def free_chunks(self):
+        """(offset, size) of every free-list chunk, in list order."""
+        chunks = []
+        offset = self.freelist_head
+        seen = set()
+        while offset and offset not in seen:
+            seen.add(offset)
+            size = self.pm.read_u16(self.base + offset)
+            nxt = self.pm.read_u16(self.base + offset + 2)
+            chunks.append((offset, size))
+            offset = nxt
+        return chunks
+
+    def total_free(self):
+        """Contiguous free space plus all free-list chunks."""
+        return self.contiguous_free() + sum(size for _, size in self.free_chunks())
+
+    def fits(self, payload_len, extra_slots=1):
+        """Can a record of ``payload_len`` bytes be inserted (possibly
+        after defragmentation)?"""
+        if self.header_capacity is not None and (
+            self.nrecords + extra_slots > self.header_capacity
+        ):
+            return False
+        need = self._cell_need(payload_len)
+        return self.total_free() >= need + SLOT_SIZE * extra_slots
+
+    def fits_after_copy(self, payload_len, extra_slots=1):
+        """Would the record fit once live records are copied
+        contiguously into a fresh page?  This is the trigger for the
+        paper's copy-on-write defragmentation (Section 4.3), including
+        the same-transaction reinsert-into-an-overflowing-page case:
+        cells made dead by *this* transaction cannot be reused in
+        place, but a copy-on-write page reclaims their space."""
+        if self.header_capacity is not None and (
+            self.nrecords + extra_slots > self.header_capacity
+        ):
+            return False
+        need = self._cell_need(payload_len)
+        live = sum(self.cell_allocated_size(offset) for offset in self.slots())
+        return (
+            self.header_end(self.nrecords + extra_slots) + need + live
+            <= self.page_size
+        )
+
+    # ------------------------------------------------------------------
+    # Two-phase mutation: content writes + volatile pending header
+    # ------------------------------------------------------------------
+
+    def begin_pending(self):
+        """Load the durable header into the volatile pending copy.
+
+        Also the lazy free-list correction point (paper Section 4.3):
+        at this boundary the page holds only committed state, so an
+        inconsistent list (stale after a crash) can be rebuilt safely
+        from the committed offset array before any pending mutation.
+        """
+        if self._pending is None:
+            if not self._freelist_checked:
+                self._freelist_checked = True
+                if self.freelist_head and not self.free_list_consistent():
+                    self.rebuild_free_list()
+            self._floor = self.header_length()
+            self._pending = self._decode(self.header_image())
+        return self._pending
+
+    @property
+    def has_pending(self):
+        return self._pending is not None
+
+    def clone_pending(self):
+        """A snapshot of the pending header (None if clean) — used by
+        savepoints for partial rollback."""
+        return None if self._pending is None else self._pending.clone()
+
+    def restore_pending(self, snapshot):
+        """Reinstate a snapshot taken by :meth:`clone_pending`.
+
+        The in-page free list is rebuilt from the restored offset
+        array: chunks consumed after the savepoint become free again
+        and cells written after it return to free space (they were
+        never reachable from a committed header).
+        """
+        self._pending = None if snapshot is None else snapshot.clone()
+        if self._pending is not None and self._floor == 0:
+            self._floor = len(self.committed_header_image())
+        self.rebuild_free_list()
+
+    def discard_pending(self):
+        """Forget all uncommitted header changes (rollback).
+
+        Record bytes already written into free space stay where they
+        are — they are unreachable, and the free list is rebuilt from
+        the committed offset array.
+        """
+        self._pending = None
+        self.rebuild_free_list()
+
+    def pending_insert(self, slot, payload):
+        """Write ``payload`` into free space; add it at ``slot`` in the
+        pending header.  Returns the cell offset."""
+        pending = self.begin_pending()
+        if self.header_capacity is not None and (
+            pending.nrecords + 1 > self.header_capacity
+        ):
+            raise PageFullError("offset array at header capacity")
+        offset = self._allocate_cell(payload)
+        pending.offsets.insert(slot, offset)
+        return offset
+
+    def pending_update(self, slot, payload):
+        """Out-of-place update (paper Section 3.2): write the new
+        version into free space and repoint the pending slot."""
+        pending = self.begin_pending()
+        offset = self._allocate_cell(payload)
+        pending.offsets[slot] = offset
+        return offset
+
+    def pending_delete(self, slot):
+        """Remove ``slot`` from the pending header (the cell itself is
+        reclaimed only after commit)."""
+        pending = self.begin_pending()
+        pending.offsets.pop(slot)
+
+    def pending_set_type(self, page_type):
+        self.begin_pending().page_type = page_type
+
+    def pending_header_image(self):
+        """The pending header serialised — what gets redo-logged or
+        written by the in-place commit."""
+        if self._pending is None:
+            raise RuntimeError("no pending changes")
+        return self._encode(self._pending)
+
+    def flush_record(self, offset, payload_len):
+        """``clflush`` the cache lines holding a freshly written cell
+        (the record must be durable before its commit mark)."""
+        self.pm.flush_range(self.base + offset, self._cell_need(payload_len))
+
+    # ------------------------------------------------------------------
+    # Header application (commit side)
+    # ------------------------------------------------------------------
+
+    def apply_header(self, image, *, persist=False):
+        """Overwrite the durable slot header with ``image``.
+
+        Used by slot-header-log checkpointing (and by tests).  With
+        ``persist`` the header lines are flushed and fenced.
+        """
+        self.pm.write(self.base, image)
+        if persist:
+            self.pm.persist(self.base, len(image))
+        self._pending = None
+
+    def publish_header(self, image, *, keep_pending=True):
+        """Persist ``image`` as the page's durable header while keeping
+        the pending overlay intact.
+
+        Used by copy-on-write defragmentation: the fresh page's durable
+        header exposes only the *committed* records (so swapping the
+        parent's child pointer to it is crash-safe at any instant),
+        while the transaction continues to see its full pending view.
+        """
+        self.pm.write(self.base, image)
+        self.pm.persist(self.base, len(image))
+        self._floor = max(self._floor, len(image))
+        if not keep_pending:
+            self._pending = None
+
+    def commit_pending_inplace(self, rtm, *, max_retries=None, fallback=None):
+        """The paper's in-place commit: one RTM transaction stores the
+        whole pending header, then a single flush + fence persist it.
+
+        Requires the header to fit the RTM write-set limit (one cache
+        line), which ``header_capacity=28`` guarantees for leaves.
+
+        ``max_retries``/``fallback`` implement the paper's alternative
+        fallback policy: after that many transient aborts, ``fallback``
+        runs instead (e.g. slot-header logging) and its result is
+        returned; the pending header is left intact for it.
+        """
+        image = self.pending_header_image()
+        sentinel = object()
+        result = rtm.execute(
+            lambda txn: txn.write(self.base, image),
+            max_retries=max_retries,
+            fallback=(lambda: sentinel) if fallback is not None else None,
+        )
+        if result is sentinel:
+            return fallback()
+        self.pm.persist(self.base, len(image))
+        self._pending = None
+        return None
+
+    # ------------------------------------------------------------------
+    # Free list (reconstructible; never needs to be failure-atomic)
+    # ------------------------------------------------------------------
+
+    def reclaim_cell(self, offset):
+        """Add the (dead) cell at ``offset`` to the free list.
+
+        Called after commit/checkpoint for cells dropped by updates and
+        deletes.  Not flushed: the list is reconstructible.
+        """
+        self._push_chunk(offset, self.cell_allocated_size(offset))
+
+    def rebuild_free_list(self):
+        """Recompute the free list from the record offset array
+        (Section 4.3: gaps between live cells in the content area)."""
+        live = sorted(
+            (offset, self.cell_allocated_size(offset)) for offset in self.slots()
+        )
+        self._set_freelist_head(0)
+        cursor = self.content_start
+        for offset, size in live:
+            if offset > cursor:
+                self._write_chunk_sorted(cursor, offset - cursor)
+            cursor = max(cursor, offset + size)
+        if self.page_size > cursor:
+            self._write_chunk_sorted(cursor, self.page_size - cursor)
+
+    def free_list_consistent(self):
+        """Does the free list account for exactly the dead bytes of the
+        content area?  (The paper's lazy consistency check.)"""
+        live = sum(self.cell_allocated_size(offset) for offset in self.slots())
+        dead = (self.page_size - self.content_start) - live
+        chunk_total = sum(size for _, size in self.free_chunks())
+        return chunk_total == dead
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _cell_need(self, payload_len):
+        """Allocation size for a cell on this page (alignment-aware)."""
+        align = self.cell_align
+        raw = CELL_HEADER_SIZE + payload_len
+        return max(_MIN_CHUNK, (raw + align - 1) // align * align)
+
+    def _allocate_cell(self, payload):
+        """Write a cell for ``payload`` into free space; return offset."""
+        pending = self._pending
+        need = self._cell_need(len(payload))
+        max_payload = self.page_size - FIXED_HEADER_SIZE - SLOT_SIZE - CELL_HEADER_SIZE
+        if len(payload) > max_payload:
+            raise RecordTooLargeError(
+                "%d-byte record exceeds page capacity %d" % (len(payload), max_payload)
+            )
+        header_end = max(self.header_end(pending.nrecords + 1), self._floor)
+        # 1. first-fit from the free list (SQLite checks freeblocks
+        # before consuming the gap, which keeps content_start high and
+        # the offset array free to grow) — allowed only if the array
+        # still has room for one more slot.
+        if header_end <= pending.content_start:
+            chunk = self._pop_chunk(need)
+            if chunk is not None:
+                offset, allocated = chunk
+                self._write_cell(offset, payload, allocated)
+                return offset
+        # 2. contiguous free space between offset array and content area
+        if pending.content_start - need >= header_end:
+            offset = pending.content_start - need
+            pending.content_start = offset
+            self._write_cell(offset, payload, need)
+            return offset
+        if self.total_free() >= need + SLOT_SIZE:
+            raise PageFullError(
+                "no contiguous chunk for %d bytes" % need, needs_defrag=True
+            )
+        raise PageFullError("page full (%d bytes requested)" % need)
+
+    def _write_cell(self, offset, payload, allocated):
+        self.pm.write_u16(self.base + offset, len(payload))
+        self.pm.write_u16(self.base + offset + 2, allocated)
+        self.pm.write(self.base + offset + CELL_HEADER_SIZE, payload)
+
+    def _pop_chunk(self, need):
+        """First-fit allocation from the free list; splits remainders."""
+        prev = None
+        offset = self.freelist_head
+        guard = 0
+        while offset and guard < self.page_size:
+            guard += 1
+            size = self.pm.read_u16(self.base + offset)
+            nxt = self.pm.read_u16(self.base + offset + 2)
+            if size >= need:
+                remainder = size - need
+                if remainder >= _MIN_CHUNK:
+                    rem_off = offset + need
+                    self.pm.write_u16(self.base + rem_off, remainder)
+                    self.pm.write_u16(self.base + rem_off + 2, nxt)
+                    self._relink(prev, rem_off)
+                    return offset, need
+                self._relink(prev, nxt)
+                return offset, size  # remainder absorbed into the cell
+            prev = offset
+            offset = nxt
+        return None
+
+    def _push_chunk(self, offset, size):
+        self.pm.write_u16(self.base + offset, size)
+        self.pm.write_u16(self.base + offset + 2, self.freelist_head)
+        self._set_freelist_head(offset)
+
+    def _write_chunk_sorted(self, offset, size):
+        """Append a chunk during rebuild (called in ascending-offset
+        order, so pushing keeps the list reverse-sorted — fine)."""
+        self._push_chunk(offset, size)
+
+    def _relink(self, prev, target):
+        if prev is None:
+            self._set_freelist_head(target)
+        else:
+            self.pm.write_u16(self.base + prev + 2, target)
+
+    def _set_freelist_head(self, offset):
+        if self._pending is not None:
+            self._pending.freelist_head = offset
+        self.pm.write_u16(self.base + _OFF_FREELIST, offset)
+
+    def _decode(self, image):
+        offsets = [
+            int.from_bytes(image[i : i + SLOT_SIZE], "little")
+            for i in range(FIXED_HEADER_SIZE, len(image), SLOT_SIZE)
+        ]
+        return _PendingHeader(
+            page_type=image[_OFF_TYPE],
+            flags=image[_OFF_FLAGS],
+            content_start=int.from_bytes(image[4:6], "little"),
+            freelist_head=int.from_bytes(image[6:8], "little"),
+            offsets=offsets,
+        )
+
+    def _encode(self, header):
+        return encode_header(
+            header.page_type,
+            header.flags,
+            header.content_start,
+            header.freelist_head,
+            header.offsets,
+        )
+
+
+def encode_header(page_type, flags, content_start, freelist_head, offsets):
+    """Serialise a slot header (fixed 8 bytes + record offset array)."""
+    image = bytearray()
+    image.append(page_type)
+    image.append(flags)
+    image += len(offsets).to_bytes(2, "little")
+    image += content_start.to_bytes(2, "little")
+    image += freelist_head.to_bytes(2, "little")
+    for offset in offsets:
+        image += offset.to_bytes(2, "little")
+    return bytes(image)
+
+
+def _cell_size(payload_len):
+    """Nominal allocated size of a cell: 4-byte header + payload,
+    rounded up to keep u16 alignment (a cell that swallowed a chunk
+    remainder records its larger true size in its header)."""
+    return max(_MIN_CHUNK, (CELL_HEADER_SIZE + payload_len + 1) // 2 * 2)

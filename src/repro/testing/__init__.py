@@ -1,0 +1,28 @@
+"""Crash-consistency test harness.
+
+Runs workloads under systematic power-failure injection: the simulated
+machine is crashed after the N-th memory event for every (sampled) N,
+recovery is run, and the ACID invariants of paper Section 4.4 are
+checked — every committed transaction durable, the in-flight
+transaction all-or-nothing, and the B-tree structurally intact.
+"""
+
+from repro.testing.crashsim import (
+    AtomicityViolation,
+    CrashPoint,
+    CrashablePM,
+    CrashTestResult,
+    crash_points_in,
+    run_crash_sweep,
+    run_to_crash_point,
+)
+
+__all__ = [
+    "AtomicityViolation",
+    "CrashPoint",
+    "CrashTestResult",
+    "CrashablePM",
+    "crash_points_in",
+    "run_crash_sweep",
+    "run_to_crash_point",
+]

@@ -1,0 +1,270 @@
+"""Systematic crash injection for the storage engines.
+
+The harness runs a workload of single-operation transactions against
+an engine whose ``PersistentMemory`` is replaced by ``CrashablePM``,
+which raises ``CrashPoint`` after a chosen number of memory events
+(stores, flushes, fences).  At the crash point the volatile state is
+discarded under a ``CrashPolicy`` (any subset of unfenced atomic units
+may survive), recovery runs, and the recovered database is checked
+against the model:
+
+* **durability** — every transaction whose ``commit()`` returned must
+  be fully visible;
+* **atomicity** — the transaction in flight at the crash must be
+  either fully visible or fully invisible;
+* **integrity** — the B-tree passes structural verification.
+
+Sweeping the crash point across every memory event of a workload
+explores every writeback interleaving the hardware could produce —
+this is the executable form of the paper's Section 4.4 case analysis.
+"""
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core import SystemConfig, engine_class
+from repro.pm.crash import RandomPersist
+from repro.pm.memory import PersistentMemory
+
+
+class CrashPoint(Exception):
+    """Raised by ``CrashablePM`` when the event budget is exhausted."""
+
+
+class AtomicityViolation(AssertionError):
+    """The recovered state broke durability or atomicity."""
+
+
+class CrashablePM(PersistentMemory):
+    """A ``PersistentMemory`` that power-fails after N memory events.
+
+    Events are counted only while ``armed`` (so setup and recovery are
+    exempt) and never inside an RTM commit (the hardware applies those
+    stores indivisibly).
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.armed = False
+        self.budget = None
+        self.events = 0
+
+    def _tick(self):
+        if not self.armed or getattr(self, "rtm_commit_in_progress", False):
+            return
+        self.events += 1
+        if self.budget is not None and self.events >= self.budget:
+            self.armed = False
+            raise CrashPoint()
+
+    def write(self, addr, data):
+        self._tick()
+        super().write(addr, data)
+
+    def clflush(self, addr):
+        self._tick()
+        super().clflush(addr)
+
+    def sfence(self):
+        self._tick()
+        super().sfence()
+
+    mfence = sfence
+
+
+@dataclass
+class CrashTestResult:
+    """Outcome of one crash-and-recover run."""
+
+    crashed: bool
+    committed: dict
+    inflight: tuple
+    recovered: dict
+    violations: list = field(default_factory=list)
+
+    @property
+    def ok(self):
+        return not self.violations
+
+
+def _build_engine(config, scheme):
+    cls = engine_class(scheme)
+    pm = CrashablePM(
+        config.arena_bytes,
+        latency=config.latency,
+        cost=config.cost,
+        atomic_granularity=config.atomic_granularity,
+        cache_lines=config.cache_lines,
+    )
+    return cls.create(config, pm=pm), pm
+
+
+def _ops_of(item):
+    """A workload item is one op or a composite ("txn", [ops...])."""
+    if item[0] == "txn":
+        return list(item[1])
+    return [item]
+
+
+def _apply(model, item):
+    for kind, key, value in _ops_of(item):
+        if kind == "insert":
+            model[key] = value
+        elif kind == "delete":
+            model.pop(key, None)
+        else:
+            raise ValueError("unknown op %r" % (kind,))
+
+
+def _execute(txn, item):
+    for kind, key, value in _ops_of(item):
+        if kind == "insert":
+            txn.insert(key, value, replace=True)
+        else:
+            txn.delete(key)
+
+
+def run_to_crash_point(scheme, workload, budget, *, config=None, policy=None,
+                       seed=0):
+    """Run ``workload`` (a list of ``(op, key, value)`` single-op
+    transactions), crash after ``budget`` armed memory events, recover,
+    and validate.  ``budget=None`` runs to completion (baseline).
+
+    Returns a ``CrashTestResult``; ``result.violations`` lists every
+    broken invariant (empty = the scheme survived this crash point).
+    """
+    config = config or SystemConfig(
+        npages=128, page_size=512, log_bytes=16384,
+        heap_bytes=1 << 20, dram_bytes=64 * 512,
+    )
+    engine, pm = _build_engine(config, scheme)
+    committed = {}
+    inflight = ()
+    crashed = False
+    pm.budget = budget
+    pm.events = 0
+    pm.armed = True
+    try:
+        for op in workload:
+            inflight = op
+            txn = engine.transaction()
+            _execute(txn, op)
+            txn.commit()
+            _apply(committed, op)
+            inflight = ()
+    except CrashPoint:
+        crashed = True
+    finally:
+        pm.armed = False
+
+    if not crashed:
+        recovered = {k: v for k, v in engine.scan()}
+        result = CrashTestResult(False, committed, inflight, recovered)
+        _validate(engine, result, strict_inflight=False)
+        return result
+
+    pm.crash(policy or RandomPersist(rng=random.Random(seed)))
+    try:
+        engine = engine_class(scheme).attach(config, pm)
+        recovered = {k: v for k, v in engine.scan()}
+    except Exception as err:  # corruption can crash recovery itself
+        result = CrashTestResult(True, committed, inflight, {})
+        result.violations.append(
+            "recovery crashed: %s: %s" % (type(err).__name__, err)
+        )
+        return result
+    result = CrashTestResult(True, committed, inflight, recovered)
+    _validate(engine, result, strict_inflight=True)
+    return result
+
+
+def _validate(engine, result, *, strict_inflight):
+    """Exact-state validation: the recovered database must equal either
+    the committed model or committed-plus-the-whole-in-flight-
+    transaction — nothing else (durability + atomicity + no phantoms
+    in one comparison)."""
+    committed, inflight, recovered = (
+        result.committed, result.inflight, result.recovered,
+    )
+    try:
+        engine.verify()
+    except AssertionError as err:
+        result.violations.append("structure: %s" % err)
+
+    del strict_inflight
+    candidates = [committed]
+    if inflight:
+        with_inflight = dict(committed)
+        _apply(with_inflight, inflight)
+        candidates.append(with_inflight)
+    if any(recovered == candidate for candidate in candidates):
+        return result
+    # Build a readable diff against the closest candidate.
+    candidate = candidates[0]
+    for key, value in candidate.items():
+        if recovered.get(key) != value:
+            result.violations.append(
+                "durability: expected %r -> %r but recovered %r"
+                % (key, value, recovered.get(key))
+            )
+    allowed = set().union(*[set(c) for c in candidates])
+    for key in recovered:
+        if key not in allowed:
+            result.violations.append("phantom key %r after recovery" % key)
+    if not result.violations:
+        result.violations.append(
+            "atomicity: recovered state is a blend of the in-flight "
+            "transaction (neither fully applied nor fully absent)"
+        )
+    return result
+
+
+def crash_points_in(scheme, workload, *, config=None):
+    """Total armed memory events the workload generates (the sweep
+    range for exhaustive injection)."""
+    result_events = {}
+
+    config = config or SystemConfig(
+        npages=128, page_size=512, log_bytes=16384,
+        heap_bytes=1 << 20, dram_bytes=64 * 512,
+    )
+    engine, pm = _build_engine(config, scheme)
+    pm.budget = None
+    pm.events = 0
+    pm.armed = True
+    for op in workload:
+        txn = engine.transaction()
+        _execute(txn, op)
+        txn.commit()
+    pm.armed = False
+    result_events["total"] = pm.events
+    return pm.events
+
+
+def run_crash_sweep(scheme, workload, *, config=None, stride=1, seeds=(0, 1),
+                    policies=None, max_points=None):
+    """Crash the workload at every ``stride``-th memory event under
+    each policy/seed; returns the list of failing ``CrashTestResult``.
+
+    An empty return value is the theorem the paper argues in Section
+    4.4: no crash point and no writeback ordering breaks the scheme.
+    """
+    total = crash_points_in(scheme, workload, config=config)
+    budgets = list(range(1, total + 1, stride))
+    if max_points is not None and len(budgets) > max_points:
+        step = max(1, len(budgets) // max_points)
+        budgets = budgets[::step]
+    failures = []
+    for budget in budgets:
+        if policies is not None:
+            runs = [(None, policy) for policy in policies]
+        else:
+            runs = [(seed, None) for seed in seeds]
+        for seed, policy in runs:
+            result = run_to_crash_point(
+                scheme, workload, budget,
+                config=config, policy=policy, seed=seed or budget,
+            )
+            if not result.ok:
+                failures.append((budget, result))
+    return failures

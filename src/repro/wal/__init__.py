@@ -1,0 +1,16 @@
+"""Logging subsystems.
+
+* ``slot_header_log`` — the paper's Failure-Atomic Slot-Header redo log
+  (FAST, Section 3.3): per-page slot-header frames plus an 8-byte-atomic
+  commit mark, checkpointed eagerly.
+* ``nvwal`` — the NVWAL baseline's persistent write-ahead log:
+  differential frames allocated from a persistent heap, chained in PM,
+  indexed in DRAM, checkpointed lazily.
+* ``legacy`` — traditional rollback journaling and block-device WAL
+  (paper Section 2.1), used by the motivation experiment to reproduce
+  the write-amplification comparison.
+"""
+
+from repro.wal.slot_header_log import LogFullError, SlotHeaderLog
+
+__all__ = ["LogFullError", "SlotHeaderLog"]

@@ -1,0 +1,39 @@
+"""The ``python -m repro.bench`` command-line interface."""
+
+import subprocess
+import sys
+
+
+def run_cli(*args):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.bench", *args],
+        capture_output=True, text=True, timeout=600,
+    )
+
+
+def test_cli_generates_a_figure():
+    completed = run_cli("fig1", "--ops", "150")
+    assert completed.returncode == 0, completed.stderr[-1000:]
+    assert "Figure 1" in completed.stdout
+    assert "journaling" in completed.stdout
+    assert "generated in" in completed.stdout
+
+
+def test_cli_multiple_figures():
+    completed = run_cli("ablation_rtm", "ablation_checkpoint", "--ops", "150")
+    assert completed.returncode == 0, completed.stderr[-1000:]
+    assert "Ablation A3" in completed.stdout
+    assert "Ablation A2" in completed.stdout
+
+
+def test_cli_rejects_unknown_figure():
+    completed = run_cli("fig99")
+    assert completed.returncode != 0
+    assert "unknown figure" in completed.stderr
+
+
+def test_cli_lists_figures_in_help():
+    completed = run_cli("--help")
+    assert completed.returncode == 0
+    assert "fig6" in completed.stdout
+    assert "ablation_atomicity" in completed.stdout

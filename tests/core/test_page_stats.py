@@ -1,0 +1,38 @@
+"""Engine storage introspection."""
+
+import pytest
+
+from repro.core import open_engine
+from tests.core.conftest import small_config
+
+
+@pytest.mark.parametrize("scheme", ["fast", "fastplus", "nvwal"])
+def test_page_stats_shape(scheme):
+    engine = open_engine(small_config(scheme=scheme))
+    for i in range(200):
+        engine.insert(b"%04d" % i, b"x" * 24)
+    stats = engine.page_stats()
+    assert stats["pages_by_type"]["leaf"] >= 2
+    assert stats["reachable_pages"] >= 3
+    assert 0.2 < stats["fill_factor"] <= 1.0
+    assert stats["fragmented_bytes"] >= 0
+    assert stats["free_pages"] > 0
+
+
+def test_fragmentation_shows_and_vacuum_clears():
+    engine = open_engine(small_config(scheme="fast"))
+    for i in range(200):
+        engine.insert(b"%04d" % i, b"x" * 30)
+    for i in range(0, 200, 2):
+        engine.delete(b"%04d" % i)
+    fragmented_before = engine.page_stats()["fragmented_bytes"]
+    assert fragmented_before > 0
+    engine.compact()
+    assert engine.page_stats()["fragmented_bytes"] < fragmented_before / 2
+
+
+def test_overflow_pages_counted():
+    engine = open_engine(small_config(scheme="fastplus"))
+    engine.insert(b"big", b"z" * 3000)
+    stats = engine.page_stats()
+    assert stats["pages_by_type"].get("overflow", 0) >= 3

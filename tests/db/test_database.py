@@ -1,0 +1,339 @@
+"""End-to-end tests of the SQL database over every durable engine."""
+
+import pytest
+
+from repro.core import SystemConfig
+from repro.db import (
+    ConstraintError,
+    Database,
+    SchemaError,
+    SqlError,
+    TypeError_,
+)
+
+
+def small_config(scheme="fastplus", **overrides):
+    params = dict(
+        scheme=scheme, npages=512, page_size=1024, log_bytes=32768,
+        heap_bytes=1 << 21, dram_bytes=128 * 1024,
+    )
+    params.update(overrides)
+    return SystemConfig(**params)
+
+
+@pytest.fixture(params=["fast", "fastplus", "nvwal"])
+def db(request):
+    database = Database.open(small_config(scheme=request.param))
+    database.execute(
+        "CREATE TABLE users (id INTEGER PRIMARY KEY, name TEXT, age INTEGER)"
+    )
+    return database
+
+
+# ----------------------------------------------------------------------
+# DDL
+# ----------------------------------------------------------------------
+
+
+def test_create_and_list_tables(db):
+    db.execute("CREATE TABLE other (k TEXT PRIMARY KEY, v BLOB)")
+    assert db.tables() == ["other", "users"]
+
+
+def test_create_duplicate_rejected(db):
+    with pytest.raises(SchemaError):
+        db.execute("CREATE TABLE users (id INTEGER PRIMARY KEY)")
+
+
+def test_create_if_not_exists(db):
+    db.execute("CREATE TABLE IF NOT EXISTS users (id INTEGER PRIMARY KEY)")
+
+
+def test_drop_table(db):
+    db.execute("DROP TABLE users")
+    assert db.tables() == []
+    with pytest.raises(SchemaError):
+        db.query("SELECT * FROM users")
+
+
+def test_drop_if_exists_missing_ok(db):
+    db.execute("DROP TABLE IF EXISTS nothere")
+
+
+def test_table_requires_single_pk(db):
+    with pytest.raises(SchemaError):
+        db.execute("CREATE TABLE bad (a INTEGER, b TEXT)")
+    with pytest.raises(SchemaError):
+        db.execute(
+            "CREATE TABLE bad2 (a INTEGER PRIMARY KEY, b TEXT PRIMARY KEY)"
+        )
+
+
+# ----------------------------------------------------------------------
+# INSERT / SELECT
+# ----------------------------------------------------------------------
+
+
+def test_insert_and_point_select(db):
+    db.execute("INSERT INTO users VALUES (?, ?, ?)", (1, "ada", 36))
+    assert db.query("SELECT * FROM users WHERE id = 1") == [(1, "ada", 36)]
+
+
+def test_insert_partial_columns_null_fill(db):
+    db.execute("INSERT INTO users (id) VALUES (5)")
+    assert db.query("SELECT name, age FROM users WHERE id = 5") == [(None, None)]
+
+
+def test_multi_row_insert(db):
+    result = db.execute("INSERT INTO users VALUES (1, 'a', 1), (2, 'b', 2)")
+    assert result.rowcount == 2
+
+
+def test_duplicate_pk_rejected(db):
+    db.execute("INSERT INTO users VALUES (1, 'x', 0)")
+    with pytest.raises(ConstraintError):
+        db.execute("INSERT INTO users VALUES (1, 'y', 0)")
+    # the failed autocommit statement must not corrupt the table
+    assert db.query("SELECT name FROM users WHERE id = 1") == [("x",)]
+
+
+def test_insert_or_replace(db):
+    db.execute("INSERT INTO users VALUES (1, 'x', 0)")
+    db.execute("INSERT OR REPLACE INTO users VALUES (1, 'y', 9)")
+    assert db.query("SELECT name, age FROM users WHERE id = 1") == [("y", 9)]
+
+
+def test_null_pk_rejected(db):
+    with pytest.raises(ConstraintError):
+        db.execute("INSERT INTO users VALUES (NULL, 'x', 0)")
+
+
+def test_type_checking(db):
+    with pytest.raises(TypeError_):
+        db.execute("INSERT INTO users VALUES (1, 2, 3)")  # name not TEXT
+    with pytest.raises(TypeError_):
+        db.execute("INSERT INTO users VALUES ('x', 'y', 3)")  # id not INT
+
+
+def test_param_count_mismatch(db):
+    with pytest.raises(SqlError):
+        db.execute("INSERT INTO users VALUES (?, ?, ?)", (1,))
+
+
+def test_range_scan_uses_key_order(db):
+    for i in (5, 1, 9, 3, 7):
+        db.execute("INSERT INTO users VALUES (?, ?, ?)", (i, "u%d" % i, i * 10))
+    rows = db.query("SELECT id FROM users WHERE id BETWEEN 3 AND 7")
+    assert rows == [(3,), (5,), (7,)]
+
+
+def test_select_projection_and_expression(db):
+    db.execute("INSERT INTO users VALUES (1, 'ada', 36)")
+    assert db.query("SELECT age * 2 + 1 FROM users WHERE id = 1") == [(73,)]
+
+
+def test_select_order_by_non_key(db):
+    db.execute("INSERT INTO users VALUES (1, 'c', 3), (2, 'a', 1), (3, 'b', 2)")
+    rows = db.query("SELECT name FROM users ORDER BY name")
+    assert rows == [("a",), ("b",), ("c",)]
+
+
+def test_select_limit_offset(db):
+    for i in range(10):
+        db.execute("INSERT INTO users VALUES (?, 'n', 0)", (i,))
+    rows = db.query("SELECT id FROM users ORDER BY id LIMIT 3 OFFSET 4")
+    assert rows == [(4,), (5,), (6,)]
+
+
+def test_aggregates(db):
+    db.execute("INSERT INTO users VALUES (1, 'a', 10), (2, 'b', 20), (3, 'c', NULL)")
+    assert db.query("SELECT COUNT(*) FROM users") == [(3,)]
+    assert db.query("SELECT COUNT(age) FROM users") == [(2,)]
+    assert db.query("SELECT SUM(age), MIN(age), MAX(age) FROM users") == [(30, 10, 20)]
+    assert db.query("SELECT AVG(age) FROM users") == [(15.0,)]
+
+
+def test_aggregate_on_empty_table(db):
+    assert db.query("SELECT COUNT(*), SUM(age) FROM users") == [(0, None)]
+
+
+def test_is_null_predicates(db):
+    db.execute("INSERT INTO users VALUES (1, NULL, 5), (2, 'x', NULL)")
+    assert db.query("SELECT id FROM users WHERE name IS NULL") == [(1,)]
+    assert db.query("SELECT id FROM users WHERE age IS NOT NULL") == [(1,)]
+
+
+def test_comparison_with_null_never_matches(db):
+    db.execute("INSERT INTO users VALUES (1, 'x', NULL)")
+    assert db.query("SELECT id FROM users WHERE age = 5") == []
+    assert db.query("SELECT id FROM users WHERE age != 5") == []
+
+
+def test_unknown_column_rejected(db):
+    db.execute("INSERT INTO users VALUES (1, 'x', 1)")
+    with pytest.raises(SchemaError):
+        db.query("SELECT bogus FROM users")
+
+
+# ----------------------------------------------------------------------
+# UPDATE / DELETE
+# ----------------------------------------------------------------------
+
+
+def test_update_rows(db):
+    db.execute("INSERT INTO users VALUES (1, 'a', 10), (2, 'b', 20)")
+    result = db.execute("UPDATE users SET age = age + 5 WHERE age >= 10")
+    assert result.rowcount == 2
+    assert db.query("SELECT age FROM users ORDER BY id") == [(15,), (25,)]
+
+
+def test_update_primary_key_moves_row(db):
+    db.execute("INSERT INTO users VALUES (1, 'a', 10)")
+    db.execute("UPDATE users SET id = 99 WHERE id = 1")
+    assert db.query("SELECT id FROM users") == [(99,)]
+
+
+def test_update_pk_conflict_rejected(db):
+    db.execute("INSERT INTO users VALUES (1, 'a', 0), (2, 'b', 0)")
+    with pytest.raises(ConstraintError):
+        db.execute("UPDATE users SET id = 2 WHERE id = 1")
+
+
+def test_delete_with_predicate(db):
+    db.execute("INSERT INTO users VALUES (1, 'a', 10), (2, 'b', 20), (3, 'c', 30)")
+    assert db.execute("DELETE FROM users WHERE age > 15").rowcount == 2
+    assert db.query("SELECT id FROM users") == [(1,)]
+
+
+def test_delete_all(db):
+    db.execute("INSERT INTO users VALUES (1, 'a', 1)")
+    db.execute("DELETE FROM users")
+    assert db.query("SELECT COUNT(*) FROM users") == [(0,)]
+
+
+# ----------------------------------------------------------------------
+# Transactions
+# ----------------------------------------------------------------------
+
+
+def test_explicit_transaction_commit(db):
+    db.execute("BEGIN")
+    db.execute("INSERT INTO users VALUES (1, 'a', 1)")
+    db.execute("INSERT INTO users VALUES (2, 'b', 2)")
+    db.execute("COMMIT")
+    assert db.query("SELECT COUNT(*) FROM users") == [(2,)]
+
+
+def test_explicit_transaction_rollback(db):
+    db.execute("INSERT INTO users VALUES (1, 'keep', 1)")
+    db.execute("BEGIN")
+    db.execute("INSERT INTO users VALUES (2, 'drop', 2)")
+    db.execute("ROLLBACK")
+    assert db.query("SELECT name FROM users") == [("keep",)]
+
+
+def test_transaction_sees_own_writes(db):
+    db.execute("BEGIN")
+    db.execute("INSERT INTO users VALUES (1, 'mine', 1)")
+    assert db.query("SELECT name FROM users WHERE id = 1") == [("mine",)]
+    db.execute("COMMIT")
+
+
+def test_ddl_rolls_back(db):
+    db.execute("BEGIN")
+    db.execute("CREATE TABLE temp (k INTEGER PRIMARY KEY)")
+    db.execute("ROLLBACK")
+    assert "temp" not in db.tables()
+
+
+def test_nested_begin_rejected(db):
+    db.execute("BEGIN")
+    with pytest.raises(SqlError):
+        db.execute("BEGIN")
+    db.execute("ROLLBACK")
+
+
+def test_stray_commit_rejected(db):
+    with pytest.raises(SqlError):
+        db.execute("COMMIT")
+
+
+def test_close_rolls_back_open_transaction(db):
+    db.execute("BEGIN")
+    db.execute("INSERT INTO users VALUES (1, 'x', 1)")
+    db.close()
+    assert db.query("SELECT COUNT(*) FROM users") == [(0,)]
+
+
+# ----------------------------------------------------------------------
+# Scale + misc
+# ----------------------------------------------------------------------
+
+
+def test_thousand_rows_round_trip(db):
+    for i in range(1000):
+        db.execute("INSERT INTO users VALUES (?, ?, ?)", (i, "user%04d" % i, i % 90))
+    assert db.query("SELECT COUNT(*) FROM users") == [(1000,)]
+    assert db.query("SELECT name FROM users WHERE id = 567") == [("user0567",)]
+    assert db.engine.verify(root_slot=db.catalog.get("users").root_slot) == 1000
+
+
+def test_text_primary_key(db):
+    db.execute("CREATE TABLE kv (k TEXT PRIMARY KEY, v TEXT)")
+    db.execute("INSERT INTO kv VALUES ('banana', 'y'), ('apple', 'x')")
+    assert db.query("SELECT k FROM kv") == [("apple",), ("banana",)]
+
+
+def test_real_primary_key_with_int_literal(db):
+    db.execute("CREATE TABLE m (t REAL PRIMARY KEY, v INTEGER)")
+    db.execute("INSERT INTO m VALUES (3, 1)")  # coerced to 3.0
+    assert db.query("SELECT v FROM m WHERE t = 3.0") == [(1,)]
+
+
+def test_blob_values(db):
+    db.execute("CREATE TABLE b (id INTEGER PRIMARY KEY, payload BLOB)")
+    db.execute("INSERT INTO b VALUES (1, x'00FF10')")
+    assert db.query("SELECT payload FROM b") == [(bytes.fromhex("00FF10"),)]
+
+
+def test_statement_cache_mode():
+    db = Database.open(small_config(), cache_statements=True)
+    db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+    db.execute("INSERT INTO t VALUES (?)", (1,))
+    db.execute("INSERT INTO t VALUES (?)", (2,))
+    assert db.query("SELECT COUNT(*) FROM t") == [(2,)]
+
+
+def test_executemany(db):
+    inserted = db.executemany(
+        "INSERT INTO users VALUES (?, ?, ?)",
+        [(i, "u", 0) for i in range(20)],
+    )
+    assert inserted == 20
+
+
+def test_sql_time_is_charged(db):
+    before = db.clock.elapsed("sql")
+    db.execute("INSERT INTO users VALUES (1, 'x', 1)")
+    assert db.clock.elapsed("sql") > before
+
+
+# ----------------------------------------------------------------------
+# Crash recovery through the SQL layer
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("scheme", ["fast", "fastplus", "nvwal"])
+def test_sql_database_survives_crash(scheme):
+    config = small_config(scheme=scheme)
+    db = Database.open(config)
+    db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+    for i in range(50):
+        db.execute("INSERT INTO t VALUES (?, ?)", (i, "v%d" % i))
+    pm = db.engine.pm
+    pm.crash()
+    recovered = Database.open(config, pm=pm)
+    assert recovered.query("SELECT COUNT(*) FROM t") == [(50,)]
+    assert recovered.query("SELECT v FROM t WHERE id = 33") == [("v33",)]
+    recovered.execute("INSERT INTO t VALUES (50, 'after')")
+    assert recovered.query("SELECT COUNT(*) FROM t") == [(51,)]

@@ -1,0 +1,274 @@
+"""Secondary indexes: DDL, maintenance, planner use, recovery."""
+
+import sqlite3
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SystemConfig
+from repro.db import Database, SchemaError
+from repro.db.records import (
+    composite_lower_bound,
+    composite_prefix_range,
+    composite_upper_bound,
+    decode_composite,
+    encode_composite,
+    encode_key,
+)
+
+
+def make_db(**overrides):
+    params = dict(
+        scheme="fastplus", npages=1024, page_size=1024,
+        log_bytes=32768, heap_bytes=1 << 21, dram_bytes=128 * 1024,
+    )
+    params.update(overrides)
+    return Database.open(SystemConfig(**params))
+
+
+@pytest.fixture
+def db():
+    database = make_db()
+    database.execute(
+        "CREATE TABLE emp (id INTEGER PRIMARY KEY, dept TEXT, salary INTEGER)"
+    )
+    for i in range(60):
+        database.execute(
+            "INSERT INTO emp VALUES (?, ?, ?)", (i, "d%d" % (i % 5), 1000 + i)
+        )
+    return database
+
+
+# ----------------------------------------------------------------------
+# Composite key encoding
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    a=st.tuples(st.text(max_size=12), st.integers(-1000, 1000)),
+    b=st.tuples(st.text(max_size=12), st.integers(-1000, 1000)),
+)
+def test_composite_order_matches_tuple_order(a, b):
+    assert (encode_composite(a) < encode_composite(b)) == (a < b)
+
+
+@settings(max_examples=50, deadline=None)
+@given(parts=st.lists(
+    st.one_of(st.none(), st.integers(-(2**40), 2**40),
+              st.text(max_size=15), st.binary(max_size=15)),
+    min_size=1, max_size=3,
+))
+def test_composite_round_trip(parts):
+    decoded = decode_composite(encode_composite(parts))
+    assert decoded == [encode_key(p) for p in parts]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    value=st.text(max_size=10),
+    other=st.text(max_size=10),
+    pk=st.integers(0, 1000),
+)
+def test_prefix_range_covers_exactly_matching_firsts(value, other, pk):
+    lo, hi = composite_prefix_range([value])
+    key = encode_composite([other, pk])
+    assert (lo <= key <= hi) == (other == value)
+
+
+@settings(max_examples=60, deadline=None)
+@given(bound=st.integers(-100, 100), first=st.integers(-100, 100),
+       pk=st.integers(0, 50))
+def test_lower_and_upper_bounds(bound, first, pk):
+    key = encode_composite([first, pk])
+    assert (key >= composite_lower_bound(bound)) == (first >= bound)
+    assert (key <= composite_upper_bound(bound)) == (first <= bound)
+
+
+# ----------------------------------------------------------------------
+# DDL + maintenance
+# ----------------------------------------------------------------------
+
+
+def test_create_index_backfills(db):
+    db.execute("CREATE INDEX by_dept ON emp (dept)")
+    assert db.query("SELECT COUNT(*) FROM emp WHERE dept = 'd3'") == [(12,)]
+
+
+def test_index_maintained_by_insert(db):
+    db.execute("CREATE INDEX by_dept ON emp (dept)")
+    db.execute("INSERT INTO emp VALUES (100, 'd3', 1)")
+    assert db.query("SELECT COUNT(*) FROM emp WHERE dept = 'd3'") == [(13,)]
+
+
+def test_index_maintained_by_update(db):
+    db.execute("CREATE INDEX by_dept ON emp (dept)")
+    db.execute("UPDATE emp SET dept = 'moved' WHERE id = 7")
+    assert db.query("SELECT id FROM emp WHERE dept = 'moved'") == [(7,)]
+    assert db.query("SELECT COUNT(*) FROM emp WHERE dept = 'd2'") == [(11,)]
+
+
+def test_index_maintained_by_delete(db):
+    db.execute("CREATE INDEX by_dept ON emp (dept)")
+    db.execute("DELETE FROM emp WHERE dept = 'd1'")
+    assert db.query("SELECT COUNT(*) FROM emp WHERE dept = 'd1'") == [(0,)]
+    assert db.query("SELECT COUNT(*) FROM emp") == [(48,)]
+
+
+def test_index_maintained_by_insert_or_replace(db):
+    db.execute("CREATE INDEX by_dept ON emp (dept)")
+    db.execute("INSERT OR REPLACE INTO emp VALUES (3, 'replaced', 1)")
+    assert db.query("SELECT id FROM emp WHERE dept = 'replaced'") == [(3,)]
+    # The stale entry for the old dept of row 3 is gone.
+    assert db.query("SELECT COUNT(*) FROM emp WHERE dept = 'd3'") == [(11,)]
+
+
+def test_index_range_queries(db):
+    db.execute("CREATE INDEX by_salary ON emp (salary)")
+    rows = db.query(
+        "SELECT id FROM emp WHERE salary >= 1055 AND salary <= 1058 ORDER BY id"
+    )
+    assert rows == [(55,), (56,), (57,), (58,)]
+
+
+def test_duplicate_index_name_rejected(db):
+    db.execute("CREATE INDEX by_dept ON emp (dept)")
+    with pytest.raises(SchemaError):
+        db.execute("CREATE INDEX by_dept ON emp (salary)")
+    db.execute("CREATE INDEX IF NOT EXISTS by_dept ON emp (dept)")
+
+
+def test_index_on_missing_column_rejected(db):
+    with pytest.raises(SchemaError):
+        db.execute("CREATE INDEX bad ON emp (nope)")
+
+
+def test_drop_index(db):
+    db.execute("CREATE INDEX by_dept ON emp (dept)")
+    db.execute("DROP INDEX by_dept")
+    assert db.query("SELECT COUNT(*) FROM emp WHERE dept = 'd0'") == [(12,)]
+    db.execute("DROP INDEX IF EXISTS by_dept")
+    with pytest.raises(SchemaError):
+        db.execute("DROP INDEX by_dept")
+
+
+def test_drop_table_drops_its_indexes(db):
+    db.execute("CREATE INDEX by_dept ON emp (dept)")
+    db.execute("DROP TABLE emp")
+    assert db.catalog.indexes() == {}
+
+
+def test_index_ddl_rolls_back(db):
+    db.execute("BEGIN")
+    db.execute("CREATE INDEX temp_idx ON emp (dept)")
+    db.execute("ROLLBACK")
+    assert "temp_idx" not in db.catalog.indexes()
+    assert db.query("SELECT COUNT(*) FROM emp WHERE dept = 'd0'") == [(12,)]
+
+
+def test_indexed_nulls(db):
+    db.execute("CREATE INDEX by_dept ON emp (dept)")
+    db.execute("INSERT INTO emp (id, salary) VALUES (200, 5)")
+    assert db.query("SELECT id FROM emp WHERE dept IS NULL") == [(200,)]
+    db.execute("DELETE FROM emp WHERE id = 200")
+    assert db.query("SELECT COUNT(*) FROM emp") == [(60,)]
+
+
+# ----------------------------------------------------------------------
+# The planner actually uses the index
+# ----------------------------------------------------------------------
+
+
+def test_index_lookup_is_cheaper_than_full_scan():
+    plain = make_db()
+    indexed = make_db()
+    for database in (plain, indexed):
+        database.execute(
+            "CREATE TABLE t (id INTEGER PRIMARY KEY, tag TEXT, v INTEGER)"
+        )
+        for i in range(400):
+            database.execute(
+                "INSERT INTO t VALUES (?, ?, ?)", (i, "tag%03d" % i, i)
+            )
+    indexed.execute("CREATE INDEX by_tag ON t (tag)")
+    def cost(database):
+        before = database.clock.now_ns
+        result = database.query("SELECT v FROM t WHERE tag = 'tag123'")
+        assert result == [(123,)]
+        return database.clock.now_ns - before
+    assert cost(indexed) < 0.5 * cost(plain)
+
+
+# ----------------------------------------------------------------------
+# Crash recovery keeps table and index consistent
+# ----------------------------------------------------------------------
+
+
+def test_index_survives_crash():
+    config = SystemConfig(
+        scheme="fast", npages=1024, page_size=1024,
+        log_bytes=32768, heap_bytes=1 << 21, dram_bytes=128 * 1024,
+    )
+    db = Database.open(config)
+    db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, tag TEXT)")
+    db.execute("CREATE INDEX by_tag ON t (tag)")
+    for i in range(50):
+        db.execute("INSERT INTO t VALUES (?, ?)", (i, "g%d" % (i % 3)))
+    pm = db.engine.pm
+    pm.crash()
+    recovered = Database.open(config, pm=pm)
+    assert recovered.query("SELECT COUNT(*) FROM t WHERE tag = 'g1'") == [(17,)]
+    recovered.execute("INSERT INTO t VALUES (50, 'g1')")
+    assert recovered.query("SELECT COUNT(*) FROM t WHERE tag = 'g1'") == [(18,)]
+
+
+# ----------------------------------------------------------------------
+# Differential: indexed queries match SQLite exactly
+# ----------------------------------------------------------------------
+
+
+def test_indexed_results_match_sqlite():
+    ours = make_db()
+    theirs = sqlite3.connect(":memory:")
+    schema = "CREATE TABLE t (id INTEGER PRIMARY KEY, tag TEXT, v INTEGER)"
+    ours.execute(schema)
+    theirs.execute(schema)
+    for sql in ("CREATE INDEX by_tag ON t (tag)",
+                "CREATE INDEX by_v ON t (v)"):
+        ours.execute(sql)
+        theirs.execute(sql)
+    for i in range(80):
+        params = (i, "tag%d" % (i % 7), i * 3 % 50)
+        ours.execute("INSERT INTO t VALUES (?, ?, ?)", params)
+        theirs.execute("INSERT INTO t VALUES (?, ?, ?)", params)
+    for sql in (
+        "SELECT id FROM t WHERE tag = 'tag3' ORDER BY id",
+        "SELECT id FROM t WHERE v >= 10 AND v < 20 ORDER BY id",
+        "SELECT COUNT(*) FROM t WHERE tag = 'tag5'",
+        "SELECT id FROM t WHERE tag = 'tag1' AND v > 25 ORDER BY id",
+    ):
+        assert ours.execute(sql).rows == theirs.execute(sql).fetchall(), sql
+
+
+def test_group_by_matches_sqlite():
+    ours = make_db()
+    theirs = sqlite3.connect(":memory:")
+    schema = "CREATE TABLE s (id INTEGER PRIMARY KEY, g TEXT, x INTEGER)"
+    ours.execute(schema)
+    theirs.execute(schema)
+    rows = [(i, "g%d" % (i % 4), i * 7 % 30) for i in range(40)]
+    rows.append((99, None, None))
+    for params in rows:
+        ours.execute("INSERT INTO s VALUES (?, ?, ?)", params)
+        theirs.execute("INSERT INTO s VALUES (?, ?, ?)", params)
+    for sql in (
+        "SELECT g, COUNT(*) FROM s GROUP BY g ORDER BY g",
+        "SELECT g, SUM(x), MIN(x), MAX(x) FROM s GROUP BY g ORDER BY g",
+        "SELECT g, AVG(x) FROM s GROUP BY g ORDER BY g",
+        "SELECT g, COUNT(*) FROM s GROUP BY g HAVING COUNT(*) > 5 ORDER BY g",
+        "SELECT g, COUNT(x) FROM s WHERE x > 3 GROUP BY g ORDER BY g",
+        "SELECT g, COUNT(*) FROM s GROUP BY g ORDER BY g DESC",
+        "SELECT g, COUNT(*) FROM s GROUP BY g HAVING SUM(x) >= 50 ORDER BY g",
+    ):
+        assert ours.execute(sql).rows == theirs.execute(sql).fetchall(), sql

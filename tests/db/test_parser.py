@@ -1,0 +1,289 @@
+"""Unit tests for the SQL lexer and parser."""
+
+import pytest
+
+from repro.db.errors import ParseError
+from repro.db.sql import ast
+from repro.db.sql.lexer import tokenize
+from repro.db.sql.parser import parse
+
+
+# ----------------------------------------------------------------------
+# Lexer
+# ----------------------------------------------------------------------
+
+
+def kinds(sql):
+    return [t.kind for t in tokenize(sql)[:-1]]
+
+
+def test_tokenize_kinds():
+    assert kinds("SELECT a FROM t WHERE x = 1.5") == [
+        "KEYWORD", "IDENT", "KEYWORD", "IDENT", "KEYWORD",
+        "IDENT", "OP", "FLOAT",
+    ]
+
+
+def test_string_literal_with_escape():
+    tokens = tokenize("'it''s'")
+    assert tokens[0].value == "it's"
+
+
+def test_blob_literal():
+    tokens = tokenize("x'DEADBEEF'")
+    assert tokens[0].kind == "BLOB"
+    assert tokens[0].value == bytes.fromhex("DEADBEEF")
+
+
+def test_quoted_identifier():
+    tokens = tokenize('"Select"')
+    assert tokens[0].kind == "IDENT"
+    assert tokens[0].value == "Select"
+
+
+def test_comments_skipped():
+    assert kinds("SELECT -- comment\n 1") == ["KEYWORD", "INT"]
+
+
+def test_number_forms():
+    values = [t.value for t in tokenize("1 2.5 .5 1e3 1.5E-2")[:-1]]
+    assert values == [1, 2.5, 0.5, 1000.0, 0.015]
+
+
+def test_unterminated_string_raises():
+    with pytest.raises(ParseError):
+        tokenize("'oops")
+
+
+def test_bad_character_raises():
+    with pytest.raises(ParseError):
+        tokenize("SELECT @")
+
+
+def test_keywords_case_insensitive():
+    assert tokenize("select")[0].value == "SELECT"
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+
+
+def node(sql):
+    return parse(sql).node
+
+
+def test_parse_create_table():
+    stmt = node("CREATE TABLE t (id INTEGER PRIMARY KEY, name TEXT, w REAL)")
+    assert isinstance(stmt, ast.CreateTable)
+    assert stmt.name == "t"
+    assert [c.name for c in stmt.columns] == ["id", "name", "w"]
+    assert stmt.columns[0].primary_key
+    assert not stmt.columns[1].primary_key
+
+
+def test_parse_create_if_not_exists():
+    stmt = node("CREATE TABLE IF NOT EXISTS t (id INTEGER PRIMARY KEY)")
+    assert stmt.if_not_exists
+
+
+def test_parse_drop():
+    assert node("DROP TABLE t").name == "t"
+    assert node("DROP TABLE IF EXISTS t").if_exists
+
+
+def test_parse_insert_values():
+    stmt = node("INSERT INTO t VALUES (1, 'a'), (2, 'b')")
+    assert isinstance(stmt, ast.Insert)
+    assert len(stmt.rows) == 2
+    assert stmt.columns is None
+
+
+def test_parse_insert_with_columns_and_params():
+    stmt = parse("INSERT INTO t (id, name) VALUES (?, ?)")
+    assert stmt.node.columns == ("id", "name")
+    assert stmt.param_count == 2
+
+
+def test_parse_insert_or_replace():
+    assert node("INSERT OR REPLACE INTO t VALUES (1)").replace
+
+
+def test_parse_select_star():
+    stmt = node("SELECT * FROM t")
+    assert stmt.items == (("*", None),)
+    assert stmt.where is None
+
+
+def test_parse_select_where_order_limit():
+    stmt = node(
+        "SELECT a, b AS bee FROM t WHERE a >= 5 AND b < 9 "
+        "ORDER BY a DESC LIMIT 10 OFFSET 2"
+    )
+    assert stmt.order_by == (ast.OrderBy("a", True),)
+    assert isinstance(stmt.limit, ast.Literal)
+    assert isinstance(stmt.offset, ast.Literal)
+    assert stmt.items[1][1] == "bee"
+
+
+def test_parse_aggregates():
+    stmt = node("SELECT COUNT(*), MAX(age) FROM t")
+    assert stmt.items[0][0] == ast.Aggregate("COUNT", None)
+    assert stmt.items[1][0] == ast.Aggregate("MAX", ast.ColumnRef("age"))
+
+
+def test_parse_update():
+    stmt = node("UPDATE t SET a = a + 1, b = 'x' WHERE id = 3")
+    assert isinstance(stmt, ast.Update)
+    assert stmt.assignments[0][0] == "a"
+
+
+def test_parse_delete():
+    stmt = node("DELETE FROM t WHERE id BETWEEN 1 AND 5")
+    assert isinstance(stmt.where, ast.Between)
+
+
+def test_parse_txn_statements():
+    assert isinstance(node("BEGIN"), ast.Begin)
+    assert isinstance(node("BEGIN TRANSACTION"), ast.Begin)
+    assert isinstance(node("COMMIT"), ast.Commit)
+    assert isinstance(node("ROLLBACK"), ast.Rollback)
+
+
+def test_expression_precedence():
+    stmt = node("SELECT a FROM t WHERE a = 1 OR b = 2 AND c = 3")
+    assert stmt.where.op == "OR"
+    assert stmt.where.right.op == "AND"
+
+
+def test_arithmetic_precedence():
+    stmt = node("SELECT a FROM t WHERE a = 1 + 2 * 3")
+    plus = stmt.where.right
+    assert plus.op == "+"
+    assert plus.right.op == "*"
+
+
+def test_is_null_and_not_between():
+    where = node("SELECT a FROM t WHERE a IS NOT NULL").where
+    assert isinstance(where, ast.IsNull) and where.negated
+    where = node("SELECT a FROM t WHERE a NOT BETWEEN 1 AND 2").where
+    assert isinstance(where, ast.Between) and where.negated
+
+
+def test_parenthesised_expression():
+    where = node("SELECT a FROM t WHERE (a = 1 OR a = 2) AND b = 3").where
+    assert where.op == "AND"
+    assert where.left.op == "OR"
+
+
+def test_trailing_semicolon_ok():
+    node("SELECT * FROM t;")
+
+
+def test_errors():
+    for bad in (
+        "SELECT",                       # incomplete
+        "CREATE TABLE t",               # missing columns
+        "INSERT t VALUES (1)",          # missing INTO
+        "SELECT * FROM t WHERE",        # dangling WHERE
+        "UPDATE t SET",                 # dangling SET
+        "SELECT * FROM t alias 42",     # trailing after alias
+        "SELECT SUM(*) FROM t",         # SUM(*) invalid
+        "FROB x",                       # unknown statement
+    ):
+        with pytest.raises(ParseError):
+            parse(bad)
+
+
+def test_param_count_tracked():
+    assert parse("SELECT * FROM t WHERE a = ? AND b = ?").param_count == 2
+
+
+def test_parse_create_index():
+    stmt = node("CREATE INDEX by_dept ON emp (dept)")
+    assert isinstance(stmt, ast.CreateIndex)
+    assert (stmt.name, stmt.table, stmt.columns) == ("by_dept", "emp", ("dept",))
+    assert not stmt.if_not_exists
+    assert node("CREATE INDEX IF NOT EXISTS i ON t (c)").if_not_exists
+
+
+def test_parse_create_multicolumn_index():
+    stmt = node("CREATE INDEX ix ON t (a, b, c)")
+    assert stmt.columns == ("a", "b", "c")
+
+
+def test_parse_like_in_functions():
+    where = node("SELECT a FROM t WHERE a LIKE 'x%'").where
+    assert isinstance(where, ast.Like) and not where.negated
+    where = node("SELECT a FROM t WHERE a NOT LIKE 'x%'").where
+    assert where.negated
+    where = node("SELECT a FROM t WHERE a IN (1, 2, 3)").where
+    assert isinstance(where, ast.InList) and len(where.options) == 3
+    where = node("SELECT a FROM t WHERE a NOT IN (1)").where
+    assert where.negated
+    expr = node("SELECT LENGTH(a), COALESCE(b, 0) FROM t").items
+    assert expr[0][0] == ast.FuncCall("LENGTH", (ast.ColumnRef("a"),))
+    assert expr[1][0].name == "COALESCE"
+
+
+def test_parse_unknown_function_rejected():
+    with pytest.raises(ParseError):
+        parse("SELECT FROBNICATE(a) FROM t")
+
+
+def test_parse_drop_index():
+    stmt = node("DROP INDEX by_dept")
+    assert isinstance(stmt, ast.DropIndex)
+    assert node("DROP INDEX IF EXISTS by_dept").if_exists
+
+
+def test_parse_group_by():
+    stmt = node("SELECT g, COUNT(*) FROM t GROUP BY g")
+    assert stmt.group_by == "g"
+    assert stmt.having is None
+
+
+def test_parse_group_by_having_order():
+    stmt = node(
+        "SELECT g, SUM(x) FROM t WHERE x > 0 GROUP BY g "
+        "HAVING COUNT(*) > 2 ORDER BY g DESC LIMIT 3"
+    )
+    assert stmt.group_by == "g"
+    assert stmt.having is not None
+    assert stmt.order_by[0].descending
+    assert stmt.limit is not None
+
+
+def test_parse_join():
+    stmt = node(
+        "SELECT e.name FROM emp e JOIN dept AS d ON e.dept_id = d.id "
+        "ORDER BY e.id DESC, d.id"
+    )
+    assert stmt.table_alias == "e"
+    assert stmt.join.table == "dept"
+    assert stmt.join.alias == "d"
+    assert isinstance(stmt.join.on, ast.Binary)
+    assert stmt.order_by[0] == ast.OrderBy("e.id", True)
+    assert stmt.order_by[1] == ast.OrderBy("d.id", False)
+
+
+def test_parse_qualified_column_refs():
+    where = node("SELECT a FROM t WHERE t.a = 1").where
+    assert where.left == ast.ColumnRef("a", table="t")
+
+
+def test_parse_create_index_errors():
+    for bad in ("CREATE INDEX ON t (c)", "CREATE INDEX i ON t",
+                "CREATE INDEX i t (c)", "DROP INDEX"):
+        with pytest.raises(ParseError):
+            parse(bad)
+
+
+def test_parse_vacuum_and_savepoints():
+    assert isinstance(node("VACUUM"), ast.Vacuum)
+    assert node("SAVEPOINT sp").name == "sp"
+    assert node("RELEASE SAVEPOINT sp").name == "sp"
+    assert node("RELEASE sp").name == "sp"
+    assert isinstance(node("ROLLBACK TO sp"), ast.RollbackTo)
+    assert isinstance(node("ROLLBACK TO SAVEPOINT sp"), ast.RollbackTo)
+    assert isinstance(node("ROLLBACK"), ast.Rollback)

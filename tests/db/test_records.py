@@ -1,0 +1,109 @@
+"""Unit and property tests for row/key serialisation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.errors import TypeError_
+from repro.db.records import (
+    decode_key,
+    decode_row,
+    encode_key,
+    encode_row,
+    read_varint,
+    write_varint,
+)
+
+sql_value = st.one_of(
+    st.none(),
+    st.integers(min_value=-(2**63), max_value=2**63 - 1),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=40),
+    st.binary(max_size=40),
+)
+
+
+def test_varint_round_trip():
+    for value in (0, 1, 127, 128, 300, 1 << 20, 1 << 40):
+        out = bytearray()
+        write_varint(value, out)
+        decoded, pos = read_varint(bytes(out), 0)
+        assert decoded == value
+        assert pos == len(out)
+
+
+def test_row_round_trip_basic():
+    row = (1, "text", 3.5, b"\x00\x01", None)
+    assert decode_row(encode_row(row)) == row
+
+
+def test_empty_row():
+    assert decode_row(encode_row(())) == ()
+
+
+def test_bool_rejected():
+    with pytest.raises(TypeError_):
+        encode_row((True,))
+    with pytest.raises(TypeError_):
+        encode_key(False)
+
+
+def test_unsupported_type_rejected():
+    with pytest.raises(TypeError_):
+        encode_row(({},))
+
+
+@settings(max_examples=100, deadline=None)
+@given(row=st.lists(sql_value, max_size=8))
+def test_row_round_trip_property(row):
+    assert decode_row(encode_row(tuple(row))) == tuple(row)
+
+
+# ----------------------------------------------------------------------
+# Key encoding: order preservation
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    a=st.integers(min_value=-(2**62), max_value=2**62),
+    b=st.integers(min_value=-(2**62), max_value=2**62),
+)
+def test_int_keys_preserve_order(a, b):
+    assert (encode_key(a) < encode_key(b)) == (a < b)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    a=st.floats(allow_nan=False, allow_infinity=False),
+    b=st.floats(allow_nan=False, allow_infinity=False),
+)
+def test_float_keys_preserve_order(a, b):
+    assert (encode_key(a) < encode_key(b)) == (a < b)
+
+
+@settings(max_examples=100, deadline=None)
+@given(a=st.text(max_size=30), b=st.text(max_size=30))
+def test_text_keys_preserve_order(a, b):
+    assert (encode_key(a) < encode_key(b)) == (a < b)
+
+
+@settings(max_examples=60, deadline=None)
+@given(value=st.one_of(
+    st.integers(min_value=-(2**62), max_value=2**62),
+    st.text(max_size=30),
+    st.binary(max_size=30),
+))
+def test_key_round_trip(value):
+    assert decode_key(encode_key(value)) == value
+
+
+def test_float_key_round_trip():
+    for value in (0.0, 1.5, -1.5, 1e300, -1e300, 1e-300):
+        assert decode_key(encode_key(value)) == value
+
+
+def test_key_types_are_disjoint():
+    # Different types never collide byte-wise (distinct tags).
+    assert encode_key(1)[0] != encode_key(1.0)[0]
+    assert encode_key("1")[0] != encode_key(b"1")[0]

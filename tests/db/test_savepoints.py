@@ -1,0 +1,205 @@
+"""Savepoints: partial rollback inside a transaction (engine + SQL),
+verified against SQLite where the surface overlaps."""
+
+import sqlite3
+
+import pytest
+
+from repro.core import SystemConfig, TransactionError, open_engine
+from repro.db import Database, SqlError
+from tests.core.conftest import small_config
+
+
+@pytest.fixture(params=["fast", "fastplus", "nvwal"])
+def engine(request):
+    return open_engine(small_config(scheme=request.param))
+
+
+# ----------------------------------------------------------------------
+# Engine level
+# ----------------------------------------------------------------------
+
+
+def test_rollback_to_discards_later_writes(engine):
+    with engine.transaction() as txn:
+        txn.insert(b"before", b"1")
+        token = txn.savepoint()
+        txn.insert(b"after", b"2")
+        assert txn.search(b"after") == b"2"
+        txn.rollback_to(token)
+        assert txn.search(b"after") is None
+        assert txn.search(b"before") == b"1"
+    assert engine.search(b"before") == b"1"
+    assert engine.search(b"after") is None
+    assert engine.verify() == 1
+
+
+def test_rollback_to_is_resumable(engine):
+    with engine.transaction() as txn:
+        token = txn.savepoint()
+        txn.insert(b"a", b"1")
+        txn.rollback_to(token)
+        txn.insert(b"b", b"2")   # keep working after partial rollback
+    assert engine.search(b"a") is None
+    assert engine.search(b"b") == b"2"
+
+
+def test_nested_savepoints(engine):
+    with engine.transaction() as txn:
+        txn.insert(b"k0", b"0")
+        outer = txn.savepoint()
+        txn.insert(b"k1", b"1")
+        inner = txn.savepoint()
+        txn.insert(b"k2", b"2")
+        txn.rollback_to(inner)
+        assert txn.search(b"k2") is None
+        assert txn.search(b"k1") == b"1"
+        txn.rollback_to(outer)
+        assert txn.search(b"k1") is None
+        assert txn.search(b"k0") == b"0"
+    assert engine.verify() == 1
+
+
+def test_savepoint_across_splits(engine):
+    """Rolling back over structural changes (splits, new pages)."""
+    with engine.transaction() as txn:
+        for i in range(20):
+            txn.insert(b"pre%04d" % i, b"x" * 30)
+        token = txn.savepoint()
+        for i in range(120):  # forces splits after the savepoint
+            txn.insert(b"post%04d" % i, b"y" * 30)
+        txn.rollback_to(token)
+    assert engine.verify() == 20
+    assert engine.search(b"post0000") is None
+    assert engine.search(b"pre0007") == b"x" * 30
+
+
+def test_savepoint_before_splits_keeps_them(engine):
+    with engine.transaction() as txn:
+        for i in range(120):
+            txn.insert(b"k%04d" % i, b"z" * 30)
+        token = txn.savepoint()
+        txn.insert(b"doomed", b"d")
+        txn.rollback_to(token)
+    assert engine.verify() == 120
+
+
+def test_savepoint_with_deletes_and_updates(engine):
+    with engine.transaction() as txn:
+        for i in range(30):
+            txn.insert(b"%03d" % i, b"v%d" % i)
+        token = txn.savepoint()
+        for i in range(0, 30, 2):
+            txn.delete(b"%03d" % i)
+        txn.insert(b"001", b"changed", replace=True)
+        txn.rollback_to(token)
+    assert engine.verify() == 30
+    assert engine.search(b"000") == b"v0"
+    assert engine.search(b"001") == b"v1"
+
+
+def test_commit_after_rollback_to_only_keeps_prefix(engine):
+    with engine.transaction() as txn:
+        txn.insert(b"keep", b"1")
+        token = txn.savepoint()
+        for i in range(60):
+            txn.insert(b"drop%03d" % i, b"x" * 20)
+        txn.rollback_to(token)
+        txn.insert(b"also", b"2")
+    pm = engine.pm
+    pm.crash()
+    from repro.core import engine_class
+
+    recovered = engine_class(engine.scheme).attach(
+        small_config(scheme=engine.scheme), pm
+    )
+    assert recovered.verify() == 2
+    assert recovered.search(b"keep") == b"1"
+    assert recovered.search(b"also") == b"2"
+
+
+def test_naive_engine_rejects_savepoints():
+    engine = open_engine(small_config(scheme="naive"))
+    txn = engine.transaction()
+    with pytest.raises(TransactionError):
+        txn.savepoint()
+    engine._active = None
+
+
+# ----------------------------------------------------------------------
+# SQL level (differential where possible)
+# ----------------------------------------------------------------------
+
+
+def make_pair():
+    ours = Database.open(SystemConfig(
+        scheme="fastplus", npages=1024, page_size=1024,
+        log_bytes=32768, heap_bytes=1 << 21, dram_bytes=128 * 1024,
+    ))
+    theirs = sqlite3.connect(":memory:")
+    theirs.isolation_level = None
+    schema = "CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)"
+    ours.execute(schema)
+    theirs.execute(schema)
+    return ours, theirs
+
+
+def both(ours, theirs, sql, params=()):
+    ours.execute(sql, params)
+    theirs.execute(sql, params)
+
+
+def check(ours, theirs, sql):
+    assert ours.execute(sql).rows == theirs.execute(sql).fetchall(), sql
+
+
+def test_sql_savepoint_matches_sqlite():
+    ours, theirs = make_pair()
+    both(ours, theirs, "BEGIN")
+    both(ours, theirs, "INSERT INTO t VALUES (1, 'one')")
+    both(ours, theirs, "SAVEPOINT sp1")
+    both(ours, theirs, "INSERT INTO t VALUES (2, 'two')")
+    both(ours, theirs, "SAVEPOINT sp2")
+    both(ours, theirs, "INSERT INTO t VALUES (3, 'three')")
+    both(ours, theirs, "ROLLBACK TO sp2")
+    check(ours, theirs, "SELECT * FROM t ORDER BY id")
+    both(ours, theirs, "ROLLBACK TO SAVEPOINT sp1")
+    check(ours, theirs, "SELECT * FROM t ORDER BY id")
+    both(ours, theirs, "INSERT INTO t VALUES (9, 'nine')")
+    both(ours, theirs, "COMMIT")
+    check(ours, theirs, "SELECT * FROM t ORDER BY id")
+
+
+def test_sql_release_forgets_savepoint():
+    ours, _ = make_pair()
+    ours.execute("BEGIN")
+    ours.execute("SAVEPOINT sp")
+    ours.execute("RELEASE sp")
+    with pytest.raises(SqlError):
+        ours.execute("ROLLBACK TO sp")
+    ours.execute("ROLLBACK")
+
+
+def test_sql_savepoint_requires_transaction():
+    ours, _ = make_pair()
+    with pytest.raises(SqlError):
+        ours.execute("SAVEPOINT sp")
+
+
+def test_sql_rollback_to_unknown_savepoint():
+    ours, _ = make_pair()
+    ours.execute("BEGIN")
+    with pytest.raises(SqlError):
+        ours.execute("ROLLBACK TO nope")
+    ours.execute("ROLLBACK")
+
+
+def test_sql_savepoint_covers_ddl():
+    ours, _ = make_pair()
+    ours.execute("BEGIN")
+    ours.execute("SAVEPOINT sp")
+    ours.execute("CREATE TABLE extra (id INTEGER PRIMARY KEY)")
+    assert "extra" in ours.tables()
+    ours.execute("ROLLBACK TO sp")
+    assert "extra" not in ours.tables()
+    ours.execute("COMMIT")

@@ -1,0 +1,39 @@
+"""Smoke tests: every example script runs cleanly end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parents[2] / "examples").glob("*.py")
+)
+
+
+def test_examples_exist():
+    names = {path.name for path in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), "example produced no output"
+
+
+def test_quickstart_recovers_committed_data():
+    quickstart = next(p for p in EXAMPLES if p.name == "quickstart.py")
+    completed = subprocess.run(
+        [sys.executable, str(quickstart)],
+        capture_output=True, text=True, timeout=600,
+    )
+    assert "committed notes: 3" in completed.stdout
+    assert "doomed note present: False" in completed.stdout

@@ -1,0 +1,200 @@
+"""Tests for the hash index over failure-atomic slotted pages."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import engine_class, open_engine
+from repro.hashindex import HashIndex
+from tests.core.conftest import small_config
+
+ROOT_SLOT = 2
+
+
+def make(scheme="fastplus", nbuckets=16, **overrides):
+    engine = open_engine(small_config(scheme=scheme, **overrides))
+    index = HashIndex(root_slot=ROOT_SLOT, nbuckets=nbuckets)
+    with engine.transaction() as txn:
+        index.create(txn.ctx)
+    return engine, index
+
+
+def put(engine, index, key, value, replace=False):
+    with engine.transaction() as txn:
+        index.insert(txn.ctx, key, value, replace=replace)
+
+
+def view(engine):
+    return engine.read_view()
+
+
+# ----------------------------------------------------------------------
+# Basics
+# ----------------------------------------------------------------------
+
+
+def test_empty_index():
+    engine, index = make()
+    assert index.search(view(engine), b"missing") is None
+    assert index.count(view(engine)) == 0
+    assert index.verify(view(engine)) == 0
+
+
+def test_insert_and_search():
+    engine, index = make()
+    put(engine, index, b"key", b"value")
+    assert index.search(view(engine), b"key") == b"value"
+
+
+def test_duplicate_rejected_unless_replace():
+    engine, index = make()
+    put(engine, index, b"k", b"1")
+    with pytest.raises(KeyError):
+        put(engine, index, b"k", b"2")
+    put(engine, index, b"k", b"2", replace=True)
+    assert index.search(view(engine), b"k") == b"2"
+
+
+def test_delete():
+    engine, index = make()
+    put(engine, index, b"k", b"v")
+    with engine.transaction() as txn:
+        assert index.delete(txn.ctx, b"k")
+    assert index.search(view(engine), b"k") is None
+    with engine.transaction() as txn:
+        assert not index.delete(txn.ctx, b"k")
+
+
+def test_many_keys_and_verify():
+    engine, index = make(nbuckets=8)
+    for i in range(300):
+        put(engine, index, b"key-%04d" % i, b"val-%d" % i)
+    assert index.verify(view(engine)) == 300
+    for i in range(0, 300, 17):
+        assert index.search(view(engine), b"key-%04d" % i) == b"val-%d" % i
+
+
+def test_overflow_chains_form():
+    engine, index = make(nbuckets=1, page_size=512)
+    for i in range(60):
+        put(engine, index, b"k%03d" % i, b"x" * 20)
+    assert index.verify(view(engine)) == 60
+    # A single 512-byte bucket cannot hold 60 records: chains exist.
+    assert len(index.reachable_pages(view(engine))) > 3
+
+
+def test_items_returns_everything():
+    engine, index = make()
+    expected = {b"a%d" % i: b"b%d" % i for i in range(50)}
+    for key, value in expected.items():
+        put(engine, index, key, value)
+    assert dict(index.items(view(engine))) == expected
+
+
+def test_variable_length_values():
+    engine, index = make()
+    for i in range(40):
+        put(engine, index, b"k%d" % i, bytes([i]) * (i * 5 % 120 + 1))
+    for i in range(40):
+        assert index.search(view(engine), b"k%d" % i) == bytes([i]) * (i * 5 % 120 + 1)
+
+
+def test_transaction_rollback_discards_index_writes():
+    engine, index = make(scheme="fast")
+    put(engine, index, b"keep", b"1")
+    txn = engine.transaction()
+    index.insert(txn.ctx, b"drop", b"2")
+    txn.rollback()
+    assert index.search(view(engine), b"drop") is None
+    assert index.search(view(engine), b"keep") == b"1"
+
+
+def test_multiple_inserts_one_transaction():
+    engine, index = make(scheme="fastplus")
+    with engine.transaction() as txn:
+        for i in range(25):
+            index.insert(txn.ctx, b"m%02d" % i, b"v")
+    assert index.count(view(engine)) == 25
+
+
+@pytest.mark.parametrize("scheme", ["fast", "fastplus", "nvwal"])
+def test_works_under_every_scheme(scheme):
+    engine, index = make(scheme=scheme)
+    for i in range(120):
+        put(engine, index, b"s%03d" % i, b"v%d" % i)
+    assert index.verify(view(engine)) == 120
+
+
+# ----------------------------------------------------------------------
+# Crash recovery
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("scheme", ["fast", "fastplus", "nvwal"])
+def test_survives_clean_crash(scheme):
+    config = small_config(scheme=scheme)
+    engine = open_engine(config)
+    index = HashIndex(root_slot=ROOT_SLOT, nbuckets=8)
+    with engine.transaction() as txn:
+        index.create(txn.ctx)
+    for i in range(80):
+        with engine.transaction() as txn:
+            index.insert(txn.ctx, b"c%03d" % i, b"v%d" % i)
+    pm = engine.pm
+    pm.crash()
+    recovered_engine = engine_class(scheme).attach(config, pm)
+    recovered_view = recovered_engine.read_view()
+    assert index.verify(recovered_view) == 80
+    assert index.search(recovered_view, b"c042") == b"v42"
+
+
+def test_crash_mid_transaction_is_atomic():
+    from repro.pm import DropAll
+
+    config = small_config(scheme="fast")
+    engine = open_engine(config)
+    index = HashIndex(root_slot=ROOT_SLOT, nbuckets=4)
+    with engine.transaction() as txn:
+        index.create(txn.ctx)
+    put(engine, index, b"committed", b"1")
+    txn = engine.transaction()
+    index.insert(txn.ctx, b"doomed", b"2")
+    # Crash without committing.
+    engine.pm.crash(DropAll())
+    recovered = engine_class("fast").attach(config, engine.pm)
+    recovered_view = recovered.read_view()
+    assert index.search(recovered_view, b"committed") == b"1"
+    assert index.search(recovered_view, b"doomed") is None
+    assert index.verify(recovered_view) == 1
+
+
+# ----------------------------------------------------------------------
+# Property test
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "delete"]),
+            st.integers(0, 40),
+            st.binary(min_size=0, max_size=30),
+        ),
+        max_size=60,
+    )
+)
+def test_hash_index_matches_dict(ops):
+    engine, index = make(nbuckets=4, page_size=512)
+    model = {}
+    for op, key_no, value in ops:
+        key = b"p%02d" % key_no
+        with engine.transaction() as txn:
+            if op == "insert":
+                index.insert(txn.ctx, key, value, replace=True)
+                model[key] = value
+            else:
+                assert index.delete(txn.ctx, key) == (key in model)
+                model.pop(key, None)
+    assert dict(index.items(view(engine))) == model
+    assert index.verify(view(engine)) == len(model)

@@ -1,0 +1,132 @@
+"""Unit tests for the page store (arena manager)."""
+
+import pytest
+
+from repro.pm import DropAll, PersistentMemory
+from repro.storage import OutOfPagesError, PAGE_INTERNAL, PAGE_LEAF, PageStore
+
+
+def make_store(npages=8, page_size=512):
+    pm = PersistentMemory(npages * page_size)
+    return pm, PageStore.format(pm, 0, npages, page_size)
+
+
+def test_format_and_attach():
+    pm, store = make_store()
+    again = PageStore.attach(pm, 0)
+    assert again.npages == store.npages
+    assert again.page_size == store.page_size
+
+
+def test_attach_rejects_unformatted_memory():
+    pm = PersistentMemory(4096)
+    with pytest.raises(ValueError):
+        PageStore.attach(pm, 0)
+
+
+def test_geometry_validation():
+    pm = PersistentMemory(4096)
+    with pytest.raises(ValueError):
+        PageStore(pm, 0, 4, 100)
+    with pytest.raises(ValueError):
+        PageStore(pm, 0, 1, 512)
+
+
+def test_allocate_returns_initialized_page():
+    _, store = make_store()
+    page = store.allocate_page(PAGE_LEAF)
+    assert page.page_type == PAGE_LEAF
+    assert page.nrecords == 0
+
+
+def test_allocate_all_then_exhausted():
+    _, store = make_store(npages=4)
+    for _ in range(3):
+        store.allocate_page(PAGE_LEAF)
+    with pytest.raises(OutOfPagesError):
+        store.allocate_page(PAGE_LEAF)
+
+
+def test_free_then_reallocate():
+    _, store = make_store(npages=4)
+    pages = [store.allocate_page(PAGE_LEAF) for _ in range(3)]
+    freed_no = store.page_no_of(pages[1])
+    store.free_page(freed_no)
+    assert store.free_page_count() == 1
+    again = store.allocate_page(PAGE_INTERNAL)
+    assert store.page_no_of(again) == freed_no
+
+
+def test_page_numbers_and_addresses():
+    _, store = make_store(page_size=512)
+    page = store.allocate_page(PAGE_LEAF)
+    no = store.page_no_of(page)
+    assert store.page_base(no) == page.base
+    assert store.page(no).base == page.base
+
+
+def test_page_base_bounds():
+    _, store = make_store(npages=4)
+    with pytest.raises(IndexError):
+        store.page_base(0)  # header page is not addressable as data
+    with pytest.raises(IndexError):
+        store.page_base(4)
+
+
+def test_roots_are_persistent_and_atomic():
+    pm, store = make_store()
+    store.set_root(0, 3)
+    pm.crash(DropAll())
+    assert PageStore.attach(pm, 0).root(0) == 3
+
+
+def test_root_slot_bounds():
+    _, store = make_store()
+    with pytest.raises(IndexError):
+        store.root(99)
+    with pytest.raises(IndexError):
+        store.set_root(-1, 1)
+
+
+def test_free_list_survives_crash():
+    pm, store = make_store(npages=6)
+    a = store.allocate_page(PAGE_LEAF)
+    store.free_page(store.page_no_of(a))
+    before = store.free_page_count()
+    pm.crash(DropAll())
+    after = PageStore.attach(pm, 0).free_page_count()
+    assert after == before
+
+
+def test_garbage_collect_reclaims_orphans():
+    pm, store = make_store(npages=6)
+    kept = store.allocate_page(PAGE_LEAF)
+    orphan = store.allocate_page(PAGE_LEAF)
+    del orphan  # crash made it unreachable
+    pm.crash()
+    store = PageStore.attach(pm, 0)
+    reachable = {store.page_no_of(kept)}
+    store.garbage_collect(reachable)
+    assert store.free_page_count() == store.npages - 2  # header + kept
+
+
+def test_garbage_collect_keeps_reachable_pages():
+    pm, store = make_store(npages=6)
+    page = store.allocate_page(PAGE_LEAF)
+    page.pending_insert(0, b"precious")
+    page.apply_header(page.pending_header_image(), persist=True)
+    store.garbage_collect({store.page_no_of(page)})
+    assert store.page(store.page_no_of(page)).records() == [b"precious"]
+
+
+def test_allocation_after_gc_does_not_hand_out_reachable():
+    _, store = make_store(npages=5)
+    keep = {store.page_no_of(store.allocate_page(PAGE_LEAF))}
+    store.garbage_collect(keep)
+    handed = set()
+    while True:
+        try:
+            handed.add(store.page_no_of(store.allocate_page(PAGE_LEAF)))
+        except OutOfPagesError:
+            break
+    assert handed.isdisjoint(keep)

@@ -1,0 +1,40 @@
+"""The top-level package surface."""
+
+import repro
+
+
+def test_version_and_exports():
+    assert repro.__version__
+    assert set(repro.SCHEMES) == {"fast", "fastplus", "nvwal", "naive"}
+
+
+def test_open_database_defaults():
+    db = repro.open_database(scheme="fastplus")
+    db.execute("CREATE TABLE t (k TEXT PRIMARY KEY, v TEXT)")
+    db.execute("INSERT INTO t VALUES ('a', 'b')")
+    assert db.query("SELECT v FROM t WHERE k = 'a'") == [("b",)]
+
+
+def test_open_engine_roundtrip():
+    engine = repro.open_engine(repro.SystemConfig(scheme="fast"))
+    engine.insert(b"k", b"v")
+    assert engine.search(b"k") == b"v"
+
+
+def test_config_knobs_exported():
+    config = repro.SystemConfig(
+        latency=repro.LatencyProfile(read_ns=500, write_ns=700),
+        cost=repro.CostModel(),
+    )
+    engine = repro.open_engine(config, scheme="fastplus")
+    assert engine.pm.latency.read_ns == 500
+
+
+def test_reopen_database_from_pm():
+    db = repro.open_database(scheme="fast")
+    db.execute("CREATE TABLE t (k INTEGER PRIMARY KEY)")
+    db.execute("INSERT INTO t VALUES (7)")
+    pm = db.engine.pm
+    pm.crash()
+    again = repro.open_database(pm=pm)
+    assert again.query("SELECT COUNT(*) FROM t") == [(1,)]

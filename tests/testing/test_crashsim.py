@@ -1,0 +1,103 @@
+"""Tests for the crash-injection harness itself."""
+
+import pytest
+
+from repro.core import SystemConfig
+from repro.pm.crash import PersistAll
+from repro.testing import (
+    CrashPoint,
+    CrashablePM,
+    crash_points_in,
+    run_crash_sweep,
+    run_to_crash_point,
+)
+
+WORKLOAD = [("insert", b"%02d" % i, b"v%d" % i) for i in range(5)]
+
+
+def config():
+    return SystemConfig(
+        npages=128, page_size=512, log_bytes=16384,
+        heap_bytes=1 << 20, dram_bytes=64 * 512, atomic_granularity=8,
+    )
+
+
+def test_crashable_pm_counts_only_when_armed():
+    pm = CrashablePM(4096)
+    pm.write(0, b"x")
+    assert pm.events == 0
+    pm.armed = True
+    pm.write(0, b"y")
+    pm.clflush(0)
+    pm.sfence()
+    assert pm.events == 3
+
+
+def test_crashable_pm_raises_at_budget():
+    pm = CrashablePM(4096)
+    pm.armed = True
+    pm.budget = 2
+    pm.write(0, b"a")
+    with pytest.raises(CrashPoint):
+        pm.write(8, b"b")
+    assert pm.armed is False  # disarmed after firing
+
+
+def test_rtm_commit_is_not_a_crash_point():
+    from repro.htm import RTM
+
+    pm = CrashablePM(4096)
+    rtm = RTM(pm)
+    pm.armed = True
+    pm.budget = 1  # would fire on the first counted write
+    rtm.execute(lambda txn: txn.write(0, b"atomic"))
+    assert pm.read(0, 6) == b"atomic"  # applied without firing
+
+
+def test_no_crash_run_reports_clean():
+    result = run_to_crash_point("fast", WORKLOAD, None, config=config())
+    assert not result.crashed
+    assert result.ok
+    assert len(result.recovered) == 5
+
+
+def test_crash_points_in_is_positive_and_stable():
+    total = crash_points_in("fast", WORKLOAD, config=config())
+    assert total > 10
+    assert crash_points_in("fast", WORKLOAD, config=config()) == total
+
+
+def test_crash_point_runs_report_inflight():
+    result = run_to_crash_point("fast", WORKLOAD, 5, config=config())
+    assert result.crashed
+    assert result.inflight  # crashed inside some transaction
+
+
+def test_validator_catches_planted_corruption():
+    """If recovery 'lost' a committed key, the validator must say so."""
+    result = run_to_crash_point("fast", WORKLOAD, None, config=config())
+    result.recovered.pop(b"02")
+    from repro.testing.crashsim import _validate
+
+    class _FakeEngine:
+        def verify(self):
+            return 0
+
+    result.violations.clear()
+    _validate(_FakeEngine(), result, strict_inflight=False)
+    assert any("durability" in v for v in result.violations)
+
+
+def test_sweep_with_policies():
+    failures = run_crash_sweep(
+        "fast", WORKLOAD, config=config(), stride=10, policies=[PersistAll()]
+    )
+    assert failures == []
+
+
+def test_sweep_respects_max_points():
+    # Just exercises the sampling path.
+    failures = run_crash_sweep(
+        "fast", WORKLOAD, config=config(), stride=1, max_points=5, seeds=(1,)
+    )
+    assert failures == []
