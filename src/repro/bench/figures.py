@@ -64,7 +64,7 @@ def fig1(ops=None):
         data[legacy.scheme] = per_txn
     for scheme in SCHEMES:
         result = fast if scheme == "fast" else run_single_inserts(scheme, ops=ops)
-        per_txn = result.counters["bytes_flushed"] / ops
+        per_txn = result.counters["pm.flush_bytes"] / ops
         rows.append([scheme + " (PM)", round(per_txn),
                      round(per_txn / 64, 1)])
         data[scheme] = per_txn
@@ -207,7 +207,7 @@ def fig9(ops=None):
                 scheme, ops=ops, record_size=size, read_ns=300, write_ns=300
             )
             rows.append([
-                size, scheme, result.op_us, round(result.per_op("clflushes"), 2),
+                size, scheme, result.op_us, round(result.per_op("pm.flush"), 2),
             ])
             data[(size, scheme)] = result
     table = format_table(
@@ -234,7 +234,7 @@ def fig10(ops=None):
             result = run_multi_insert(scheme, txns=txns, per_txn=per_txn)
             rows.append([
                 per_txn, scheme, result.op_us,
-                _seg(result, "commit"), round(result.per_op("clflushes"), 2),
+                _seg(result, "commit"), round(result.per_op("pm.flush"), 2),
             ])
             data[(per_txn, scheme)] = result
     table = format_table(
@@ -469,7 +469,7 @@ def ablation_flush_instruction(ops=None):
             result = run_single_inserts(scheme, ops=ops, config=config)
             rows.append([
                 scheme, instruction, result.op_us,
-                round(result.per_op("load_misses"), 2),
+                round(result.per_op("pm.load_miss"), 2),
             ])
             data[(scheme, instruction)] = result.op_us
     table = format_table(

@@ -6,6 +6,12 @@ runs report Search / Page Update / Commit (pager + B-tree time only),
 while SQL-level runs additionally include parsing and execution
 (Figures 11-12).  NVWAL's lazy checkpoint is reported separately, as
 the paper does.
+
+Everything reported here comes from the shared observability layer
+(``engine.obs``): phase times are the ``phase.<segment>`` histogram
+deltas, counters are the registry's counter deltas.  The historical
+counter names (``clflushes``, ``fences``, ...) are kept as aliases of
+their registry counterparts in ``RunResult.counters``.
 """
 
 from dataclasses import dataclass, field
@@ -13,6 +19,7 @@ from dataclasses import dataclass, field
 from repro.bench.workloads import random_keys, sized_payload
 from repro.core import SystemConfig, open_engine
 from repro.pm.latency import LatencyProfile
+from repro.pm.stats import _LEGACY_FIELDS
 
 #: Engine-level phases whose sum is the per-operation time the paper
 #: plots in Figure 6.
@@ -84,13 +91,20 @@ def build_config(scheme, *, read_ns=300.0, write_ns=300.0, page_size=4096,
     )
 
 
-def _collect(engine, ops, params, clock_snapshot, stats_snapshot, **extras):
-    elapsed, segment_deltas = engine.clock.since(clock_snapshot)
+def _collect(engine, ops, params, obs_snapshot, **extras):
+    delta = engine.obs.since(obs_snapshot)
+    registry_delta = delta["registry"]
     segments_us = {
-        name: delta / ops / 1000.0 for name, delta in segment_deltas.items()
+        name[len("phase."):]: hist["sum_ns"] / ops / 1000.0
+        for name, hist in registry_delta["histograms"].items()
+        if name.startswith("phase.")
     }
-    counters = engine.stats.since(stats_snapshot).as_dict()
-    extras.setdefault("total_us_per_op", elapsed / ops / 1000.0)
+    counters = dict(registry_delta["counters"])
+    # Historical names stay available as aliases of the registry
+    # counters ("clflushes" == "pm.flush", ...).
+    for legacy, metric in _LEGACY_FIELDS.items():
+        counters[legacy] = counters.get(metric, 0)
+    extras.setdefault("total_us_per_op", delta["elapsed_ns"] / ops / 1000.0)
     return RunResult(
         scheme=engine.scheme,
         ops=ops,
@@ -113,8 +127,7 @@ def run_single_inserts(scheme, *, ops=2000, record_size=64, read_ns=300.0,
     engine = open_engine(config, scheme=scheme)
     keys = random_keys(ops, seed=seed)
     payload = sized_payload(record_size)
-    clock_snapshot = engine.clock.snapshot()
-    stats_snapshot = engine.stats.snapshot()
+    snapshot = engine.obs.snapshot()
     inplace_before = getattr(engine, "inplace_commits", 0)
     logged_before = getattr(engine, "logged_commits", 0)
     for key in keys:
@@ -127,7 +140,7 @@ def run_single_inserts(scheme, *, ops=2000, record_size=64, read_ns=300.0,
     if hasattr(engine, "checkpoints"):
         extras["checkpoints"] = engine.checkpoints
     extras["commit_page_counts"] = engine.commit_page_counts
-    return _collect(engine, ops, params, clock_snapshot, stats_snapshot, **extras)
+    return _collect(engine, ops, params, snapshot, **extras)
 
 
 def run_multi_insert(scheme, *, txns=400, per_txn=4, record_size=64,
@@ -141,14 +154,13 @@ def run_multi_insert(scheme, *, txns=400, per_txn=4, record_size=64,
     engine = open_engine(config, scheme=scheme)
     keys = random_keys(ops, seed=seed)
     payload = sized_payload(record_size)
-    clock_snapshot = engine.clock.snapshot()
-    stats_snapshot = engine.stats.snapshot()
+    snapshot = engine.obs.snapshot()
     for txn_no in range(txns):
         with engine.transaction() as txn:
             for key in keys[txn_no * per_txn : (txn_no + 1) * per_txn]:
                 txn.insert(key, payload)
     params = dict(per_txn=per_txn, read_ns=read_ns, write_ns=write_ns)
-    return _collect(engine, ops, params, clock_snapshot, stats_snapshot)
+    return _collect(engine, ops, params, snapshot)
 
 
 def run_sql_statements(scheme, *, ops=1000, kind="insert", read_ns=300.0,
@@ -173,8 +185,7 @@ def run_sql_statements(scheme, *, ops=1000, kind="insert", read_ns=300.0,
             db.execute("INSERT INTO bench VALUES (?, ?)", (key, value))
 
     engine = db.engine
-    clock_snapshot = engine.clock.snapshot()
-    stats_snapshot = engine.stats.snapshot()
+    snapshot = engine.obs.snapshot()
     if kind == "insert":
         for key in keys:
             db.execute("INSERT INTO bench VALUES (?, ?)", (key, value))
@@ -199,4 +210,4 @@ def run_sql_statements(scheme, *, ops=1000, kind="insert", read_ns=300.0,
         raise ValueError("unknown workload kind %r" % kind)
     params = dict(kind=kind, read_ns=read_ns, write_ns=write_ns,
                   read_ratio=read_ratio)
-    return _collect(engine, ops, params, clock_snapshot, stats_snapshot)
+    return _collect(engine, ops, params, snapshot)

@@ -108,6 +108,7 @@ class Transaction:
         self._done = True
         try:
             self.engine._commit(self.ctx)
+            self.engine.obs.inc("engine.txn.commit")
         finally:
             self.engine._active = None
 
@@ -116,6 +117,7 @@ class Transaction:
         self._done = True
         try:
             self.engine._rollback(self.ctx)
+            self.engine.obs.inc("engine.txn.rollback")
         finally:
             self.engine._active = None
 
@@ -148,12 +150,15 @@ class Engine:
         self.config = config
         self.pm = pm
         self.store = store
+        # All instrumentation (registry counters, phase histograms,
+        # event trace) flows through the arena's shared handle.
+        self.obs = pm.obs
         self._trees = {}
         self._active = None
         self._seq = 1
-        # Per-commit dirty-page counts: fed to the legacy block-device
-        # models that reproduce the paper's write-amplification
-        # motivation (Figure 1).
+        # Per-commit dirty-page counts: recorded workload data (not a
+        # metric) fed to the legacy block-device models that reproduce
+        # the paper's write-amplification motivation (Figure 1).
         self.commit_page_counts = []
 
     # ------------------------------------------------------------------
@@ -231,6 +236,16 @@ class Engine:
     def stats(self):
         return self.pm.stats
 
+    @property
+    def registry(self):
+        """The shared :class:`repro.obs.MetricsRegistry`."""
+        return self.obs.registry
+
+    @property
+    def trace(self):
+        """The shared :class:`repro.obs.TraceRecorder`."""
+        return self.obs.trace
+
     def tree(self, root_slot=0):
         """The B-tree bound to ``root_slot``."""
         tree = self._trees.get(root_slot)
@@ -244,6 +259,7 @@ class Engine:
             raise TransactionError("a transaction is already active")
         txn = Transaction(self)
         self._active = txn
+        self.obs.inc("engine.txn.begin")
         return txn
 
     def insert(self, key, value, *, root_slot=0, replace=False):

@@ -30,6 +30,7 @@ Clock segments produced per transaction (mapped to the paper's bars):
 from repro.core.base import Engine
 from repro.core.config import FASTPLUS_LEAF_CAPACITY
 from repro.htm.rtm import RTM
+from repro.obs import trace as ev
 from repro.pm.memory import CACHE_LINE
 from repro.storage.defrag import defragment_into
 from repro.wal.slot_header_log import SlotHeaderLog
@@ -44,6 +45,7 @@ class FASTContext:
         self.store = engine.store
         self.pm = engine.pm
         self.clock = engine.pm.clock
+        self.obs = engine.obs
         self._pages = {}
         self.dirty = {}        # page_no -> page whose header will be logged
         self.new_pages = {}    # page_no -> page created by this txn
@@ -59,7 +61,7 @@ class FASTContext:
     # -- view protocol ---------------------------------------------------
 
     def segment(self, name):
-        return self.clock.segment(name)
+        return self.obs.span(name)
 
     def root_page_no(self, slot):
         if slot in self.root_updates:
@@ -76,18 +78,18 @@ class FASTContext:
     # -- mutation protocol -------------------------------------------------
 
     def insert_record(self, page, slot, payload):
-        with self.clock.segment("in_place_record_insert"):
+        with self.obs.span("in_place_record_insert"):
             offset = page.pending_insert(slot, payload)
-        with self.clock.segment("clflush_record"):
+        with self.obs.span("clflush_record"):
             page.flush_record(offset, len(payload))
         self._mark_dirty(page)
         return offset
 
     def update_record(self, page, slot, payload):
         old_offset = page.slot_offset(slot)
-        with self.clock.segment("in_place_record_insert"):
+        with self.obs.span("in_place_record_insert"):
             offset = page.pending_update(slot, payload)
-        with self.clock.segment("clflush_record"):
+        with self.obs.span("clflush_record"):
             page.flush_record(offset, len(payload))
         self._mark_dirty(page)
         self.reclaims.append((page, old_offset))
@@ -140,7 +142,7 @@ class FASTContext:
 
         offset = parent_page.slot_offset(slot)
         position = parent_page.base + offset + CELL_HEADER_SIZE
-        with self.clock.segment("defrag"):
+        with self.obs.span("defrag"):
             old_child_no = self.pm.read_u32(position)
             self.pm.write_u32(position, new_child_no)
             self.pm.persist(position, 4)
@@ -149,7 +151,7 @@ class FASTContext:
             self.dirty[new_child_no] = self.new_pages.pop(new_child_no)
 
     def defragment(self, page_no):
-        with self.clock.segment("defrag"):
+        with self.obs.span("defrag"):
             fresh = defragment_into(self.store, self.page(page_no))
         fresh_no = self.store.page_no_of(fresh)
         self._pages[fresh_no] = fresh
@@ -255,11 +257,11 @@ class FASTEngine(Engine):
     # -- commit ------------------------------------------------------------
 
     def _commit(self, ctx):
-        with self.clock.segment("commit"):
+        with self.obs.phase("commit"):
             if ctx.is_read_only:
                 return
             self.commit_page_counts.append(len(ctx.dirty) + len(ctx.new_pages))
-            with self.clock.segment("misc"):
+            with self.obs.span("misc"):
                 self.clock.advance(self.pm.cost.pager_commit_ns)
             self._commit_logged(ctx)
 
@@ -268,33 +270,35 @@ class FASTEngine(Engine):
         # New pages are unreachable until the commit mark, so their
         # headers are applied directly (Figure 4 step 3: the sibling is
         # fully built in place, never logged).
-        with self.clock.segment("new_page_headers"):
+        with self.obs.span("new_page_headers"):
             for page in ctx.new_pages.values():
                 if page.has_pending:
                     image = page.pending_header_image()
                     page.apply_header(image)
                     self.pm.flush_range(page.base, len(image))
         # Stage + store the slot-header frames (no flushes yet).
-        with self.clock.segment("update_slot_header"):
+        with self.obs.span("update_slot_header"):
             for page_no, page in ctx.dirty.items():
                 self.log.stage_page_header(page_no, page.pending_header_image())
             for slot, page_no in ctx.root_updates.items():
                 self.log.stage_root_update(slot, page_no)
             self.log.write_frames()
         # Everything the commit mark depends on becomes durable here.
-        with self.clock.segment("log_flush"):
+        with self.obs.span("log_flush"):
             self.log.flush_frames()
             self.pm.sfence()
-        with self.clock.segment("atomic_commit"):
+        with self.obs.span("atomic_commit"):
             self.log.commit(self.next_seq())
         # Eager checkpoint: apply the logged headers to the pages right
         # away so other transactions never read the log (Section 3.3).
-        with self.clock.segment("checkpoint"):
+        with self.obs.span("checkpoint"):
             self._checkpoint(ctx)
         self._finish(ctx)
 
     def _checkpoint(self, ctx):
+        applied = 0
         for entry in self.log.replay():
+            applied += 1
             if entry[0] == "page":
                 _, page_no, image = entry
                 page = ctx.page(page_no)
@@ -306,6 +310,8 @@ class FASTEngine(Engine):
                 self.pm.flush_range(self.store.base, 64)
         self.pm.sfence()
         self.log.truncate()
+        self.obs.inc("engine.checkpoint")
+        self.obs.event(ev.CHECKPOINT, applied)
 
     def _finish(self, ctx):
         """Post-commit housekeeping: reclaim dead cells, free pages.
@@ -344,8 +350,11 @@ class FASTEngine(Engine):
         Afterwards, leaked pages are garbage collected and in-page free
         lists are lazily rebuilt from the offset arrays.
         """
+        self.obs.inc("engine.recovery")
         if self.log.pending_bytes():
             for entry in self.log.replay():
+                self.obs.inc("engine.recovery.replayed")
+                self.obs.event(ev.RECOVERY_REPLAY, entry[1])
                 if entry[0] == "page":
                     _, page_no, image = entry
                     page = self.store.page(page_no)
@@ -385,16 +394,28 @@ class FASTPlusEngine(FASTEngine):
     def __init__(self, config, pm, store):
         super().__init__(config, pm, store)
         self.rtm = RTM(pm, max_write_lines=1)
-        self.inplace_commits = 0
-        self.logged_commits = 0
-        self.rtm_fallbacks = 0
+
+    # Commit-path shares live in the shared registry (they survive
+    # crash/attach cycles with the arena, like every other counter).
+
+    @property
+    def inplace_commits(self):
+        return self.registry.value("engine.commit.inplace")
+
+    @property
+    def logged_commits(self):
+        return self.registry.value("engine.commit.logged")
+
+    @property
+    def rtm_fallbacks(self):
+        return self.registry.value("engine.commit.fallback")
 
     def _commit(self, ctx):
-        with self.clock.segment("commit"):
+        with self.obs.phase("commit"):
             if ctx.is_read_only:
                 return
             self.commit_page_counts.append(len(ctx.dirty) + len(ctx.new_pages))
-            with self.clock.segment("misc"):
+            with self.obs.span("misc"):
                 self.clock.advance(self.pm.cost.pager_commit_ns)
             if ctx.is_single_page:
                 (page,) = ctx.dirty.values()
@@ -406,7 +427,7 @@ class FASTPlusEngine(FASTEngine):
                 if fits_line:
                     self._commit_inplace(ctx, page)
                     return
-            self.logged_commits += 1
+            self.obs.inc("engine.commit.logged")
             self._commit_logged(ctx)
 
     def _commit_inplace(self, ctx, page):
@@ -416,7 +437,7 @@ class FASTPlusEngine(FASTEngine):
         commit falls back to slot-header logging (the page's pending
         header is still intact, so the logged path proceeds normally).
         """
-        with self.clock.segment("log_flush"):
+        with self.obs.span("log_flush"):
             # The records flushed during the page update must be durable
             # before the header becomes visible.
             self.pm.sfence()
@@ -425,16 +446,16 @@ class FASTPlusEngine(FASTEngine):
         def fall_back_to_logging():
             fell_back.append(True)
 
-        with self.clock.segment("atomic_commit"):
+        with self.obs.span("atomic_commit"):
             page.commit_pending_inplace(
                 self.rtm,
                 max_retries=self.rtm_max_retries,
                 fallback=fall_back_to_logging,
             )
         if fell_back:
-            self.rtm_fallbacks += 1
-            self.logged_commits += 1
+            self.obs.inc("engine.commit.fallback")
+            self.obs.inc("engine.commit.logged")
             self._commit_logged(ctx)
             return
-        self.inplace_commits += 1
+        self.obs.inc("engine.commit.inplace")
         self._finish(ctx)

@@ -21,12 +21,13 @@ class NaiveContext:
         self.store = engine.store
         self.pm = engine.pm
         self.clock = engine.pm.clock
+        self.obs = engine.obs
         self._pages = {}
 
     # -- view protocol ---------------------------------------------------
 
     def segment(self, name):
-        return self.clock.segment(name)
+        return self.obs.span(name)
 
     def root_page_no(self, slot):
         return self.store.root(slot)
@@ -41,18 +42,18 @@ class NaiveContext:
     # -- mutation protocol -------------------------------------------------
 
     def insert_record(self, page, slot, payload):
-        with self.clock.segment("in_place_record_insert"):
+        with self.obs.span("in_place_record_insert"):
             offset = page.pending_insert(slot, payload)
-        with self.clock.segment("clflush_record"):
+        with self.obs.span("clflush_record"):
             page.flush_record(offset, len(payload))
         self._apply(page)
         return offset
 
     def update_record(self, page, slot, payload):
         old_offset = page.slot_offset(slot)
-        with self.clock.segment("in_place_record_insert"):
+        with self.obs.span("in_place_record_insert"):
             offset = page.pending_update(slot, payload)
-        with self.clock.segment("clflush_record"):
+        with self.obs.span("clflush_record"):
             page.flush_record(offset, len(payload))
         self._apply(page)
         page.reclaim_cell(old_offset)
@@ -86,7 +87,7 @@ class NaiveContext:
         self.pm.persist(position, 4)
 
     def defragment(self, page_no):
-        with self.clock.segment("defrag"):
+        with self.obs.span("defrag"):
             fresh = defragment_into(self.store, self.page(page_no))
         fresh_no = self.store.page_no_of(fresh)
         self._pages[fresh_no] = fresh
@@ -112,7 +113,7 @@ class NaiveEngine(Engine):
         return NaiveContext(self)
 
     def _commit(self, ctx):
-        with self.clock.segment("commit"):
+        with self.obs.phase("commit"):
             pass  # everything was already applied in place
 
     def _rollback(self, ctx):
@@ -125,5 +126,6 @@ class NaiveEngine(Engine):
         """Best effort only: collect orphans (free lists correct
         themselves lazily).  Torn headers are *not* detectable — see
         the ablation."""
+        self.obs.inc("engine.recovery")
         if self.config.eager_recovery_gc:
             self.garbage_collect()

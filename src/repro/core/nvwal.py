@@ -26,6 +26,7 @@ Clock segments (mapping to Figure 8's commit-time bars):
 from collections import OrderedDict
 
 from repro.core.base import Engine
+from repro.obs import trace as ev
 from repro.pm.memory import VolatileMemory
 from repro.storage.slotted_page import SlottedPage
 from repro.wal.nvwal import (
@@ -95,7 +96,7 @@ class NVWALView:
         self.engine = engine
 
     def segment(self, name):
-        return self.engine.clock.segment(name)
+        return self.engine.obs.span(name)
 
     def root_page_no(self, slot):
         return self.engine._root(slot)
@@ -110,6 +111,7 @@ class NVWALContext(NVWALView):
     def __init__(self, engine):
         super().__init__(engine)
         self.clock = engine.clock
+        self.obs = engine.obs
         self.dirty = {}       # page_no -> SlottedPage (DRAM)
         self.snapshots = {}   # page_no -> bytes at first touch
         self.new_pages = set()
@@ -124,14 +126,14 @@ class NVWALContext(NVWALView):
     # -- mutation protocol -------------------------------------------------
 
     def insert_record(self, page, slot, payload):
-        with self.clock.segment("volatile_buffer_caching"):
+        with self.obs.span("volatile_buffer_caching"):
             self._snapshot(page)
             offset = page.pending_insert(slot, payload)
             self._apply(page)
         return offset
 
     def update_record(self, page, slot, payload):
-        with self.clock.segment("volatile_buffer_caching"):
+        with self.obs.span("volatile_buffer_caching"):
             self._snapshot(page)
             old_offset = page.slot_offset(slot)
             offset = page.pending_update(slot, payload)
@@ -140,7 +142,7 @@ class NVWALContext(NVWALView):
         return offset
 
     def delete_record(self, page, slot):
-        with self.clock.segment("volatile_buffer_caching"):
+        with self.obs.span("volatile_buffer_caching"):
             self._snapshot(page)
             old_offset = page.slot_offset(slot)
             page.pending_delete(slot)
@@ -149,7 +151,7 @@ class NVWALContext(NVWALView):
 
     def allocate_page(self, page_type):
         engine = self.engine
-        with self.clock.segment("volatile_buffer_caching"):
+        with self.obs.span("volatile_buffer_caching"):
             page_no = engine.store.reserve_page_no()
             base = engine.cache.install(page_no)
             engine.dram.write(base, bytes(engine.config.page_size))
@@ -177,7 +179,7 @@ class NVWALContext(NVWALView):
         """Volatile pointer rewrite (NVWAL pages live in DRAM)."""
         from repro.storage.slotted_page import CELL_HEADER_SIZE
 
-        with self.clock.segment("volatile_buffer_caching"):
+        with self.obs.span("volatile_buffer_caching"):
             self._snapshot(parent_page)
             offset = parent_page.slot_offset(slot)
             self.engine.dram.write_u32(
@@ -188,7 +190,7 @@ class NVWALContext(NVWALView):
         """In the volatile cache, defragmentation is an in-frame
         compaction — no copy-on-write is needed because DRAM pages may
         shift records freely (paper Section 4.3's contrast)."""
-        with self.clock.segment("volatile_buffer_caching"):
+        with self.obs.span("volatile_buffer_caching"):
             page = self.page(page_no)
             self._snapshot(page)
             records = page.records()
@@ -292,7 +294,10 @@ class NVWALEngine(Engine):
         )
         self.cache = BufferCache(self.dram, config.page_size)
         self.wal = None
-        self.checkpoints = 0
+
+    @property
+    def checkpoints(self):
+        return self.registry.value("engine.checkpoint")
 
     def _format(self):
         self.wal = NVWALog.format(self.pm, self.config.heap_base,
@@ -320,7 +325,7 @@ class NVWALEngine(Engine):
     def _fetch_page(self, page_no):
         base = self.cache.lookup(page_no)
         if base is None:
-            with self.clock.segment("volatile_buffer_caching"):
+            with self.obs.span("volatile_buffer_caching"):
                 base = self.cache.install(page_no)
                 content = self.pm.read(
                     self.store.page_base(page_no), self.config.page_size
@@ -337,16 +342,16 @@ class NVWALEngine(Engine):
     # ------------------------------------------------------------------
 
     def _commit(self, ctx):
-        with self.clock.segment("commit"):
+        with self.obs.phase("commit"):
             if ctx.is_read_only:
                 return
             self.commit_page_counts.append(len(ctx.dirty))
-            with self.clock.segment("misc"):
+            with self.obs.span("misc"):
                 self.clock.advance(self.pm.cost.pager_commit_ns)
             seq = self.next_seq()
             deltas = {}
             freed = set(ctx.freed)
-            with self.clock.segment("nvwal_computation"):
+            with self.obs.span("nvwal_computation"):
                 for page_no, page in ctx.dirty.items():
                     if page_no in freed:
                         continue
@@ -372,11 +377,11 @@ class NVWALEngine(Engine):
                 frames.append(
                     self._append(encode_frame(seq, FRAME_ROOT, slot, payload))
                 )
-            with self.clock.segment("log_flush"):
+            with self.obs.span("log_flush"):
                 self.pm.sfence()
-            with self.clock.segment("atomic_commit"):
+            with self.obs.span("atomic_commit"):
                 self.wal.commit(seq)
-            with self.clock.segment("wal_index"):
+            with self.obs.span("wal_index"):
                 self.wal.publish(frames)
                 self.clock.advance(self.pm.cost.wal_index_insert_ns * len(frames))
             self.wal.roots.update(ctx.root_updates)
@@ -389,9 +394,9 @@ class NVWALEngine(Engine):
             self.checkpoint()
 
     def _append(self, frame):
-        with self.clock.segment("heap_mgmt"):
+        with self.obs.span("heap_mgmt"):
             addr = self.wal.heap.pmalloc(len(frame))
-        with self.clock.segment("log_flush"):
+        with self.obs.span("log_flush"):
             self.wal.install_frame(addr, frame)
         return addr
 
@@ -412,8 +417,9 @@ class NVWALEngine(Engine):
     def checkpoint(self):
         """Lazy checkpoint: write every WAL-covered page back to the
         database region and reset the log (paper Section 2.2)."""
-        self.checkpoints += 1
-        with self.clock.segment("nvwal_checkpoint"):
+        self.obs.inc("engine.checkpoint")
+        self.obs.event(ev.CHECKPOINT, len(self.wal.index))
+        with self.obs.span("nvwal_checkpoint"):
             for page_no in list(self.wal.index):
                 page = self._fetch_page(page_no)
                 content = bytes(
@@ -433,6 +439,7 @@ class NVWALEngine(Engine):
         """After a crash: DRAM is gone; the WAL chain prefix up to the
         commit mark is rebuilt into the index (done by ``attach``), and
         reads reconstruct pages from database + deltas on demand."""
+        self.obs.inc("engine.recovery")
         self.cache.clear()
         self._seq = self.wal.committed_seq + 1
         if self.config.eager_recovery_gc:

@@ -18,8 +18,8 @@ would abort the transaction (paper footnote 2): RTM provides atomicity
 and consistency, while durability comes from flushing *after* ``XEND``.
 """
 
-from dataclasses import dataclass
-
+from repro.obs import trace as ev
+from repro.obs.registry import MetricsRegistry
 from repro.pm.memory import CACHE_LINE
 
 
@@ -36,15 +36,51 @@ class RTMAbort(Exception):
         self.reason = reason
 
 
-@dataclass
-class RTMStats:
-    """Per-RTM counters (also mirrored into the shared MemoryStats)."""
+#: Legacy attribute name -> registry counter name.
+_LEGACY_FIELDS = {
+    "begins": "rtm.begin",
+    "commits": "rtm.commit",
+    "aborts": "rtm.abort",
+    "capacity_aborts": "rtm.abort.capacity",
+    "fallbacks": "rtm.fallback",
+}
 
-    begins: int = 0
-    commits: int = 0
-    aborts: int = 0
-    capacity_aborts: int = 0
-    fallbacks: int = 0
+
+class RTMStats:
+    """Legacy-named view over the registry's ``rtm.*`` counters.
+
+    Historically a standalone dataclass mirrored into ``MemoryStats``;
+    both now read and write the same registry counters, so
+    ``rtm.stats.commits`` and ``pm.stats.rtm_commits`` can never
+    disagree.
+    """
+
+    __slots__ = ("registry",)
+
+    def __init__(self, registry=None, **initial):
+        object.__setattr__(
+            self, "registry", registry if registry is not None else MetricsRegistry()
+        )
+        for field, value in initial.items():
+            setattr(self, field, value)
+
+    def __getattr__(self, name):
+        try:
+            metric = _LEGACY_FIELDS[name]
+        except KeyError:
+            raise AttributeError(
+                "%r has no attribute %r" % (type(self).__name__, name)
+            ) from None
+        return self.registry.value(metric)
+
+    def __setattr__(self, name, value):
+        try:
+            metric = _LEGACY_FIELDS[name]
+        except KeyError:
+            raise AttributeError(
+                "%r has no attribute %r" % (type(self).__name__, name)
+            ) from None
+        self.registry.counter(metric).value = value
 
 
 class _Transaction:
@@ -113,7 +149,7 @@ class RTM:
         self.pm = pm
         self.max_write_lines = max_write_lines
         self.abort_injector = abort_injector
-        self.stats = RTMStats()
+        self.stats = RTMStats(registry=pm.stats.registry)
 
     def execute(self, body, *, max_retries=None, fallback=None):
         """Run ``body(txn)`` under RTM, retrying transient aborts.
@@ -141,9 +177,15 @@ class RTM:
                         return fallback()
                     raise
 
+    _ABORT_CODES = {
+        "transient": ev.ABORT_TRANSIENT,
+        "capacity": ev.ABORT_CAPACITY,
+        "explicit": ev.ABORT_EXPLICIT,
+    }
+
     def _attempt(self, body, attempt):
         self.stats.begins += 1
-        self.pm.stats.rtm_begins += 1
+        self.pm.obs.event(ev.RTM_BEGIN, attempt)
         self.pm.clock.advance(self.pm.cost.rtm_begin_ns)
         txn = _Transaction(self.pm, self.max_write_lines)
         self.pm.flush_forbidden = True
@@ -153,9 +195,9 @@ class RTM:
             result = body(txn)
         except RTMAbort as abort:
             self.stats.aborts += 1
-            self.pm.stats.rtm_aborts += 1
             if abort.reason == "capacity":
                 self.stats.capacity_aborts += 1
+            self.pm.obs.event(ev.RTM_ABORT, self._ABORT_CODES[abort.reason])
             self.pm.clock.advance(self.pm.cost.rtm_abort_ns)
             raise
         finally:
@@ -170,6 +212,6 @@ class RTM:
         finally:
             self.pm.rtm_commit_in_progress = False
         self.stats.commits += 1
-        self.pm.stats.rtm_commits += 1
+        self.pm.obs.event(ev.RTM_COMMIT, attempt)
         self.pm.clock.advance(self.pm.cost.rtm_commit_ns)
         return result

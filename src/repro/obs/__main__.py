@@ -1,0 +1,74 @@
+"""CLI: render an observability snapshot as a human-readable report.
+
+Usage::
+
+    python -m repro.obs snapshot.json            # render an export
+    python -m repro.obs --demo [--out snap.json] # run a tiny workload,
+                                                 # export, and render it
+
+The snapshot is the JSON written by ``Observability.export_json`` (or
+``MetricsRegistry.export_json``); the report shows all counters,
+gauges, and a summary of every phase histogram.
+"""
+
+import argparse
+import sys
+
+from repro.obs.report import load_snapshot, render_report
+
+
+def _demo_snapshot(path):
+    """Run a small FAST⁺ insert workload and export its snapshot."""
+    from repro.bench.harness import build_config
+    from repro.bench.workloads import random_keys, sized_payload
+    from repro.core import open_engine
+
+    config = build_config("fastplus", ops=200)
+    engine = open_engine(config, scheme="fastplus")
+    payload = sized_payload(64)
+    for key in random_keys(200, seed=7):
+        engine.insert(key, payload)
+    return engine.obs.export_json(path)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Render a repro.obs JSON snapshot as a report.",
+    )
+    parser.add_argument("snapshot", nargs="?",
+                        help="path to an exported JSON snapshot")
+    parser.add_argument("--demo", action="store_true",
+                        help="generate a snapshot from a 200-insert "
+                             "FAST+ workload instead of reading one")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="with --demo: where to write the snapshot "
+                             "(default: a temporary file)")
+    parser.add_argument("--title", default=None,
+                        help="report title (default: the snapshot path)")
+    args = parser.parse_args(argv)
+
+    if args.demo:
+        import tempfile
+
+        path = args.out
+        if path is None:
+            handle = tempfile.NamedTemporaryFile(
+                mode="w", suffix=".json", delete=False
+            )
+            handle.close()
+            path = handle.name
+        _demo_snapshot(path)
+        print("snapshot written to %s" % path)
+    elif args.snapshot:
+        path = args.snapshot
+    else:
+        parser.error("give a snapshot path or --demo")
+
+    snapshot = load_snapshot(path)
+    print(render_report(snapshot, title=args.title or path))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,109 @@
+"""The ``Observability`` facade: clock + registry + trace in one handle.
+
+One ``Observability`` instance is shared by everything attached to a
+simulated machine (the PM arena creates it; engines, logs, the RTM
+unit and the DRAM cache all reach it through ``pm.obs``).  It bundles:
+
+* the shared ``SimClock`` (simulated time, phase segments),
+* a ``MetricsRegistry`` (every counter/gauge/histogram),
+* a ``TraceRecorder`` (the typed event ring).
+
+and provides the ``phase(...)`` / ``span(...)`` context managers that
+replace the engines' hand-rolled ``clock.segment(...)`` accounting.
+Both charge the simulated clock exactly as before — the figures'
+Search / Page Update / Commit semantics are unchanged — and, through a
+clock observer registered here, every segment entry additionally
+records its duration into the ``phase.<name>`` histogram of the
+registry.  ``phase`` is for the paper's top-level bars (search,
+page_update, commit); ``span`` is for sub-phases (log_flush,
+atomic_commit, ...).  They are deliberately the same mechanism: the
+distinction is taxonomy, not plumbing, so sub-phase times keep summing
+into their enclosing phase the way the paper's stacked bars do.
+"""
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import TraceRecorder
+
+#: Top-level engine phases (the paper's Figure 6 bars).
+PHASES = ("search", "page_update", "commit")
+
+
+class Observability:
+    """Shared instrumentation handle for one simulated machine."""
+
+    def __init__(self, clock, *, registry=None, trace=None):
+        self.clock = clock
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.trace = trace if trace is not None else TraceRecorder()
+        self.trace.bind_clock(clock)
+        self._attach_clock()
+
+    def _attach_clock(self):
+        """Feed every clock segment into ``phase.<name>`` histograms.
+
+        Attaching is idempotent per (clock, registry) pair so that
+        shared-clock configurations (NVWAL's DRAM arena, crash-test
+        re-attach) never double-count.
+        """
+        for _, registry in self.clock.observers():
+            if registry is self.registry:
+                return
+        self.clock.add_observer(self._on_segment, self.registry)
+
+    def _on_segment(self, name, elapsed_ns):
+        self.registry.observe("phase." + name, elapsed_ns)
+
+    # -- phase / span accounting -------------------------------------------
+
+    def phase(self, name):
+        """Attribute simulated time inside the block to top-level phase
+        ``name`` (clock segment + ``phase.<name>`` histogram)."""
+        return self.clock.segment(name)
+
+    def span(self, name):
+        """Attribute simulated time inside the block to sub-phase
+        ``name``.  Spans nest inside phases; time recorded in a span is
+        also charged to every enclosing phase (stacked-bar semantics)."""
+        return self.clock.segment(name)
+
+    # -- convenience passthroughs ------------------------------------------
+
+    def inc(self, name, n=1):
+        self.registry.inc(name, n)
+
+    def event(self, kind, a=0, b=0):
+        self.trace.record(kind, a, b)
+
+    # -- snapshots ----------------------------------------------------------
+
+    def snapshot(self):
+        """Capture (clock, registry, trace position) for ``since``."""
+        return {
+            "now_ns": self.clock.now_ns,
+            "registry": self.registry.snapshot(),
+            "trace_seq": self.trace.seq,
+        }
+
+    def since(self, snapshot):
+        """Elapsed simulated time and instrument deltas since
+        ``snapshot`` was taken."""
+        return {
+            "elapsed_ns": self.clock.now_ns - snapshot["now_ns"],
+            "registry": self.registry.since(snapshot["registry"]),
+            "trace_seq": snapshot["trace_seq"],
+        }
+
+    def export_json(self, path):
+        """Export the full state (registry + trace summary + clock) as
+        a JSON snapshot the ``python -m repro.obs`` CLI can render."""
+        import json
+
+        snapshot = {
+            "now_ns": self.clock.now_ns,
+            "registry": self.registry.snapshot(),
+            "trace": self.trace.snapshot(),
+        }
+        with open(path, "w") as fh:
+            json.dump(snapshot, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return snapshot

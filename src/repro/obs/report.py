@@ -1,0 +1,135 @@
+"""Human-readable rendering of exported observability snapshots.
+
+A snapshot is the JSON written by ``Observability.export_json`` (or a
+bare ``MetricsRegistry.export_json``).  ``render_report`` turns it into
+the text the ``python -m repro.obs`` CLI prints: grouped counters,
+gauges, and a phase-histogram summary with a log2 sparkline.
+"""
+
+import json
+
+_BARS = " ▁▂▃▄▅▆▇█"
+
+
+def load_snapshot(path):
+    with open(path) as fh:
+        snapshot = json.load(fh)
+    # Accept both a full Observability export and a bare registry dump.
+    if "registry" not in snapshot and "counters" in snapshot:
+        snapshot = {"registry": snapshot}
+    if "registry" not in snapshot:
+        raise ValueError("%s does not look like an obs snapshot" % path)
+    return snapshot
+
+
+def _fmt_ns(ns):
+    if ns is None:
+        return "-"
+    if ns >= 1e6:
+        return "%.2f ms" % (ns / 1e6)
+    if ns >= 1e3:
+        return "%.2f us" % (ns / 1e3)
+    return "%.0f ns" % ns
+
+
+def _sparkline(buckets):
+    """One glyph per populated log2 bucket, low exponent first."""
+    if not buckets:
+        return ""
+    pairs = sorted((int(k), v) for k, v in buckets.items())
+    lo, hi = pairs[0][0], pairs[-1][0]
+    counts = dict(pairs)
+    peak = max(counts.values())
+    line = []
+    for exponent in range(lo, hi + 1):
+        count = counts.get(exponent, 0)
+        level = 0 if not count else 1 + int((len(_BARS) - 2) * count / peak)
+        line.append(_BARS[level])
+    return "".join(line)
+
+
+def _group(names):
+    """Group dotted names by their first path component."""
+    groups = {}
+    for name in names:
+        groups.setdefault(name.split(".", 1)[0], []).append(name)
+    return groups
+
+
+def render_report(snapshot, *, title="observability report"):
+    registry = snapshot["registry"]
+    counters = registry.get("counters", {})
+    gauges = registry.get("gauges", {})
+    histograms = registry.get("histograms", {})
+    lines = [title, "=" * len(title)]
+    if "now_ns" in snapshot:
+        lines.append("simulated time: %s" % _fmt_ns(snapshot["now_ns"]))
+    trace = snapshot.get("trace")
+    if trace:
+        lines.append(
+            "trace: %d events recorded (%d buffered of %d capacity, %d dropped)"
+            % (
+                trace.get("recorded", 0),
+                trace.get("recorded", 0) - trace.get("dropped", 0),
+                trace.get("capacity", 0),
+                trace.get("dropped", 0),
+            )
+        )
+        kind_totals = trace.get("kind_totals") or {}
+        if kind_totals:
+            lines.append(
+                "  " + "  ".join(
+                    "%s=%d" % (kind, count)
+                    for kind, count in sorted(kind_totals.items())
+                )
+            )
+    if counters:
+        lines.append("")
+        lines.append("counters")
+        lines.append("--------")
+        width = max(len(name) for name in counters)
+        for group in sorted(_group(counters)):
+            for name in sorted(n for n in counters if n.split(".", 1)[0] == group):
+                lines.append("  %s  %d" % (name.ljust(width), counters[name]))
+    if gauges:
+        lines.append("")
+        lines.append("gauges")
+        lines.append("------")
+        width = max(len(name) for name in gauges)
+        for name in sorted(gauges):
+            lines.append("  %s  %s" % (name.ljust(width), gauges[name]))
+    phases = {
+        name: hist for name, hist in histograms.items()
+        if name.startswith("phase.")
+    }
+    others = {
+        name: hist for name, hist in histograms.items()
+        if not name.startswith("phase.")
+    }
+    for heading, table in (("phase histograms", phases),
+                           ("other histograms", others)):
+        if not table:
+            continue
+        lines.append("")
+        lines.append(heading)
+        lines.append("-" * len(heading))
+        width = max(len(name) for name in table)
+        header = "  %s  %10s  %12s  %10s  %10s  %10s  %s" % (
+            "name".ljust(width), "count", "total", "mean", "min", "max",
+            "log2 shape",
+        )
+        lines.append(header)
+        for name in sorted(table):
+            hist = table[name]
+            lines.append(
+                "  %s  %10d  %12s  %10s  %10s  %10s  %s" % (
+                    name.ljust(width),
+                    hist.get("count", 0),
+                    _fmt_ns(hist.get("sum_ns", 0.0)),
+                    _fmt_ns(hist.get("mean_ns")),
+                    _fmt_ns(hist.get("min_ns")),
+                    _fmt_ns(hist.get("max_ns")),
+                    _sparkline(hist.get("buckets", {})),
+                )
+            )
+    return "\n".join(lines)

@@ -1,0 +1,129 @@
+"""Typed event tracing: a bounded ring buffer over the whole stack.
+
+Every layer of the simulation reports its interesting moments here —
+stores, cache-line flushes, fences, RTM begin/commit/abort, log
+appends, commit marks, checkpoints, recovery replays — each stamped
+with the shared ``SimClock`` time.  The buffer is a fixed-capacity
+ring: old events fall off, but per-kind totals are kept exactly for
+the whole run (``counts()``), so counter-asserting tests can pin both
+the sequence *and* the totals.
+
+Events are plain tuples ``(seq, t_ns, kind, a, b)``:
+
+``seq``
+    A monotonically increasing sequence number (never resets while the
+    recorder lives), so "events after instant X" is a stable query
+    even across ring wrap-around — the crash-recovery tests use this
+    to isolate the events recovery itself produced.
+``t_ns``
+    The simulated-clock timestamp; deterministic by construction.
+``a, b``
+    Kind-specific integers (address/length, page number, sequence...).
+
+Two runs of the same seeded workload produce byte-identical event
+sequences; ``tests/obs/test_determinism.py`` enforces this.
+"""
+
+from collections import deque
+
+# -- event kinds (the taxonomy; see DESIGN.md "Observability") ----------
+
+STORE = "store"                      # a=addr, b=length
+CLFLUSH = "clflush"                  # a=addr
+CLWB = "clwb"                        # a=addr
+FENCE = "fence"                      # store fence completed
+RTM_BEGIN = "rtm_begin"              # a=attempt number
+RTM_COMMIT = "rtm_commit"
+RTM_ABORT = "rtm_abort"              # a=0 transient, 1 capacity, 2 explicit
+LOG_APPEND = "log_append"            # a=frame addr/page_no, b=frame bytes
+COMMIT_MARK = "commit_mark"          # a=transaction sequence number
+CHECKPOINT = "checkpoint"            # a=pages/entries written back
+RECOVERY_REPLAY = "recovery_replay"  # a=page_no/slot replayed
+CRASH = "crash"                      # power failure injected
+
+KINDS = (
+    STORE, CLFLUSH, CLWB, FENCE,
+    RTM_BEGIN, RTM_COMMIT, RTM_ABORT,
+    LOG_APPEND, COMMIT_MARK, CHECKPOINT, RECOVERY_REPLAY, CRASH,
+)
+
+ABORT_TRANSIENT = 0
+ABORT_CAPACITY = 1
+ABORT_EXPLICIT = 2
+
+
+class TraceRecorder:
+    """Bounded ring buffer of typed, clock-stamped events."""
+
+    def __init__(self, capacity=65536, *, enabled=True, clock=None):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.enabled = enabled
+        self.seq = 0
+        self._events = deque(maxlen=capacity)
+        self._kind_totals = {}
+        self._clock = clock
+
+    def bind_clock(self, clock):
+        """Stamp subsequent events with ``clock.now_ns``."""
+        self._clock = clock
+
+    # -- recording ---------------------------------------------------------
+
+    def record(self, kind, a=0, b=0):
+        """Append one event (cheap: one deque append + one dict bump)."""
+        if not self.enabled:
+            return
+        self.seq += 1
+        clock = self._clock
+        self._events.append(
+            (self.seq, clock.now_ns if clock is not None else 0.0, kind, a, b)
+        )
+        self._kind_totals[kind] = self._kind_totals.get(kind, 0) + 1
+
+    # -- reading -----------------------------------------------------------
+
+    def events(self, kind=None, since_seq=0):
+        """Buffered events, oldest first, optionally filtered."""
+        return [
+            event for event in self._events
+            if event[0] > since_seq and (kind is None or event[2] == kind)
+        ]
+
+    def count(self, kind):
+        """Exact total of ``kind`` events ever recorded (not just those
+        still in the ring)."""
+        return self._kind_totals.get(kind, 0)
+
+    def counts(self):
+        """Exact per-kind totals over the recorder's whole lifetime."""
+        return dict(sorted(self._kind_totals.items()))
+
+    @property
+    def dropped(self):
+        """Events that have fallen off the ring."""
+        return self.seq - len(self._events)
+
+    def snapshot(self):
+        """Plain-data summary (JSON-ready; feeds the obs report CLI)."""
+        return {
+            "capacity": self.capacity,
+            "recorded": self.seq,
+            "dropped": self.dropped,
+            "kind_totals": self.counts(),
+        }
+
+    def clear(self):
+        """Drop buffered events and totals (``seq`` keeps increasing so
+        ``since_seq`` queries stay stable)."""
+        self._events.clear()
+        self._kind_totals.clear()
+
+    def __len__(self):
+        return len(self._events)
+
+    def __repr__(self):
+        return "TraceRecorder(recorded=%d, buffered=%d, capacity=%d)" % (
+            self.seq, len(self._events), self.capacity,
+        )

@@ -23,6 +23,7 @@ class SimClock:
         self.now_ns = 0.0
         self._buckets = {}
         self._open = []
+        self._observers = []
 
     def advance(self, ns):
         """Advance simulated time by ``ns`` nanoseconds."""
@@ -32,14 +33,32 @@ class SimClock:
         for name in self._open:
             self._buckets[name] = self._buckets.get(name, 0.0) + ns
 
+    def add_observer(self, fn, tag=None):
+        """Call ``fn(name, elapsed_ns)`` when a segment closes.
+
+        ``elapsed_ns`` is the total simulated time that passed inside
+        the segment entry — including nested segments, matching the
+        bucket accounting.  ``tag`` identifies the subscriber (e.g. a
+        metrics registry) so callers can attach idempotently; see
+        :meth:`observers`.
+        """
+        self._observers.append((fn, tag))
+
+    def observers(self):
+        """The registered ``(fn, tag)`` observer pairs."""
+        return tuple(self._observers)
+
     @contextmanager
     def segment(self, name):
         """Attribute all time advanced inside the block to ``name``."""
         self._open.append(name)
+        entered_ns = self.now_ns
         try:
             yield self
         finally:
             self._open.pop()
+            for fn, _ in self._observers:
+                fn(name, self.now_ns - entered_ns)
 
     def elapsed(self, name):
         """Total nanoseconds charged to segment ``name`` so far."""

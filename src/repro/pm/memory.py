@@ -21,6 +21,8 @@ the paper drives Quartz and injects post-``clflush`` delays.
 
 from collections import OrderedDict
 
+from repro.obs import trace as ev
+from repro.obs.context import Observability
 from repro.pm.clock import SimClock
 from repro.pm.crash import PersistAll
 from repro.pm.latency import CostModel, LatencyProfile
@@ -93,6 +95,8 @@ class PersistentMemory:
         atomic_granularity=CACHE_LINE,
         cache_lines=4096,
         flush_instruction="clflush",
+        obs=None,
+        trace=None,
     ):
         if size % CACHE_LINE:
             raise ValueError("size must be a multiple of %d" % CACHE_LINE)
@@ -105,6 +109,23 @@ class PersistentMemory:
         self.cost = cost or CostModel()
         self.clock = clock or SimClock()
         self.stats = stats or MemoryStats()
+        if obs is None:
+            obs = Observability(
+                self.clock, registry=self.stats.registry, trace=trace
+            )
+        self.obs = obs
+        # Hot-path counters, resolved once (registry.reset() preserves
+        # instrument identities, so these references stay live).
+        registry = self.stats.registry
+        self._c_load = registry.counter("pm.load")
+        self._c_load_miss = registry.counter("pm.load_miss")
+        self._c_store = registry.counter("pm.store")
+        self._c_store_bytes = registry.counter("pm.store_bytes")
+        self._c_flush = registry.counter("pm.flush")
+        self._c_flush_clwb = registry.counter("pm.flush.clwb")
+        self._c_flush_bytes = registry.counter("pm.flush_bytes")
+        self._c_fence = registry.counter("pm.fence")
+        self._trace = self.obs.trace
         self.atomic_granularity = atomic_granularity
         self.flush_instruction = flush_instruction
         self._durable = bytearray(size)
@@ -129,14 +150,14 @@ class PersistentMemory:
         misses on real hardware).
         """
         self._check(addr, length)
-        self.stats.loads += 1
+        self._c_load.value += 1
         first = addr // CACHE_LINE
         last = (addr + length - 1) // CACHE_LINE
         out = bytearray()
         missed_before = False
         for line in range(first, last + 1):
             if not self._resident.touch(line):
-                self.stats.load_misses += 1
+                self._c_load_miss.value += 1
                 if missed_before:
                     # Streaming rate degrades with the PM latency knob:
                     # Quartz injects its delay per epoch, so bulk reads
@@ -177,8 +198,9 @@ class PersistentMemory:
         """
         length = len(data)
         self._check(addr, length)
-        self.stats.stores += 1
-        self.stats.bytes_stored += length
+        self._c_store.value += 1
+        self._c_store_bytes.value += length
+        self._trace.record(ev.STORE, addr, length)
         self.clock.advance(self.cost.store_ns + self.cost.store_byte_ns * length)
         offset = 0
         while offset < length:
@@ -227,11 +249,12 @@ class PersistentMemory:
                 "transactional semantics (paper Section 3.2, footnote 2)"
             )
         line = addr // CACHE_LINE
-        self.stats.clflushes += 1
+        self._c_flush.value += 1
+        self._trace.record(ev.CLFLUSH, addr)
         self.clock.advance(self.cost.clflush_ns + self.latency.write_ns)
         entry = self._dirty.pop(line, None)
         if entry is not None:
-            self.stats.bytes_flushed += WORD * len(entry.dirty_words)
+            self._c_flush_bytes.value += WORD * len(entry.dirty_words)
             pending = self._inflight.get(line)
             if pending is None:
                 self._inflight[line] = entry
@@ -255,11 +278,13 @@ class PersistentMemory:
                 "hardware transactional semantics"
             )
         line = addr // CACHE_LINE
-        self.stats.clflushes += 1
+        self._c_flush.value += 1
+        self._c_flush_clwb.value += 1
+        self._trace.record(ev.CLWB, addr)
         self.clock.advance(self.cost.clflush_ns + self.latency.write_ns)
         entry = self._dirty.pop(line, None)
         if entry is not None:
-            self.stats.bytes_flushed += WORD * len(entry.dirty_words)
+            self._c_flush_bytes.value += WORD * len(entry.dirty_words)
             pending = self._inflight.get(line)
             if pending is None:
                 self._inflight[line] = entry
@@ -284,7 +309,8 @@ class PersistentMemory:
 
     def sfence(self):
         """Complete all in-flight flushes (store fence)."""
-        self.stats.fences += 1
+        self._c_fence.value += 1
+        self._trace.record(ev.FENCE)
         self.clock.advance(self.cost.fence_ns)
         for line, entry in self._inflight.items():
             self._apply_words(line, entry, entry.dirty_words)
@@ -311,6 +337,7 @@ class PersistentMemory:
         is then discarded.  Fenced data always survives.
         """
         policy = (policy or PersistAll()).fresh()
+        self._trace.record(ev.CRASH, self.dirty_unit_count())
         granule_words = self.atomic_granularity // WORD
         for source in (self._inflight, self._dirty):
             for line, entry in source.items():
@@ -413,18 +440,23 @@ class VolatileMemory:
         self.cost = cost or CostModel()
         self.clock = clock or SimClock()
         self.stats = stats or MemoryStats()
+        registry = self.stats.registry
+        self._c_load = registry.counter("dram.load")
+        self._c_load_miss = registry.counter("dram.load_miss")
+        self._c_store = registry.counter("dram.store")
+        self._c_store_bytes = registry.counter("dram.store_bytes")
         self._data = bytearray(size)
         self._resident = _ResidencySet(cache_lines)
 
     def read(self, addr, length):
         self._check(addr, length)
-        self.stats.dram_loads += 1
+        self._c_load.value += 1
         first = addr // CACHE_LINE
         last = (addr + length - 1) // CACHE_LINE
         missed_before = False
         for line in range(first, last + 1):
             if not self._resident.touch(line):
-                self.stats.dram_load_misses += 1
+                self._c_load_miss.value += 1
                 if missed_before:
                     self.clock.advance(self.cost.dram_stream_line_ns)
                 else:
@@ -437,8 +469,8 @@ class VolatileMemory:
     def write(self, addr, data):
         length = len(data)
         self._check(addr, length)
-        self.stats.dram_stores += 1
-        self.stats.dram_bytes_stored += length
+        self._c_store.value += 1
+        self._c_store_bytes.value += length
         self.clock.advance(self.cost.store_ns + self.cost.store_byte_ns * length)
         self._data[addr : addr + length] = data
         first = addr // CACHE_LINE

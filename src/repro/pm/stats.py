@@ -2,60 +2,104 @@
 
 The paper reports structural metrics alongside times — most prominently
 the number of cache-line flush instructions per insertion (Figure 9b).
-``MemoryStats`` counts every interesting event so harnesses can report
-them without instrumenting call sites.
+Counting now lives in the shared :class:`repro.obs.MetricsRegistry`;
+``MemoryStats`` remains as a thin view over it so the historical field
+names (``stats.clflushes``, ``stats.rtm_commits``, ...) keep working
+for tests, examples and reports.
 """
 
-from dataclasses import dataclass, fields
+from repro.obs.registry import MetricsRegistry
+
+#: Legacy attribute name -> registry counter name.
+_LEGACY_FIELDS = {
+    "loads": "pm.load",
+    "load_misses": "pm.load_miss",
+    "stores": "pm.store",
+    "bytes_stored": "pm.store_bytes",
+    "clflushes": "pm.flush",
+    "bytes_flushed": "pm.flush_bytes",
+    "fences": "pm.fence",
+    "dram_loads": "dram.load",
+    "dram_load_misses": "dram.load_miss",
+    "dram_stores": "dram.store",
+    "dram_bytes_stored": "dram.store_bytes",
+    "rtm_begins": "rtm.begin",
+    "rtm_commits": "rtm.commit",
+    "rtm_aborts": "rtm.abort",
+    "pm_allocs": "pm.alloc",
+    "pm_frees": "pm.free",
+}
 
 
-@dataclass
 class MemoryStats:
-    """Mutable event counters shared by one simulation's memory objects."""
+    """Legacy-named view over a registry's memory-hierarchy counters.
 
-    loads: int = 0
-    load_misses: int = 0
-    stores: int = 0
-    bytes_stored: int = 0
-    clflushes: int = 0
-    bytes_flushed: int = 0
-    fences: int = 0
-    dram_loads: int = 0
-    dram_load_misses: int = 0
-    dram_stores: int = 0
-    dram_bytes_stored: int = 0
-    rtm_begins: int = 0
-    rtm_commits: int = 0
-    rtm_aborts: int = 0
-    pm_allocs: int = 0
-    pm_frees: int = 0
+    Reading ``stats.clflushes`` returns the live value of the registry
+    counter ``pm.flush``; assignment and ``+=`` write through.  Every
+    instance owns (or shares) a :class:`MetricsRegistry`, so arithmetic
+    helpers (``snapshot``/``since``/``__add__``) hand back independent
+    ``MemoryStats`` objects exactly as the old dataclass did.
+    """
+
+    __slots__ = ("registry",)
+
+    def __init__(self, registry=None, **initial):
+        object.__setattr__(
+            self, "registry", registry if registry is not None else MetricsRegistry()
+        )
+        for field, value in initial.items():
+            setattr(self, field, value)
+
+    def __getattr__(self, name):
+        try:
+            metric = _LEGACY_FIELDS[name]
+        except KeyError:
+            raise AttributeError(
+                "%r has no attribute %r" % (type(self).__name__, name)
+            ) from None
+        return self.registry.value(metric)
+
+    def __setattr__(self, name, value):
+        try:
+            metric = _LEGACY_FIELDS[name]
+        except KeyError:
+            raise AttributeError(
+                "%r has no attribute %r" % (type(self).__name__, name)
+            ) from None
+        self.registry.counter(metric).value = value
 
     def snapshot(self):
         """An independent copy of the current counter values."""
-        return MemoryStats(**{f.name: getattr(self, f.name) for f in fields(self)})
+        return MemoryStats(**self.as_dict())
 
     def since(self, snapshot):
         """Counter deltas accumulated since ``snapshot`` was taken."""
         return MemoryStats(
             **{
-                f.name: getattr(self, f.name) - getattr(snapshot, f.name)
-                for f in fields(self)
+                field: getattr(self, field) - getattr(snapshot, field)
+                for field in _LEGACY_FIELDS
             }
         )
 
     def reset(self):
-        """Zero every counter in place."""
-        for f in fields(self):
-            setattr(self, f.name, 0)
+        """Zero every memory-hierarchy counter in place."""
+        for metric in _LEGACY_FIELDS.values():
+            self.registry.counter(metric).value = 0
 
     def as_dict(self):
         """Counters as a plain ``dict`` (for reports and extra_info)."""
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        return {field: getattr(self, field) for field in _LEGACY_FIELDS}
 
     def __add__(self, other):
         return MemoryStats(
             **{
-                f.name: getattr(self, f.name) + getattr(other, f.name)
-                for f in fields(self)
+                field: getattr(self, field) + getattr(other, field)
+                for field in _LEGACY_FIELDS
             }
+        )
+
+    def __repr__(self):
+        populated = {k: v for k, v in self.as_dict().items() if v}
+        return "MemoryStats(%s)" % ", ".join(
+            "%s=%d" % item for item in sorted(populated.items())
         )

@@ -23,6 +23,7 @@ import random
 from dataclasses import dataclass, field
 
 from repro.core import SystemConfig, engine_class
+from repro.obs.trace import RECOVERY_REPLAY
 from repro.pm.crash import RandomPersist
 from repro.pm.memory import PersistentMemory
 
@@ -65,6 +66,10 @@ class CrashablePM(PersistentMemory):
         self._tick()
         super().clflush(addr)
 
+    def clwb(self, addr):
+        self._tick()
+        super().clwb(addr)
+
     def sfence(self):
         self._tick()
         super().sfence()
@@ -81,6 +86,9 @@ class CrashTestResult:
     inflight: tuple
     recovered: dict
     violations: list = field(default_factory=list)
+    #: ``recovery_replay`` trace events emitted while recovery ran
+    #: (empty when the run completed without crashing).
+    recovery_events: list = field(default_factory=list)
 
     @property
     def ok(self):
@@ -110,6 +118,9 @@ def _apply(model, item):
     for kind, key, value in _ops_of(item):
         if kind == "insert":
             model[key] = value
+        elif kind == "update":
+            if key in model:
+                model[key] = value
         elif kind == "delete":
             model.pop(key, None)
         else:
@@ -120,6 +131,8 @@ def _execute(txn, item):
     for kind, key, value in _ops_of(item):
         if kind == "insert":
             txn.insert(key, value, replace=True)
+        elif kind == "update":
+            txn.update(key, value)
         else:
             txn.delete(key)
 
@@ -164,6 +177,7 @@ def run_to_crash_point(scheme, workload, budget, *, config=None, policy=None,
         return result
 
     pm.crash(policy or RandomPersist(rng=random.Random(seed)))
+    recovery_start_seq = pm.obs.trace.seq
     try:
         engine = engine_class(scheme).attach(config, pm)
         recovered = {k: v for k, v in engine.scan()}
@@ -174,6 +188,9 @@ def run_to_crash_point(scheme, workload, budget, *, config=None, policy=None,
         )
         return result
     result = CrashTestResult(True, committed, inflight, recovered)
+    result.recovery_events = pm.obs.trace.events(
+        kind=RECOVERY_REPLAY, since_seq=recovery_start_seq
+    )
     _validate(engine, result, strict_inflight=True)
     return result
 

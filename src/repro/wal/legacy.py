@@ -131,10 +131,14 @@ class WriteAmplification:
         return self.total_bytes / self.logical_bytes
 
 
-def run_legacy_models(commit_page_counts, *, page_size=4096, record_bytes=64):
+def run_legacy_models(commit_page_counts, *, page_size=4096, record_bytes=64,
+                      registry=None):
     """Feed a recorded workload through both legacy schemes.
 
     Returns ``[WriteAmplification, ...]`` for journaling and WAL modes.
+    When ``registry`` (a :class:`repro.obs.MetricsRegistry`) is given,
+    each scheme additionally publishes ``legacy.<scheme>.*`` counters
+    so figure scripts can read everything from one place.
     """
     logical = record_bytes * len(commit_page_counts)
     results = []
@@ -162,4 +166,13 @@ def run_legacy_models(commit_page_counts, *, page_size=4096, record_bytes=64):
             fsyncs=wal.device.fsyncs,
         )
     )
+    if registry is not None:
+        for result in results:
+            prefix = "legacy.%s." % result.scheme
+            registry.counter(prefix + "logical_bytes").value = result.logical_bytes
+            registry.counter(prefix + "storage_bytes").value = result.storage_bytes
+            registry.counter(prefix + "fs_journal_bytes").value = (
+                result.fs_journal_bytes
+            )
+            registry.counter(prefix + "fsync").value = result.fsyncs
     return results

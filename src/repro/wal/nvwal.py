@@ -34,6 +34,7 @@ Frame encoding::
     (u16 offset, u16 length) * nranges | range bytes ...
 """
 
+from repro.obs import trace as ev
 from repro.pm.allocator import PersistentHeap
 from repro.pm.memory import WORD
 
@@ -139,6 +140,8 @@ class NVWALog:
                 stale.append(addr)
             else:
                 log._absorb(addr, count_bytes=True)
+                pm.obs.inc("wal.replay")
+                pm.obs.event(ev.RECOVERY_REPLAY, addr, seq)
                 prev = addr
             addr = nxt
         if stale:
@@ -195,11 +198,16 @@ class NVWALog:
             self.pm.flush_range(self.base + _OFF_HEAD, 8)
         self._tail = addr
         self.bytes_used += len(frame_bytes)
+        self.pm.obs.inc("wal.frame")
+        self.pm.obs.event(ev.LOG_APPEND, addr, len(frame_bytes))
+        self.pm.obs.registry.set_gauge("wal.bytes_used", self.bytes_used)
 
     def commit(self, seq):
         """The 8-byte-atomic commit mark."""
         self.pm.write_u64(self.base + _OFF_COMMIT_SEQ, seq)
         self.pm.persist(self.base + _OFF_COMMIT_SEQ, 8)
+        self.pm.obs.inc("wal.commit_mark")
+        self.pm.obs.event(ev.COMMIT_MARK, seq)
 
     def publish(self, frames):
         """Post-commit: make the frames visible to page fetches."""
@@ -253,6 +261,8 @@ class NVWALog:
         self.index.clear()
         self._tail = 0
         self.bytes_used = 0
+        self.pm.obs.inc("wal.reset")
+        self.pm.obs.registry.set_gauge("wal.bytes_used", 0)
 
     # ------------------------------------------------------------------
     # Internals

@@ -28,6 +28,8 @@ Frame encodings::
     ROOT frame:  u8 0x02 | u32 root_slot | u32 page_no
 """
 
+from repro.obs import trace as ev
+
 _MAGIC = 0x57A6_10D0
 _OFF_MAGIC = 0
 _OFF_COMMIT = 8
@@ -109,9 +111,12 @@ class SlotHeaderLog:
         """Store all staged frames into the log region (no flushes —
         the paper's "update slot header" step happens without cache
         line flushes; durability comes from :meth:`flush_frames`)."""
+        obs = self.pm.obs
         cursor = self.base + _FRAMES_BASE
         for frame in self._staged:
             self.pm.write(cursor, frame)
+            obs.inc("log.frame")
+            obs.event(ev.LOG_APPEND, cursor, len(frame))
             cursor += len(frame)
 
     def flush_frames(self):
@@ -124,11 +129,14 @@ class SlotHeaderLog:
         word = (seq << 32) | self._staged_bytes
         self.pm.write_u64(self.base + _OFF_COMMIT, word)
         self.pm.persist(self.base + _OFF_COMMIT, 8)
+        self.pm.obs.inc("log.commit_mark")
+        self.pm.obs.event(ev.COMMIT_MARK, seq, self._staged_bytes)
 
     def truncate(self):
         """Reset after checkpointing (atomically empties the log)."""
         self.pm.write_u64(self.base + _OFF_COMMIT, 0)
         self.pm.persist(self.base + _OFF_COMMIT, 8)
+        self.pm.obs.inc("log.truncate")
         self._staged = []
         self._staged_bytes = 0
 
@@ -164,11 +172,13 @@ class SlotHeaderLog:
                 page_no = self.pm.read_u32(cursor + 1)
                 image_len = self.pm.read_u16(cursor + 5)
                 image = self.pm.read(cursor + 7, image_len)
+                self.pm.obs.inc("log.replay")
                 yield "page", page_no, image
                 cursor += 7 + image_len
             elif kind == _FRAME_ROOT:
                 slot = self.pm.read_u32(cursor + 1)
                 page_no = self.pm.read_u32(cursor + 5)
+                self.pm.obs.inc("log.replay")
                 yield "root", slot, page_no
                 cursor += 9
             else:

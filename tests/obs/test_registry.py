@@ -1,0 +1,135 @@
+"""Unit tests for the metrics registry primitives."""
+
+import json
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+def test_counter_inc_and_identity():
+    reg = MetricsRegistry()
+    c = reg.counter("pm.flush")
+    assert c.value == 0
+    c.inc()
+    c.inc(4)
+    assert reg.value("pm.flush") == 5
+    # create-on-demand returns the same instrument every time
+    assert reg.counter("pm.flush") is c
+
+
+def test_inc_convenience_matches_counter():
+    reg = MetricsRegistry()
+    reg.inc("a.b")
+    reg.inc("a.b", 2)
+    assert reg.counter("a.b").value == 3
+
+
+def test_gauge_set_and_add():
+    reg = MetricsRegistry()
+    reg.set_gauge("wal.bytes_used", 4096)
+    assert reg.value("wal.bytes_used") == 4096
+    reg.gauge("wal.bytes_used").add(-96)
+    assert reg.value("wal.bytes_used") == 4000
+
+
+def test_value_default_for_unknown_name():
+    reg = MetricsRegistry()
+    assert reg.value("never.touched") == 0
+    assert reg.value("never.touched", default=None) is None
+
+
+@pytest.mark.parametrize("value,exponent", [
+    (0, 0), (1, 0), (2, 1), (3, 2), (4, 2), (5, 3),
+    (1024, 10), (1025, 11),
+])
+def test_histogram_log2_bucketing(value, exponent):
+    h = Histogram("phase.x")
+    h.record(value)
+    assert h.buckets == {exponent: 1}
+
+
+def test_histogram_summary_fields():
+    h = Histogram("phase.commit")
+    for v in (100, 200, 300):
+        h.record(v)
+    d = h.as_dict()
+    assert d["count"] == 3
+    assert d["sum_ns"] == 600
+    assert d["min_ns"] == 100
+    assert d["max_ns"] == 300
+    assert d["mean_ns"] == 200
+
+
+def test_prefix_filtering():
+    reg = MetricsRegistry()
+    reg.inc("pm.flush")
+    reg.inc("pm.fence")
+    reg.inc("rtm.begin")
+    assert set(reg.counters("pm.")) == {"pm.flush", "pm.fence"}
+    assert list(reg.counters("pm.")) == sorted(reg.counters("pm."))
+
+
+def test_since_reports_only_nonzero_deltas():
+    reg = MetricsRegistry()
+    reg.inc("a", 5)
+    reg.inc("b", 1)
+    reg.observe("phase.commit", 100)
+    snap = reg.snapshot()
+    reg.inc("a", 2)
+    reg.observe("phase.commit", 40)
+    delta = reg.since(snap)
+    assert delta["counters"] == {"a": 2}          # "b" unchanged -> omitted
+    assert delta["histograms"] == {"phase.commit": {"count": 1, "sum_ns": 40}}
+
+
+def test_snapshot_is_plain_data_and_detached():
+    reg = MetricsRegistry()
+    reg.inc("x")
+    snap = reg.snapshot()
+    reg.inc("x")
+    assert snap["counters"]["x"] == 1  # not a live view
+    json.dumps(snap)  # JSON-ready
+
+
+def test_reset_preserves_instrument_identity():
+    reg = MetricsRegistry()
+    c = reg.counter("hot.path")
+    c.inc(9)
+    reg.observe("phase.x", 10)
+    reg.set_gauge("g", 3)
+    reg.reset()
+    assert c.value == 0
+    assert reg.counter("hot.path") is c  # cached references stay valid
+    assert reg.value("g") == 0
+    assert reg.histogram("phase.x").count == 0
+    c.inc()
+    assert reg.value("hot.path") == 1
+
+
+def test_export_json_and_csv(tmp_path):
+    reg = MetricsRegistry()
+    reg.inc("pm.flush", 7)
+    reg.set_gauge("wal.bytes_used", 128)
+    reg.observe("phase.commit", 840.0)
+
+    json_path = tmp_path / "snap.json"
+    reg.export_json(str(json_path))
+    loaded = json.loads(json_path.read_text())
+    assert loaded["counters"]["pm.flush"] == 7
+    assert loaded["gauges"]["wal.bytes_used"] == 128
+    assert loaded["histograms"]["phase.commit"]["count"] == 1
+
+    csv_path = tmp_path / "snap.csv"
+    reg.export_csv(str(csv_path))
+    lines = csv_path.read_text().splitlines()
+    assert lines[0] == "kind,name,field,value"
+    assert "counter,pm.flush,value,7" in lines
+    assert "gauge,wal.bytes_used,value,128" in lines
+    assert any(line.startswith("histogram,phase.commit,sum_ns,") for line in lines)
+
+
+def test_instrument_repr_smoke():
+    assert "pm.flush" in repr(Counter("pm.flush", 3))
+    assert "g" in repr(Gauge("g", 1))
+    assert "h" in repr(Histogram("h"))

@@ -1,0 +1,74 @@
+"""End-to-end test of snapshot export + the ``python -m repro.obs`` CLI."""
+
+import json
+
+import pytest
+
+from repro.core import SystemConfig, open_engine
+from repro.obs.__main__ import main
+from repro.obs.report import load_snapshot, render_report
+
+
+def _small_engine(scheme="fastplus"):
+    config = SystemConfig(
+        scheme=scheme, npages=256, page_size=512, log_bytes=16384,
+        heap_bytes=1 << 20, dram_bytes=64 * 512,
+    )
+    return open_engine(config, scheme=scheme)
+
+
+@pytest.fixture
+def snapshot_path(tmp_path):
+    engine = _small_engine()
+    for i in range(20):
+        engine.insert(b"key%04d" % i, b"v" * 32)
+    path = tmp_path / "snap.json"
+    engine.obs.export_json(str(path))
+    return path
+
+
+def test_export_json_structure(snapshot_path):
+    data = json.loads(snapshot_path.read_text())
+    assert set(data) == {"now_ns", "registry", "trace"}
+    assert data["now_ns"] > 0
+    assert data["registry"]["counters"]["pm.flush"] > 0
+    assert data["trace"]["recorded"] > 0
+    assert "phase.commit" in data["registry"]["histograms"]
+
+
+def test_cli_renders_report(snapshot_path, capsys):
+    assert main([str(snapshot_path)]) == 0
+    out = capsys.readouterr().out
+    assert "pm.flush" in out
+    assert "engine.txn.commit" in out
+    assert "phase.commit" in out
+    assert "trace" in out.lower()
+
+
+def test_cli_title_override(snapshot_path, capsys):
+    main([str(snapshot_path), "--title", "my-little-report"])
+    assert "my-little-report" in capsys.readouterr().out
+
+
+def test_cli_requires_snapshot_or_demo(capsys):
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_load_snapshot_accepts_bare_registry_dump(tmp_path):
+    """``MetricsRegistry.export_json`` output (no clock/trace wrapper)
+    must render too."""
+    engine = _small_engine("fast")
+    engine.insert(b"k", b"v")
+    path = tmp_path / "registry.json"
+    engine.registry.export_json(str(path))
+    report = render_report(load_snapshot(str(path)), title="bare")
+    assert "bare" in report
+    assert "pm.flush" in report
+
+
+def test_report_groups_counters_by_prefix(snapshot_path):
+    report = render_report(load_snapshot(str(snapshot_path)))
+    # One section per top-level counter family present in the run.
+    for family in ("pm.", "engine.", "rtm."):
+        assert family in report

@@ -1,0 +1,84 @@
+"""Unit tests for the trace recorder ring buffer."""
+
+import pytest
+
+from repro.obs import TraceRecorder
+from repro.obs import trace as ev
+from repro.pm.clock import SimClock
+
+
+def test_record_stamps_clock_time():
+    clock = SimClock()
+    tr = TraceRecorder(clock=clock)
+    clock.advance(100)
+    tr.record(ev.STORE, 0x40, 8)
+    clock.advance(50)
+    tr.record(ev.FENCE)
+    events = tr.events()
+    assert events == [(1, 100, ev.STORE, 0x40, 8), (2, 150, ev.FENCE, 0, 0)]
+
+
+def test_kind_filter_and_since_seq():
+    tr = TraceRecorder()
+    tr.record(ev.STORE, 1)
+    tr.record(ev.CLFLUSH, 2)
+    tr.record(ev.STORE, 3)
+    assert [e[3] for e in tr.events(kind=ev.STORE)] == [1, 3]
+    assert [e[3] for e in tr.events(since_seq=1)] == [2, 3]
+    assert tr.events(kind=ev.CLFLUSH, since_seq=2) == []
+
+
+def test_ring_drops_old_events_but_totals_stay_exact():
+    tr = TraceRecorder(capacity=4)
+    for i in range(10):
+        tr.record(ev.STORE, i)
+    assert len(tr) == 4
+    assert tr.dropped == 6
+    assert tr.count(ev.STORE) == 10  # lifetime-exact despite the drops
+    assert [e[3] for e in tr.events()] == [6, 7, 8, 9]
+    assert [e[0] for e in tr.events()] == [7, 8, 9, 10]  # seq never resets
+
+
+def test_counts_is_sorted_per_kind_totals():
+    tr = TraceRecorder()
+    tr.record(ev.STORE)
+    tr.record(ev.FENCE)
+    tr.record(ev.STORE)
+    assert tr.counts() == {ev.FENCE: 1, ev.STORE: 2}
+
+
+def test_disabled_recorder_is_a_no_op():
+    tr = TraceRecorder(enabled=False)
+    tr.record(ev.STORE)
+    assert len(tr) == 0
+    assert tr.seq == 0
+    assert tr.count(ev.STORE) == 0
+
+
+def test_clear_keeps_seq_monotonic():
+    tr = TraceRecorder()
+    tr.record(ev.STORE)
+    tr.record(ev.STORE)
+    tr.clear()
+    assert len(tr) == 0
+    tr.record(ev.FENCE)
+    assert tr.events() == [(3, 0.0, ev.FENCE, 0, 0)]
+    assert tr.events(since_seq=2) == tr.events()
+
+
+def test_snapshot_summary():
+    tr = TraceRecorder(capacity=2)
+    for _ in range(3):
+        tr.record(ev.CLWB, 64)
+    snap = tr.snapshot()
+    assert snap == {
+        "capacity": 2,
+        "recorded": 3,
+        "dropped": 1,
+        "kind_totals": {ev.CLWB: 3},
+    }
+
+
+def test_invalid_capacity_rejected():
+    with pytest.raises(ValueError):
+        TraceRecorder(capacity=0)
