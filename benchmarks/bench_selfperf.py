@@ -1,0 +1,212 @@
+#!/usr/bin/env python
+"""Self-performance baseline: host wall-clock throughput of the simulator.
+
+Every other benchmark in this directory reports *simulated* time — the
+paper's numbers.  This one measures the simulator itself: how many
+single-record inserts per second of **host** wall-clock the three
+scheme engines sustain.  It exists so hot-path regressions are caught
+the same way correctness regressions are.
+
+Workload (fixed, so numbers are comparable across commits):
+
+* schemes ``nvwal``, ``fast``, ``fastplus`` — the full Figure 6 trio;
+* ``--ops`` single-record inserts each (64-byte payloads, seeded
+  keys), built with the stock ``build_config`` arena;
+* the first ``warmup`` inserts are untimed (engine open, imports, and
+  first-touch page allocation excluded); the timer covers the insert
+  loop only, which is what "ops/sec" means here;
+* measured twice: with tracing on (the default) and with
+  ``engine.obs.tracing(False)`` (counters stay exact; only the event
+  ring is elided).
+
+Because the host may be noisy (shared cores), each mode takes the
+best of ``--reps`` repetitions — the minimum is robust against
+additive noise.
+
+Usage::
+
+    python benchmarks/bench_selfperf.py              # measure + compare
+    python benchmarks/bench_selfperf.py --quick      # CI-sized run
+    python benchmarks/bench_selfperf.py --check      # exit 1 on regression
+    python benchmarks/bench_selfperf.py --update     # rewrite baseline
+
+The committed baseline lives in ``BENCH_selfperf.json`` at the repo
+root: a ``before`` block (pre-optimisation numbers, kept for the
+record) and an ``after`` block (what ``--check`` compares against).
+``--check`` fails only on a >3x collapse below the baseline — wide
+enough to tolerate slow CI runners, tight enough to catch an
+accidentally quadratic hot path.
+"""
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+try:
+    import repro  # noqa: F401  (already importable: installed or PYTHONPATH)
+except ImportError:
+    sys.path.insert(0, str(ROOT / "src"))
+
+BASELINE_PATH = ROOT / "BENCH_selfperf.json"
+SCHEMES = ("nvwal", "fast", "fastplus")
+
+#: ``--check`` fails when measured throughput drops below baseline
+#: divided by this factor.
+REGRESSION_FACTOR = 3.0
+
+
+def _insert_loop_seconds(scheme, ops, warmup, traced):
+    """Open an engine, run the fixed insert workload, return the host
+    seconds the timed portion of the loop took."""
+    from repro.bench.harness import build_config
+    from repro.bench.workloads import random_keys, sized_payload
+    from repro.core import open_engine
+
+    config = build_config(scheme, ops=ops)
+    engine = open_engine(config, scheme=scheme)
+    if not traced:
+        if hasattr(engine.obs, "tracing"):
+            engine.obs.tracing(False)
+        else:  # pre-tracing() trees (lets this script time old commits)
+            engine.obs.trace.enabled = False
+    keys = random_keys(ops, seed=7)
+    payload = sized_payload(64)
+    for key in keys[:warmup]:
+        engine.insert(key, payload)
+    start = time.perf_counter()
+    for key in keys[warmup:]:
+        engine.insert(key, payload)
+    return time.perf_counter() - start
+
+
+def measure(ops, warmup, reps, traced):
+    """Best-of-``reps`` throughput per scheme, plus the aggregate."""
+    best = {}
+    for scheme in SCHEMES:
+        seconds = min(
+            _insert_loop_seconds(scheme, ops, warmup, traced)
+            for _ in range(reps)
+        )
+        best[scheme] = seconds
+    timed_ops = ops - warmup
+    return {
+        "per_scheme_ops_per_sec": {
+            scheme: round(timed_ops / seconds, 1)
+            for scheme, seconds in best.items()
+        },
+        "aggregate_ops_per_sec": round(
+            len(SCHEMES) * timed_ops / sum(best.values()), 1
+        ),
+    }
+
+
+def run_measurement(ops, warmup, reps):
+    return {
+        "workload": {
+            "schemes": list(SCHEMES),
+            "ops_per_scheme": ops,
+            "warmup_ops": warmup,
+            "record_size": 64,
+            "timed": "insert loop only (engine open and warmup excluded)",
+            "reps": reps,
+            "statistic": "best-of-reps",
+        },
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "traced": measure(ops, warmup, reps, traced=True),
+        "untraced": measure(ops, warmup, reps, traced=False),
+    }
+
+
+def _print_report(measured, baseline):
+    print("selfperf: host ops/sec, insert loop only, best of %d reps"
+          % measured["workload"]["reps"])
+    for mode in ("traced", "untraced"):
+        per = measured[mode]["per_scheme_ops_per_sec"]
+        print("  %-9s aggregate %8.1f ops/s   (%s)" % (
+            mode, measured[mode]["aggregate_ops_per_sec"],
+            "  ".join("%s %.0f" % (s, per[s]) for s in SCHEMES),
+        ))
+    after = (baseline or {}).get("after")
+    if after:
+        for mode in ("traced", "untraced"):
+            base = after[mode]["aggregate_ops_per_sec"]
+            now = measured[mode]["aggregate_ops_per_sec"]
+            print("  %-9s vs baseline %8.1f ops/s -> %.2fx" % (
+                mode, base, now / base))
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Measure the simulator's own insert throughput "
+                    "(host wall-clock).",
+    )
+    parser.add_argument("--ops", type=int, default=3000,
+                        help="inserts per scheme (default 3000)")
+    parser.add_argument("--warmup", type=int, default=100,
+                        help="untimed leading inserts (default 100)")
+    parser.add_argument("--reps", type=int, default=5,
+                        help="repetitions per mode; best is kept (default 5)")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized run: --ops 1500 --reps 3")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 if throughput fell more than %.0fx "
+                             "below the committed baseline" % REGRESSION_FACTOR)
+    parser.add_argument("--update", action="store_true",
+                        help="write the measurement into the 'after' block "
+                             "of %s" % BASELINE_PATH.name)
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also dump the raw measurement ('-' = stdout)")
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.ops = min(args.ops, 1500)
+        args.reps = min(args.reps, 3)
+
+    measured = run_measurement(args.ops, args.warmup, args.reps)
+    baseline = (
+        json.loads(BASELINE_PATH.read_text())
+        if BASELINE_PATH.exists() else None
+    )
+    _print_report(measured, baseline)
+
+    if args.json == "-":
+        print(json.dumps(measured, indent=2))
+    elif args.json:
+        pathlib.Path(args.json).write_text(json.dumps(measured, indent=2) + "\n")
+
+    if args.update:
+        baseline = baseline or {}
+        baseline["after"] = measured
+        BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+        print("updated %s" % BASELINE_PATH)
+
+    if args.check:
+        if not baseline or "after" not in baseline:
+            print("selfperf: no committed baseline to check against",
+                  file=sys.stderr)
+            return 1
+        failed = False
+        for mode in ("traced", "untraced"):
+            base = baseline["after"][mode]["aggregate_ops_per_sec"]
+            now = measured[mode]["aggregate_ops_per_sec"]
+            if now * REGRESSION_FACTOR < base:
+                print("selfperf REGRESSION: %s %.1f ops/s is >%.0fx below "
+                      "baseline %.1f ops/s"
+                      % (mode, now, REGRESSION_FACTOR, base), file=sys.stderr)
+                failed = True
+        if failed:
+            return 1
+        print("selfperf check: OK (within %.0fx of baseline)"
+              % REGRESSION_FACTOR)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,6 +23,30 @@ RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
 OPS = int(os.environ.get("REPRO_BENCH_OPS", "800"))
 
 
+def pytest_addoption(parser):
+    group = parser.getgroup("repro-bench")
+    group.addoption(
+        "--parallel", action="store_true", default=False,
+        help="fan each figure's grid cells out over worker processes "
+             "(results are byte-identical to serial; see repro.bench."
+             "parallel).  REPRO_BENCH_PARALLEL=1 does the same.",
+    )
+    group.addoption(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for --parallel (default: all CPUs)",
+    )
+
+
+def pytest_configure(config):
+    from repro.bench import parallel
+
+    if config.getoption("--parallel", default=False):
+        parallel.configure(parallel=True)
+    jobs = config.getoption("--jobs", default=None)
+    if jobs:
+        parallel.configure(jobs=jobs)
+
+
 @pytest.fixture(scope="session")
 def results_dir():
     RESULTS_DIR.mkdir(exist_ok=True)

@@ -4,12 +4,18 @@ Usage::
 
     python -m repro.bench fig6 fig8
     python -m repro.bench all --ops 5000
+    python -m repro.bench --parallel fig6 fig9
+
+``--parallel`` fans the grid cells of a figure out over worker
+processes (one simulation per cell); results are merged in declared
+grid order, so the output is byte-identical to a serial run.
 """
 
 import argparse
 import sys
 import time
 
+from repro.bench import parallel
 from repro.bench.figures import FIGURES
 
 
@@ -28,7 +34,20 @@ def main(argv=None):
                              "REPRO_BENCH_OPS or 1500)")
     parser.add_argument("--out", default=None, metavar="DIR",
                         help="also write <DIR>/<figure>.txt and .csv")
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument("--parallel", action="store_true",
+                      help="run each grid cell in its own worker process "
+                           "(output is byte-identical to --serial)")
+    mode.add_argument("--serial", action="store_true",
+                      help="run grid cells in-process (the default)")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for --parallel "
+                             "(default: all CPUs)")
     args = parser.parse_args(argv)
+    parallel.configure(
+        parallel=True if args.parallel else (False if args.serial else None),
+        jobs=args.jobs,
+    )
     names = sorted(FIGURES) if "all" in args.figures else args.figures
     for name in names:
         generator = FIGURES.get(name)

@@ -18,10 +18,11 @@ import os
 
 from repro.bench.harness import (
     build_config,
-    run_multi_insert,
+    run_multi_insert,      # noqa: F401  (serial ablations still call it)
     run_single_inserts,
-    run_sql_statements,
+    run_sql_statements,    # noqa: F401
 )
+from repro.bench.parallel import cell, run_cells
 from repro.bench.report import format_table
 from repro.wal.legacy import run_legacy_models
 
@@ -85,19 +86,25 @@ def fig1(ops=None):
 
 def fig6(ops=None):
     ops = ops or default_ops()
+    grid = [
+        (read_ns, write_ns, scheme)
+        for read_ns, write_ns in LATENCY_POINTS
+        for scheme in SCHEMES
+    ]
+    results = run_cells(
+        cell("run_single_inserts", scheme=scheme, ops=ops,
+             read_ns=read_ns, write_ns=write_ns)
+        for read_ns, write_ns, scheme in grid
+    )
     rows = []
     data = {}
-    for read_ns, write_ns in LATENCY_POINTS:
-        for scheme in SCHEMES:
-            result = run_single_inserts(
-                scheme, ops=ops, read_ns=read_ns, write_ns=write_ns
-            )
-            rows.append([
-                "%d/%d" % (read_ns, write_ns), scheme,
-                _seg(result, "search"), _seg(result, "page_update"),
-                _seg(result, "commit"), result.op_us,
-            ])
-            data[(read_ns, write_ns, scheme)] = result
+    for (read_ns, write_ns, scheme), result in zip(grid, results):
+        rows.append([
+            "%d/%d" % (read_ns, write_ns), scheme,
+            _seg(result, "search"), _seg(result, "page_update"),
+            _seg(result, "commit"), result.op_us,
+        ])
+        data[(read_ns, write_ns, scheme)] = result
     table = format_table(
         "Figure 6: B-tree insertion time breakdown (us/insert) vs PM "
         "read/write latency",
@@ -122,18 +129,24 @@ _FIG7_SEGMENTS = (
 
 def fig7(ops=None):
     ops = ops or default_ops()
+    grid = [
+        (read_ns, write_ns, scheme)
+        for read_ns, write_ns in LATENCY_POINTS[1:]
+        for scheme in SCHEMES
+    ]
+    results = run_cells(
+        cell("run_single_inserts", scheme=scheme, ops=ops,
+             read_ns=read_ns, write_ns=write_ns)
+        for read_ns, write_ns, scheme in grid
+    )
     rows = []
     data = {}
-    for read_ns, write_ns in LATENCY_POINTS[1:]:
-        for scheme in SCHEMES:
-            result = run_single_inserts(
-                scheme, ops=ops, read_ns=read_ns, write_ns=write_ns
-            )
-            rows.append(
-                ["%d/%d" % (read_ns, write_ns), scheme]
-                + [_seg(result, key) for key, _ in _FIG7_SEGMENTS]
-            )
-            data[(read_ns, write_ns, scheme)] = result
+    for (read_ns, write_ns, scheme), result in zip(grid, results):
+        rows.append(
+            ["%d/%d" % (read_ns, write_ns), scheme]
+            + [_seg(result, key) for key, _ in _FIG7_SEGMENTS]
+        )
+        data[(read_ns, write_ns, scheme)] = result
     table = format_table(
         "Figure 7: Page Update breakdown (us/insert) vs PM latency",
         ["latency", "scheme"] + [label for _, label in _FIG7_SEGMENTS],
@@ -162,18 +175,24 @@ _FIG8_SEGMENTS = (
 
 def fig8(ops=None):
     ops = ops or default_ops()
+    grid = [
+        (write_ns, scheme)
+        for write_ns in WRITE_LATENCIES
+        for scheme in SCHEMES
+    ]
+    results = run_cells(
+        cell("run_single_inserts", scheme=scheme, ops=ops,
+             read_ns=300, write_ns=write_ns)
+        for write_ns, scheme in grid
+    )
     rows = []
     data = {}
-    for write_ns in WRITE_LATENCIES:
-        for scheme in SCHEMES:
-            result = run_single_inserts(
-                scheme, ops=ops, read_ns=300, write_ns=write_ns
-            )
-            rows.append(
-                [write_ns, scheme, _seg(result, "commit")]
-                + [_seg(result, key) for key, _ in _FIG8_SEGMENTS]
-            )
-            data[(write_ns, scheme)] = result
+    for (write_ns, scheme), result in zip(grid, results):
+        rows.append(
+            [write_ns, scheme, _seg(result, "commit")]
+            + [_seg(result, key) for key, _ in _FIG8_SEGMENTS]
+        )
+        data[(write_ns, scheme)] = result
     ratios = [
         data[(w, "nvwal")].segments_us.get("commit", 0.0)
         / max(1e-9, data[(w, "fastplus")].segments_us.get("commit", 0.0))
@@ -199,17 +218,21 @@ def fig8(ops=None):
 
 def fig9(ops=None):
     ops = ops or default_ops()
+    grid = [
+        (size, scheme) for size in RECORD_SIZES for scheme in SCHEMES
+    ]
+    results = run_cells(
+        cell("run_single_inserts", scheme=scheme, ops=ops,
+             record_size=size, read_ns=300, write_ns=300)
+        for size, scheme in grid
+    )
     rows = []
     data = {}
-    for size in RECORD_SIZES:
-        for scheme in SCHEMES:
-            result = run_single_inserts(
-                scheme, ops=ops, record_size=size, read_ns=300, write_ns=300
-            )
-            rows.append([
-                size, scheme, result.op_us, round(result.per_op("pm.flush"), 2),
-            ])
-            data[(size, scheme)] = result
+    for (size, scheme), result in zip(grid, results):
+        rows.append([
+            size, scheme, result.op_us, round(result.per_op("pm.flush"), 2),
+        ])
+        data[(size, scheme)] = result
     table = format_table(
         "Figure 9: insertion time (a) and clflush count (b) per insert "
         "vs record size (PM 300/300 ns)",
@@ -226,17 +249,22 @@ def fig9(ops=None):
 
 def fig10(ops=None):
     ops = ops or default_ops()
+    grid = [
+        (per_txn, scheme) for per_txn in TXN_SIZES for scheme in SCHEMES
+    ]
+    results = run_cells(
+        cell("run_multi_insert", scheme=scheme,
+             txns=max(50, ops // per_txn), per_txn=per_txn)
+        for per_txn, scheme in grid
+    )
     rows = []
     data = {}
-    for per_txn in TXN_SIZES:
-        txns = max(50, ops // per_txn)
-        for scheme in SCHEMES:
-            result = run_multi_insert(scheme, txns=txns, per_txn=per_txn)
-            rows.append([
-                per_txn, scheme, result.op_us,
-                _seg(result, "commit"), round(result.per_op("pm.flush"), 2),
-            ])
-            data[(per_txn, scheme)] = result
+    for (per_txn, scheme), result in zip(grid, results):
+        rows.append([
+            per_txn, scheme, result.op_us,
+            _seg(result, "commit"), round(result.per_op("pm.flush"), 2),
+        ])
+        data[(per_txn, scheme)] = result
     table = format_table(
         "Figure 10 (reconstructed): per-insert cost vs records per "
         "transaction (PM 300/300 ns)",
@@ -256,13 +284,20 @@ def fig10(ops=None):
 
 def fig11(ops=None):
     ops = max(300, (ops or default_ops()) // 2)
+    grid = [
+        (kind, scheme)
+        for kind in ("insert", "update", "delete", "select")
+        for scheme in SCHEMES
+    ]
+    results = run_cells(
+        cell("run_sql_statements", scheme=scheme, ops=ops, kind=kind)
+        for kind, scheme in grid
+    )
     rows = []
     data = {}
-    for kind in ("insert", "update", "delete", "select"):
-        for scheme in SCHEMES:
-            result = run_sql_statements(scheme, ops=ops, kind=kind)
-            rows.append([kind, scheme, result.sql_op_us])
-            data[(kind, scheme)] = result
+    for (kind, scheme), result in zip(grid, results):
+        rows.append([kind, scheme, result.sql_op_us])
+        data[(kind, scheme)] = result
     improvements = {}
     for kind in ("insert", "update", "delete"):
         nv = data[(kind, "nvwal")].sql_op_us
@@ -282,16 +317,20 @@ def fig11(ops=None):
 
 def fig12(ops=None):
     ops = max(300, (ops or default_ops()) // 2)
+    grid = [
+        (ratio, scheme) for ratio in READ_RATIOS for scheme in SCHEMES
+    ]
+    results = run_cells(
+        cell("run_sql_statements", scheme=scheme, ops=ops,
+             kind="mixed", read_ratio=ratio)
+        for ratio, scheme in grid
+    )
     rows = []
     data = {}
-    for ratio in READ_RATIOS:
-        for scheme in SCHEMES:
-            result = run_sql_statements(
-                scheme, ops=ops, kind="mixed", read_ratio=ratio
-            )
-            kops = 1000.0 / max(1e-9, result.sql_op_us)
-            rows.append([int(ratio * 100), scheme, result.sql_op_us, kops])
-            data[(ratio, scheme)] = result
+    for (ratio, scheme), result in zip(grid, results):
+        kops = 1000.0 / max(1e-9, result.sql_op_us)
+        rows.append([int(ratio * 100), scheme, result.sql_op_us, kops])
+        data[(ratio, scheme)] = result
     table = format_table(
         "Figure 12 (reconstructed): throughput under mixed workloads "
         "(PM 300/300 ns)",
@@ -459,19 +498,27 @@ def ablation_flush_instruction(ops=None):
     import dataclasses
 
     ops = max(400, (ops or default_ops()) // 2)
+    grid = [
+        (scheme, instruction)
+        for scheme in ("fast", "fastplus")
+        for instruction in ("clflush", "clwb")
+    ]
+    results = run_cells(
+        cell("run_single_inserts", scheme=scheme, ops=ops,
+             config=dataclasses.replace(
+                 build_config(scheme, ops=ops),
+                 flush_instruction=instruction,
+             ))
+        for scheme, instruction in grid
+    )
     rows = []
     data = {}
-    for scheme in ("fast", "fastplus"):
-        for instruction in ("clflush", "clwb"):
-            config = dataclasses.replace(
-                build_config(scheme, ops=ops), flush_instruction=instruction
-            )
-            result = run_single_inserts(scheme, ops=ops, config=config)
-            rows.append([
-                scheme, instruction, result.op_us,
-                round(result.per_op("pm.load_miss"), 2),
-            ])
-            data[(scheme, instruction)] = result.op_us
+    for (scheme, instruction), result in zip(grid, results):
+        rows.append([
+            scheme, instruction, result.op_us,
+            round(result.per_op("pm.load_miss"), 2),
+        ])
+        data[(scheme, instruction)] = result.op_us
     table = format_table(
         "Ablation A5: flush instruction (PM 300/300 ns)",
         ["scheme", "instruction", "us/insert", "read misses/insert"],

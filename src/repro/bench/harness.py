@@ -139,7 +139,8 @@ def run_single_inserts(scheme, *, ops=2000, record_size=64, read_ns=300.0,
         extras["logged_commits"] = engine.logged_commits - logged_before
     if hasattr(engine, "checkpoints"):
         extras["checkpoints"] = engine.checkpoints
-    extras["commit_page_counts"] = engine.commit_page_counts
+    if hasattr(engine, "commit_page_counts"):
+        extras["commit_page_counts"] = engine.commit_page_counts
     return _collect(engine, ops, params, snapshot, **extras)
 
 

@@ -27,6 +27,7 @@ class ReadView:
 
     def __init__(self, store):
         self.store = store
+        self.segment = store.pm.clock.segment  # hot-path alias
 
     def root_page_no(self, slot):
         return self.store.root(slot)

@@ -46,6 +46,7 @@ class FASTContext:
         self.pm = engine.pm
         self.clock = engine.pm.clock
         self.obs = engine.obs
+        self.segment = self.clock.segment  # hot-path alias
         self._pages = {}
         self.dirty = {}        # page_no -> page whose header will be logged
         self.new_pages = {}    # page_no -> page created by this txn

@@ -94,9 +94,7 @@ class NVWALView:
 
     def __init__(self, engine):
         self.engine = engine
-
-    def segment(self, name):
-        return self.engine.obs.span(name)
+        self.segment = engine.obs.clock.segment  # hot-path alias
 
     def root_page_no(self, slot):
         return self.engine._root(slot)

@@ -36,7 +36,16 @@ class Observability:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.trace = trace if trace is not None else TraceRecorder()
         self.trace.bind_clock(clock)
+        # segment name -> its "phase.<name>" histogram.  Safe to cache:
+        # ``MetricsRegistry.reset`` zeroes instruments in place, so the
+        # handles stay live (same contract the PM counter handles use).
+        self._phase_hists = {}
         self._attach_clock()
+        # Hot-path aliases: ``phase``/``span`` are pure taxonomy over
+        # ``clock.segment`` (see the method docstrings); binding the
+        # clock method directly skips two dispatch layers per segment
+        # entry on every engine's per-operation path.
+        self.phase = self.span = self.clock.segment
 
     def _attach_clock(self):
         """Feed every clock segment into ``phase.<name>`` histograms.
@@ -51,7 +60,27 @@ class Observability:
         self.clock.add_observer(self._on_segment, self.registry)
 
     def _on_segment(self, name, elapsed_ns):
-        self.registry.observe("phase." + name, elapsed_ns)
+        hist = self._phase_hists.get(name)
+        if hist is None:
+            hist = self._phase_hists[name] = self.registry.histogram(
+                "phase." + name
+            )
+        # ``Histogram.record`` inlined: this runs on every segment exit
+        # (a dozen times per engine operation).
+        hist.count += 1
+        hist.sum += elapsed_ns
+        if hist.min is None or elapsed_ns < hist.min:
+            hist.min = elapsed_ns
+        if hist.max is None or elapsed_ns > hist.max:
+            hist.max = elapsed_ns
+        exponent = (
+            int(elapsed_ns - 1).bit_length() if elapsed_ns > 1 else 0
+        )
+        buckets = hist.buckets
+        try:
+            buckets[exponent] += 1
+        except KeyError:
+            buckets[exponent] = 1
 
     # -- phase / span accounting -------------------------------------------
 
@@ -65,6 +94,23 @@ class Observability:
         ``name``.  Spans nest inside phases; time recorded in a span is
         also charged to every enclosing phase (stacked-bar semantics)."""
         return self.clock.segment(name)
+
+    # -- tracing toggle -----------------------------------------------------
+
+    def tracing(self, enabled=True):
+        """Enable or disable event recording (the trace ring).
+
+        ``obs.tracing(False)`` is the no-trace fast mode: hot paths
+        guard their ``trace.record`` calls on ``trace.enabled``, so a
+        disabled recorder costs one attribute check per event instead
+        of a call.  Counters, histograms, and the simulated clock are
+        untouched — a ``tracing(False)`` run produces byte-identical
+        registry numbers to a traced run; only the event ring (and its
+        ``seq``/per-kind totals) is elided.  Returns ``self`` so the
+        toggle chains: ``engine.obs.tracing(False).snapshot()``.
+        """
+        self.trace.enabled = bool(enabled)
+        return self
 
     # -- convenience passthroughs ------------------------------------------
 

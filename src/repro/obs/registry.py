@@ -84,8 +84,21 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
-        exponent = max(0, int(value - 1).bit_length()) if value > 1 else 0
-        self.buckets[exponent] = self.buckets.get(exponent, 0) + 1
+        exponent = int(value - 1).bit_length() if value > 1 else 0
+        buckets = self.buckets
+        try:
+            buckets[exponent] += 1
+        except KeyError:
+            buckets[exponent] = 1
+
+    def zero(self):
+        """Reset all observations in place (identity is preserved, so
+        cached handles held by observers stay live)."""
+        self.count = 0
+        self.sum = 0.0
+        self.min = None
+        self.max = None
+        self.buckets.clear()
 
     @property
     def mean(self):
@@ -232,8 +245,8 @@ class MetricsRegistry:
             counter.value = 0
         for gauge in self._gauges.values():
             gauge.value = 0
-        for name in list(self._histograms):
-            self._histograms[name] = Histogram(name)
+        for histogram in self._histograms.values():
+            histogram.zero()
 
     # -- export ------------------------------------------------------------
 

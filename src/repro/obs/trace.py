@@ -26,6 +26,16 @@ sequences; ``tests/obs/test_determinism.py`` enforces this.
 
 from collections import deque
 
+
+class _NullClock:
+    """Stand-in for an unbound clock: events stamp ``t_ns = 0.0``."""
+
+    __slots__ = ()
+    now_ns = 0.0
+
+
+_NULL_CLOCK = _NullClock()
+
 # -- event kinds (the taxonomy; see DESIGN.md "Observability") ----------
 
 STORE = "store"                      # a=addr, b=length
@@ -55,6 +65,10 @@ ABORT_EXPLICIT = 2
 class TraceRecorder:
     """Bounded ring buffer of typed, clock-stamped events."""
 
+    __slots__ = (
+        "capacity", "enabled", "seq", "_events", "_kind_totals", "_clock",
+    )
+
     def __init__(self, capacity=65536, *, enabled=True, clock=None):
         if capacity <= 0:
             raise ValueError("capacity must be positive")
@@ -63,11 +77,11 @@ class TraceRecorder:
         self.seq = 0
         self._events = deque(maxlen=capacity)
         self._kind_totals = {}
-        self._clock = clock
+        self._clock = clock if clock is not None else _NULL_CLOCK
 
     def bind_clock(self, clock):
         """Stamp subsequent events with ``clock.now_ns``."""
-        self._clock = clock
+        self._clock = clock if clock is not None else _NULL_CLOCK
 
     # -- recording ---------------------------------------------------------
 
@@ -75,12 +89,14 @@ class TraceRecorder:
         """Append one event (cheap: one deque append + one dict bump)."""
         if not self.enabled:
             return
-        self.seq += 1
-        clock = self._clock
-        self._events.append(
-            (self.seq, clock.now_ns if clock is not None else 0.0, kind, a, b)
-        )
-        self._kind_totals[kind] = self._kind_totals.get(kind, 0) + 1
+        seq = self.seq + 1
+        self.seq = seq
+        self._events.append((seq, self._clock.now_ns, kind, a, b))
+        totals = self._kind_totals
+        try:
+            totals[kind] += 1
+        except KeyError:
+            totals[kind] = 1
 
     # -- reading -----------------------------------------------------------
 

@@ -7,7 +7,61 @@ letting callers open nested *segments*; every ``advance()`` charges the
 elapsed simulated time to the total and to every segment currently open.
 """
 
-from contextlib import contextmanager
+class _Segment:
+    """Reusable context manager for one segment entry.
+
+    A plain class with ``__slots__`` instead of ``@contextmanager``:
+    segment entry/exit is on the per-operation hot path of every
+    engine, and the generator-based protocol costs several times more
+    per entry.  Semantics are identical — append on enter, pop and
+    notify observers on exit.
+    """
+
+    __slots__ = ("_clock", "_name", "_entered_ns", "_active")
+
+    def __init__(self, clock, name):
+        self._clock = clock
+        self._name = name
+        self._active = False
+
+    def __enter__(self):
+        clock = self._clock
+        ns = clock.pending_ns
+        if ns:
+            clock.pending_ns = 0.0
+            buckets = clock._buckets
+            for name in clock._open:
+                try:
+                    buckets[name] += ns
+                except KeyError:
+                    buckets[name] = ns
+        clock._open.append(self._name)
+        self._entered_ns = clock.now_ns
+        self._active = True
+        return clock
+
+    def __exit__(self, exc_type, exc, tb):
+        self._active = False
+        clock = self._clock
+        ns = clock.pending_ns
+        if ns:
+            clock.pending_ns = 0.0
+            buckets = clock._buckets
+            for name in clock._open:
+                try:
+                    buckets[name] += ns
+                except KeyError:
+                    buckets[name] = ns
+        clock._open.pop()
+        name = self._name
+        elapsed = clock.now_ns - self._entered_ns
+        observers = clock._observers
+        if len(observers) == 1:  # the common case: one metrics registry
+            observers[0][0](name, elapsed)
+        else:
+            for fn, _ in observers:
+                fn(name, elapsed)
+        return False
 
 
 class SimClock:
@@ -19,19 +73,45 @@ class SimClock:
     their parent phase bars.
     """
 
+    __slots__ = (
+        "now_ns", "pending_ns", "_buckets", "_open", "_observers",
+        "_segments",
+    )
+
     def __init__(self):
         self.now_ns = 0.0
+        #: Simulated time advanced but not yet attributed to the open
+        #: segments' buckets.  The open-segment set only changes on
+        #: segment entry/exit, so attribution can be deferred until
+        #: then (or until a bucket reader flushes): every open segment
+        #: receives exactly the time that passed while it was open,
+        #: and ``now_ns`` itself is always exact.  This takes the
+        #: per-``advance`` cost on the memory-model hot path down to
+        #: two float adds.
+        self.pending_ns = 0.0
         self._buckets = {}
         self._open = []
         self._observers = []
+        self._segments = {}  # name -> reusable _Segment (hot-path cache)
 
     def advance(self, ns):
         """Advance simulated time by ``ns`` nanoseconds."""
         if ns <= 0:
             return
         self.now_ns += ns
-        for name in self._open:
-            self._buckets[name] = self._buckets.get(name, 0.0) + ns
+        self.pending_ns += ns
+
+    def flush_pending(self):
+        """Attribute ``pending_ns`` to every currently open segment."""
+        ns = self.pending_ns
+        if ns:
+            self.pending_ns = 0.0
+            buckets = self._buckets
+            for name in self._open:
+                try:
+                    buckets[name] += ns
+                except KeyError:
+                    buckets[name] = ns
 
     def add_observer(self, fn, tag=None):
         """Call ``fn(name, elapsed_ns)`` when a segment closes.
@@ -48,37 +128,51 @@ class SimClock:
         """The registered ``(fn, tag)`` observer pairs."""
         return tuple(self._observers)
 
-    @contextmanager
     def segment(self, name):
-        """Attribute all time advanced inside the block to ``name``."""
-        self._open.append(name)
-        entered_ns = self.now_ns
-        try:
-            yield self
-        finally:
-            self._open.pop()
-            for fn, _ in self._observers:
-                fn(name, self.now_ns - entered_ns)
+        """Attribute all time advanced inside the block to ``name``.
+
+        Segment objects are cached per name and reused: entry/exit is
+        on every engine's per-operation hot path, and allocating a
+        fresh context manager each time costs more than the accounting
+        itself.  Re-entrant same-name nesting (not something the
+        engines do, but legal) falls back to a fresh object so the
+        cached one's entry timestamp is never clobbered.
+        """
+        segment = self._segments.get(name)
+        if segment is None:
+            segment = self._segments[name] = _Segment(self, name)
+        elif segment._active:
+            return _Segment(self, name)
+        return segment
 
     def elapsed(self, name):
         """Total nanoseconds charged to segment ``name`` so far."""
+        if self.pending_ns:
+            self.flush_pending()
         return self._buckets.get(name, 0.0)
 
     def segments(self):
         """A copy of all segment totals (name -> nanoseconds)."""
+        if self.pending_ns:
+            self.flush_pending()
         return dict(self._buckets)
 
     def reset(self):
         """Zero the clock and every segment (open segments stay open)."""
         self.now_ns = 0.0
+        self.pending_ns = 0.0
         self._buckets.clear()
 
     def snapshot(self):
         """Capture (now, segments) for later differencing via ``since``."""
+        if self.pending_ns:
+            self.flush_pending()
         return self.now_ns, dict(self._buckets)
 
     def since(self, snapshot):
         """Return (elapsed_ns, per-segment deltas) since ``snapshot``."""
+        if self.pending_ns:
+            self.flush_pending()
         then, buckets = snapshot
         deltas = {}
         for name, value in self._buckets.items():

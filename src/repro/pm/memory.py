@@ -32,15 +32,67 @@ CACHE_LINE = 64
 WORD = 8
 _WORDS_PER_LINE = CACHE_LINE // WORD
 
+#: All eight words of a line dirty (the common full-line case).
+_FULL_LINE = (1 << _WORDS_PER_LINE) - 1
+
+#: ``_RANGE_MASK[first][last]`` — bitmask of words ``first..last``
+#: (inclusive), precomputed so the store hot path marks a span of
+#: dirty words with one table lookup and one ``|=``.
+_RANGE_MASK = tuple(
+    tuple(
+        ((1 << (last - first + 1)) - 1) << first if last >= first else 0
+        for last in range(_WORDS_PER_LINE)
+    )
+    for first in range(_WORDS_PER_LINE)
+)
+
+#: Flat variant of ``_RANGE_MASK``, indexed ``first * 8 + last`` — one
+#: subscript instead of two on the store fast path.
+_RANGE_MASK_FLAT = tuple(
+    _RANGE_MASK[first][last]
+    for first in range(_WORDS_PER_LINE)
+    for last in range(_WORDS_PER_LINE)
+)
+
+
+#: ``_MASK_WORDS[mask]`` — the set word indices of the 8-bit ``mask``,
+#: ascending.  A 256-entry table beats re-deriving bits in the flush
+#: and crash paths (see ``_bits`` for why ascending order matters).
+_MASK_WORDS = tuple(
+    tuple(w for w in range(_WORDS_PER_LINE) if mask >> w & 1)
+    for mask in range(1 << _WORDS_PER_LINE)
+)
+
+
+def _bits(mask):
+    """Set bit positions of ``mask``, ascending (word indices 0..7).
+
+    Ascending order matches how CPython iterates a set of small ints,
+    which is what ``dirty_words`` used to be — crash policies that
+    consume an RNG per ``survives()`` call see the identical call
+    sequence, keeping seeded crash tests bit-for-bit stable.
+    """
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
 
 class _DirtyLine:
-    """Cache-resident state of one dirty line."""
+    """Cache-resident state of one dirty line.
+
+    ``data`` is a caller-owned 64-byte ``bytearray`` (constructors pass
+    a freshly sliced/copied buffer — ``_DirtyLine`` itself no longer
+    copies).  ``dirty_words`` is an integer bitmask (bit ``w`` set when
+    8-byte word ``w`` of the line has unflushed modifications) instead
+    of the historical ``set`` — same semantics, no per-word allocation.
+    """
 
     __slots__ = ("data", "dirty_words")
 
-    def __init__(self, data):
-        self.data = bytearray(data)
-        self.dirty_words = set()
+    def __init__(self, data, dirty_words=0):
+        self.data = data
+        self.dirty_words = dirty_words
 
 
 class _ResidencySet:
@@ -126,12 +178,38 @@ class PersistentMemory:
         self._c_flush_bytes = registry.counter("pm.flush_bytes")
         self._c_fence = registry.counter("pm.fence")
         self._trace = self.obs.trace
+        # Scalar costs, folded once: latency/cost profiles are frozen
+        # dataclasses, so the per-access attribute chains (and the
+        # streaming-rate ``max``) can be hoisted out of the hot paths.
+        self._read_miss_ns = self.latency.read_ns
+        self._stream_ns = max(self.cost.stream_line_ns, 0.15 * self.latency.read_ns)
+        self._hit_ns = self.cost.cache_hit_ns
+        self._store_ns = self.cost.store_ns
+        self._store_byte_ns = self.cost.store_byte_ns
+        self._flush_ns = self.cost.clflush_ns + self.latency.write_ns
+        self._fence_ns = self.cost.fence_ns
+        self._store_fixed_ns = {
+            n: self._store_ns + self._store_byte_ns * n for n in (2, 4, 8)
+        }
         self.atomic_granularity = atomic_granularity
         self.flush_instruction = flush_instruction
         self._durable = bytearray(size)
         self._dirty = {}
         self._inflight = {}
+        # line -> entry as the CPU sees it (dirty wins over inflight).
+        # Maintained at every _dirty/_inflight mutation so read paths
+        # resolve visibility with ONE dict probe instead of two.
+        self._vis = {}
+        # Bound-method aliases (the dicts are cleared in place, never
+        # replaced, so these stay live).
+        self._dget = self._dirty.get
+        self._iget = self._inflight.get
+        self._vget = self._vis.get
         self._resident = _ResidencySet(cache_lines)
+        # Fast-path aliases into the residency model (its OrderedDict is
+        # cleared in place, never replaced, so these stay live).
+        self._rlines = self._resident._lines
+        self._rcap = cache_lines
         # Set by the RTM emulation while a hardware transaction is open:
         # clflush inside an RTM region aborts on real hardware (paper
         # footnote 2), so the simulation forbids it outright.
@@ -149,41 +227,212 @@ class PersistentMemory:
         prefetch/bandwidth rate (bulk page copies are not N serialized
         misses on real hardware).
         """
-        self._check(addr, length)
+        end = addr + length
+        if addr < 0 or end > self.size:
+            self._check(addr, length)
         self._c_load.value += 1
-        first = addr // CACHE_LINE
-        last = (addr + length - 1) // CACHE_LINE
-        out = bytearray()
+        line = addr >> 6
+        if 0 < length and end <= (line + 1) << 6:
+            # Fast path: the whole read sits in one cache line (slot
+            # headers, cells, u16/u32/u64 accessors — the dominant case).
+            # Residency touch and clock advance are inlined: at tens of
+            # thousands of calls per simulated operation batch, the two
+            # method dispatches dominate the loop.
+            lines = self._rlines
+            try:
+                # Hot header/cell lines hit far more than they miss, so
+                # the hit path is one C call (move_to_end raises on a
+                # miss).
+                lines.move_to_end(line)
+                ns = self._hit_ns
+            except KeyError:
+                lines[line] = None
+                if len(lines) > self._rcap:
+                    lines.popitem(last=False)
+                self._c_load_miss.value += 1
+                ns = self._read_miss_ns
+            if ns > 0:
+                clock = self.clock
+                clock.now_ns += ns
+                clock.pending_ns += ns
+            entry = self._vget(line)
+            if entry is None:
+                return bytes(self._durable[addr:end])
+            offset = addr - (line << 6)
+            return bytes(entry.data[offset : offset + length])
+        last = (end - 1) >> 6
         missed_before = False
-        for line in range(first, last + 1):
-            if not self._resident.touch(line):
+        lines = self._rlines
+        rcap = self._rcap
+        clock = self.clock
+        durable = self._durable
+        if last == line + 1:
+            # Two-line fast path: a record crossing one line boundary
+            # (the most common multi-line read by far) — both lines
+            # handled without the general loop's range machinery.
+            ns = 0.0
+            try:
+                lines.move_to_end(line)
+                ns += self._hit_ns
+            except KeyError:
+                lines[line] = None
+                if len(lines) > rcap:
+                    lines.popitem(last=False)
+                self._c_load_miss.value += 1
+                ns += self._read_miss_ns
+                missed_before = True
+            try:
+                lines.move_to_end(last)
+                ns += self._hit_ns
+            except KeyError:
+                lines[last] = None
+                if len(lines) > rcap:
+                    lines.popitem(last=False)
+                self._c_load_miss.value += 1
+                ns += self._stream_ns if missed_before else self._read_miss_ns
+            if ns > 0:
+                clock.now_ns += ns
+                clock.pending_ns += ns
+            vget = self._vget
+            entry = vget(line)
+            second = vget(last)
+            if entry is None and second is None:
+                return bytes(durable[addr:end])
+            split = last << 6
+            first_part = (
+                durable[addr:split] if entry is None
+                else entry.data[addr - (line << 6) : CACHE_LINE]
+            )
+            second_part = (
+                durable[split:end] if second is None
+                else second.data[0 : end - split]
+            )
+            return bytes(first_part) + bytes(second_part)
+        if not self._vis:
+            # Clean arena (typical for bulk page fetches): account for
+            # residency and latency per line, then take the whole range
+            # from durable storage in one slice.
+            for line in range(line, last + 1):
+                if line in lines:
+                    lines.move_to_end(line)
+                    ns = self._hit_ns
+                else:
+                    lines[line] = None
+                    if len(lines) > rcap:
+                        lines.popitem(last=False)
+                    self._c_load_miss.value += 1
+                    if missed_before:
+                        ns = self._stream_ns
+                    else:
+                        ns = self._read_miss_ns
+                        missed_before = True
+                if ns > 0:
+                    clock.now_ns += ns
+                    clock.pending_ns += ns
+            return bytes(durable[addr:end])
+        parts = []
+        visible_get = self._vget
+        for line in range(line, last + 1):
+            if line in lines:
+                lines.move_to_end(line)
+                ns = self._hit_ns
+            else:
+                lines[line] = None
+                if len(lines) > rcap:
+                    lines.popitem(last=False)
                 self._c_load_miss.value += 1
                 if missed_before:
                     # Streaming rate degrades with the PM latency knob:
                     # Quartz injects its delay per epoch, so bulk reads
                     # slow down proportionally, floored at the DRAM-class
                     # prefetch rate.
-                    self.clock.advance(
-                        max(self.cost.stream_line_ns, 0.15 * self.latency.read_ns)
-                    )
+                    ns = self._stream_ns
                 else:
-                    self.clock.advance(self.latency.read_ns)
+                    ns = self._read_miss_ns
                     missed_before = True
+            if ns > 0:
+                clock.now_ns += ns
+                clock.pending_ns += ns
+            base = line << 6
+            lo = addr if addr > base else base
+            hi = end if end < base + CACHE_LINE else base + CACHE_LINE
+            entry = visible_get(line)
+            if entry is None:
+                parts.append(durable[lo:hi])
             else:
-                self.clock.advance(self.cost.cache_hit_ns)
-            lo = max(addr, line * CACHE_LINE)
-            hi = min(addr + length, (line + 1) * CACHE_LINE)
-            out += self._visible(line)[lo - line * CACHE_LINE : hi - line * CACHE_LINE]
-        return bytes(out)
+                parts.append(entry.data[lo - base : hi - base])
+        return b"".join(parts)
 
     def read_u16(self, addr):
+        """Read a little-endian u16 (the slot-header accessor — by far
+        the most frequent load in the system, so it carries its own
+        allocation-free fast path)."""
+        if addr & 63 != 63 and 0 <= addr and addr + 2 <= self.size:
+            line = addr >> 6
+            self._c_load.value += 1
+            lines = self._rlines
+            try:
+                lines.move_to_end(line)
+                ns = self._hit_ns
+            except KeyError:
+                lines[line] = None
+                if len(lines) > self._rcap:
+                    lines.popitem(last=False)
+                self._c_load_miss.value += 1
+                ns = self._read_miss_ns
+            if ns > 0:
+                clock = self.clock
+                clock.now_ns += ns
+                clock.pending_ns += ns
+            entry = self._vget(line)
+            if entry is None:
+                durable = self._durable
+                return durable[addr] | (durable[addr + 1] << 8)
+            data = entry.data
+            offset = addr - (line << 6)
+            return data[offset] | (data[offset + 1] << 8)
+        # Line-crossing or out-of-bounds: the generic path handles
+        # (and reports) both.
         return int.from_bytes(self.read(addr, 2), "little")
 
     def read_u32(self, addr):
+        end = addr + 4
+        line = addr >> 6
+        if 0 <= addr and end <= self.size and end <= (line + 1) << 6:
+            return int.from_bytes(self._read_line_span(line, addr, end), "little")
         return int.from_bytes(self.read(addr, 4), "little")
 
     def read_u64(self, addr):
+        end = addr + 8
+        line = addr >> 6
+        if 0 <= addr and end <= self.size and end <= (line + 1) << 6:
+            return int.from_bytes(self._read_line_span(line, addr, end), "little")
         return int.from_bytes(self.read(addr, 8), "little")
+
+    def _read_line_span(self, line, addr, end):
+        """Shared single-line fast path for the fixed-width readers:
+        residency touch + latency charge + visible bytes, no generic
+        ``read`` dispatch."""
+        self._c_load.value += 1
+        lines = self._rlines
+        try:
+            lines.move_to_end(line)
+            ns = self._hit_ns
+        except KeyError:
+            lines[line] = None
+            if len(lines) > self._rcap:
+                lines.popitem(last=False)
+            self._c_load_miss.value += 1
+            ns = self._read_miss_ns
+        if ns > 0:
+            clock = self.clock
+            clock.now_ns += ns
+            clock.pending_ns += ns
+        entry = self._vget(line)
+        if entry is None:
+            return self._durable[addr:end]
+        base = line << 6
+        return entry.data[addr - base : end - base]
 
     # ------------------------------------------------------------------
     # Stores
@@ -197,37 +446,152 @@ class PersistentMemory:
         *not durable* until flushed and fenced.
         """
         length = len(data)
-        self._check(addr, length)
+        end = addr + length
+        if addr < 0 or end > self.size:
+            self._check(addr, length)
         self._c_store.value += 1
         self._c_store_bytes.value += length
-        self._trace.record(ev.STORE, addr, length)
-        self.clock.advance(self.cost.store_ns + self.cost.store_byte_ns * length)
+        trace = self._trace
+        if trace.enabled:
+            # ``trace.record`` inlined (here and at the flush/fence hot
+            # sites below): one fewer Python call per traced event on
+            # the memory-model hot path.  Body is line-for-line
+            # ``TraceRecorder.record``.
+            trace.seq = seq = trace.seq + 1
+            trace._events.append((seq, trace._clock.now_ns, ev.STORE, addr, length))
+            totals = trace._kind_totals
+            try:
+                totals[ev.STORE] += 1
+            except KeyError:
+                totals[ev.STORE] = 1
+        ns = self._store_ns + self._store_byte_ns * length
+        if ns > 0:
+            clock = self.clock
+            clock.now_ns += ns
+            clock.pending_ns += ns
+        if not length:
+            return
+        line = addr >> 6
+        line_base = line << 6
+        if end <= line_base + CACHE_LINE:
+            # Fast path: the store touches a single cache line
+            # (``_materialize`` inlined: the durable-backed case is by
+            # far the most common).
+            entry = self._dget(line)
+            if entry is None:
+                pending = self._iget(line)
+                if pending is None:
+                    entry = _DirtyLine(
+                        self._durable[line_base : line_base + CACHE_LINE]
+                    )
+                else:
+                    entry = _DirtyLine(bytearray(pending.data))
+                self._dirty[line] = entry
+                self._vis[line] = entry
+            start = addr - line_base
+            entry.data[start : start + length] = data
+            entry.dirty_words |= _RANGE_MASK_FLAT[(start >> 3) * 8 + ((start + length - 1) >> 3)]
+            lines = self._rlines
+            if line in lines:
+                lines.move_to_end(line)
+            else:
+                lines[line] = None
+                if len(lines) > self._rcap:
+                    lines.popitem(last=False)
+            return
         offset = 0
+        dget = self._dget
+        dirty = self._dirty
+        vis = self._vis
+        lines = self._rlines
+        rcap = self._rcap
         while offset < length:
             pos = addr + offset
-            line = pos // CACHE_LINE
-            line_base = line * CACHE_LINE
-            take = min(length - offset, line_base + CACHE_LINE - pos)
-            entry = self._dirty.get(line)
+            line = pos >> 6
+            line_base = line << 6
+            take = line_base + CACHE_LINE - pos
+            rest = length - offset
+            if rest < take:
+                take = rest
+            entry = dget(line)
             if entry is None:
-                entry = _DirtyLine(self._visible(line))
-                self._dirty[line] = entry
+                entry = self._materialize(line)
+                dirty[line] = entry
+                vis[line] = entry
             start = pos - line_base
             entry.data[start : start + take] = data[offset : offset + take]
-            first_word = start // WORD
-            last_word = (start + take - 1) // WORD
-            entry.dirty_words.update(range(first_word, last_word + 1))
-            self._resident.touch(line)
+            entry.dirty_words |= _RANGE_MASK_FLAT[(start >> 3) * 8 + ((start + take - 1) >> 3)]
+            if line in lines:
+                lines.move_to_end(line)
+            else:
+                lines[line] = None
+                if len(lines) > rcap:
+                    lines.popitem(last=False)
             offset += take
 
     def write_u16(self, addr, value):
-        self.write(addr, value.to_bytes(2, "little"))
+        if addr & 63 <= 62 and 0 <= addr and addr + 2 <= self.size:
+            self._write_fixed(addr, value.to_bytes(2, "little"), 2)
+        else:
+            self.write(addr, value.to_bytes(2, "little"))
 
     def write_u32(self, addr, value):
-        self.write(addr, value.to_bytes(4, "little"))
+        if addr & 63 <= 60 and 0 <= addr and addr + 4 <= self.size:
+            self._write_fixed(addr, value.to_bytes(4, "little"), 4)
+        else:
+            self.write(addr, value.to_bytes(4, "little"))
 
     def write_u64(self, addr, value):
-        self.write(addr, value.to_bytes(8, "little"))
+        if addr & 63 <= 56 and 0 <= addr and addr + 8 <= self.size:
+            self._write_fixed(addr, value.to_bytes(8, "little"), 8)
+        else:
+            self.write(addr, value.to_bytes(8, "little"))
+
+    def _write_fixed(self, addr, data, length):
+        """Single-line store of a fixed-width integer (the WAL frame
+        header / heap metadata hot path): ``write`` with the length
+        checks and multi-line handling compiled away."""
+        self._c_store.value += 1
+        self._c_store_bytes.value += length
+        trace = self._trace
+        if trace.enabled:
+            trace.seq = seq = trace.seq + 1
+            trace._events.append((seq, trace._clock.now_ns, ev.STORE, addr, length))
+            totals = trace._kind_totals
+            try:
+                totals[ev.STORE] += 1
+            except KeyError:
+                totals[ev.STORE] = 1
+        ns = self._store_fixed_ns[length]
+        if ns > 0:
+            clock = self.clock
+            clock.now_ns += ns
+            clock.pending_ns += ns
+        line = addr >> 6
+        entry = self._dget(line)
+        if entry is None:
+            pending = self._iget(line)
+            line_base = line << 6
+            if pending is None:
+                entry = _DirtyLine(
+                    self._durable[line_base : line_base + CACHE_LINE]
+                )
+            else:
+                entry = _DirtyLine(bytearray(pending.data))
+            self._dirty[line] = entry
+            self._vis[line] = entry
+        start = addr & 63
+        entry.data[start : start + length] = data
+        entry.dirty_words |= _RANGE_MASK_FLAT[
+            (start >> 3) * 8 + ((start + length - 1) >> 3)
+        ]
+        lines = self._rlines
+        if line in lines:
+            lines.move_to_end(line)
+        else:
+            lines[line] = None
+            if len(lines) > self._rcap:
+                lines.popitem(last=False)
 
     # ------------------------------------------------------------------
     # Persistence
@@ -242,26 +606,40 @@ class PersistentMemory:
         PM write latency — the same post-``clflush`` delay injection the
         paper uses to emulate PM write latency.
         """
-        self._check(addr, 1)
+        if addr < 0 or addr >= self.size:
+            self._check(addr, 1)
         if self.flush_forbidden:
             raise RuntimeError(
                 "clflush inside an RTM transaction violates hardware "
                 "transactional semantics (paper Section 3.2, footnote 2)"
             )
-        line = addr // CACHE_LINE
+        line = addr >> 6
         self._c_flush.value += 1
-        self._trace.record(ev.CLFLUSH, addr)
-        self.clock.advance(self.cost.clflush_ns + self.latency.write_ns)
+        trace = self._trace
+        if trace.enabled:
+            trace.seq = seq = trace.seq + 1
+            trace._events.append((seq, trace._clock.now_ns, ev.CLFLUSH, addr, 0))
+            totals = trace._kind_totals
+            try:
+                totals[ev.CLFLUSH] += 1
+            except KeyError:
+                totals[ev.CLFLUSH] = 1
+        ns = self._flush_ns
+        if ns > 0:
+            clock = self.clock
+            clock.now_ns += ns
+            clock.pending_ns += ns
         entry = self._dirty.pop(line, None)
         if entry is not None:
-            self._c_flush_bytes.value += WORD * len(entry.dirty_words)
-            pending = self._inflight.get(line)
+            self._c_flush_bytes.value += WORD * entry.dirty_words.bit_count()
+            pending = self._iget(line)
             if pending is None:
                 self._inflight[line] = entry
             else:
                 pending.data = entry.data
                 pending.dirty_words |= entry.dirty_words
-        self._resident.evict(line)
+                self._vis[line] = pending
+        self._rlines.pop(line, None)
 
     def clwb(self, addr):
         """Write back the cache line containing ``addr`` WITHOUT
@@ -271,7 +649,8 @@ class PersistentMemory:
         after a fence — but subsequent reads of the line stay cache
         hits.
         """
-        self._check(addr, 1)
+        if addr < 0 or addr >= self.size:
+            self._check(addr, 1)
         if self.flush_forbidden:
             raise RuntimeError(
                 "cache write-back inside an RTM transaction violates "
@@ -280,17 +659,20 @@ class PersistentMemory:
         line = addr // CACHE_LINE
         self._c_flush.value += 1
         self._c_flush_clwb.value += 1
-        self._trace.record(ev.CLWB, addr)
-        self.clock.advance(self.cost.clflush_ns + self.latency.write_ns)
+        trace = self._trace
+        if trace.enabled:
+            trace.record(ev.CLWB, addr)
+        self.clock.advance(self._flush_ns)
         entry = self._dirty.pop(line, None)
         if entry is not None:
-            self._c_flush_bytes.value += WORD * len(entry.dirty_words)
-            pending = self._inflight.get(line)
+            self._c_flush_bytes.value += WORD * entry.dirty_words.bit_count()
+            pending = self._iget(line)
             if pending is None:
                 self._inflight[line] = entry
             else:
                 pending.data = entry.data
                 pending.dirty_words |= entry.dirty_words
+                self._vis[line] = pending
         self._resident.touch(line)  # the line stays cached
 
     def flush_range(self, addr, length):
@@ -299,22 +681,98 @@ class PersistentMemory:
         paper's Haswell testbed; ``clwb`` keeps the line cached)."""
         if length <= 0:
             return
-        write_back = (
-            self.clwb if self.flush_instruction == "clwb" else self.clflush
-        )
-        first = addr // CACHE_LINE
-        last = (addr + length - 1) // CACHE_LINE
-        for line in range(first, last + 1):
-            write_back(line * CACHE_LINE)
+        if self.flush_instruction == "clwb":
+            clwb = self.clwb
+            for line in range(addr >> 6, ((addr + length - 1) >> 6) + 1):
+                clwb(line << 6)
+            return
+        # ``clflush`` inlined per line: every commit flushes a handful
+        # of ranges, and the per-line method dispatch used to rival the
+        # accounting itself.  Semantics (counters, trace events, clock,
+        # dirty -> in-flight movement, eviction) are line-for-line those
+        # of ``clflush``.
+        if addr < 0 or addr + length > self.size:
+            self._check(addr, length)
+        if self.flush_forbidden:
+            raise RuntimeError(
+                "clflush inside an RTM transaction violates hardware "
+                "transactional semantics (paper Section 3.2, footnote 2)"
+            )
+        c_flush = self._c_flush
+        c_bytes = self._c_flush_bytes
+        trace = self._trace
+        enabled = trace.enabled
+        totals = trace._kind_totals
+        ns = self._flush_ns
+        clock = self.clock
+        dirty_pop = self._dirty.pop
+        iget = self._iget
+        inflight = self._inflight
+        vis = self._vis
+        rlines_pop = self._rlines.pop
+        for line in range(addr >> 6, ((addr + length - 1) >> 6) + 1):
+            c_flush.value += 1
+            if enabled:
+                trace.seq = seq = trace.seq + 1
+                trace._events.append(
+                    (seq, trace._clock.now_ns, ev.CLFLUSH, line << 6, 0)
+                )
+                try:
+                    totals[ev.CLFLUSH] += 1
+                except KeyError:
+                    totals[ev.CLFLUSH] = 1
+            if ns > 0:
+                clock.now_ns += ns
+                clock.pending_ns += ns
+            entry = dirty_pop(line, None)
+            if entry is not None:
+                c_bytes.value += WORD * entry.dirty_words.bit_count()
+                pending = iget(line)
+                if pending is None:
+                    inflight[line] = entry
+                else:
+                    pending.data = entry.data
+                    pending.dirty_words |= entry.dirty_words
+                    vis[line] = pending
+            rlines_pop(line, None)
 
     def sfence(self):
         """Complete all in-flight flushes (store fence)."""
         self._c_fence.value += 1
-        self._trace.record(ev.FENCE)
-        self.clock.advance(self.cost.fence_ns)
-        for line, entry in self._inflight.items():
-            self._apply_words(line, entry, entry.dirty_words)
-        self._inflight.clear()
+        trace = self._trace
+        if trace.enabled:
+            trace.seq = seq = trace.seq + 1
+            trace._events.append((seq, trace._clock.now_ns, ev.FENCE, 0, 0))
+            totals = trace._kind_totals
+            try:
+                totals[ev.FENCE] += 1
+            except KeyError:
+                totals[ev.FENCE] = 1
+        ns = self._fence_ns
+        if ns > 0:
+            clock = self.clock
+            clock.now_ns += ns
+            clock.pending_ns += ns
+        inflight = self._inflight
+        if inflight:
+            durable = self._durable
+            dirty = self._dirty
+            vis = self._vis
+            for line, entry in inflight.items():
+                words = entry.dirty_words
+                base = line << 6
+                if words == _FULL_LINE:
+                    durable[base : base + CACHE_LINE] = entry.data
+                else:
+                    # ``_apply_words`` inlined: partial lines (slot
+                    # headers, log records) dominate fence traffic.
+                    data = entry.data
+                    for word in _MASK_WORDS[words]:
+                        lo = word << 3
+                        durable[base + lo : base + lo + WORD] = data[lo : lo + WORD]
+                if line not in dirty:
+                    del vis[line]
+            inflight.clear()
 
     # The single-threaded simulation gives mfence and sfence identical
     # semantics; both names exist so call sites read like the paper.
@@ -345,14 +803,14 @@ class PersistentMemory:
                     if policy.survives(line, 0):
                         self._apply_words(line, entry, entry.dirty_words)
                 else:
-                    surviving = {
-                        word
-                        for word in entry.dirty_words
-                        if policy.survives(line, word)
-                    }
+                    surviving = 0
+                    for word in _MASK_WORDS[entry.dirty_words]:
+                        if policy.survives(line, word):
+                            surviving |= 1 << word
                     self._apply_words(line, entry, surviving)
         self._dirty.clear()
         self._inflight.clear()
+        self._vis.clear()
         self._resident.clear()
 
     def dirty_unit_count(self):
@@ -364,7 +822,7 @@ class PersistentMemory:
                 if self.atomic_granularity == CACHE_LINE:
                     units += 1
                 else:
-                    units += len(entry.dirty_words)
+                    units += entry.dirty_words.bit_count()
         return units
 
     def dirty_units(self):
@@ -375,7 +833,7 @@ class PersistentMemory:
                 if self.atomic_granularity == CACHE_LINE:
                     pairs.add((line, 0))
                 else:
-                    pairs.update((line, word) for word in entry.dirty_words)
+                    pairs.update((line, word) for word in _bits(entry.dirty_words))
         return sorted(pairs)
 
     # ------------------------------------------------------------------
@@ -402,20 +860,31 @@ class PersistentMemory:
 
     def _visible(self, line):
         """The content of ``line`` as the CPU currently sees it."""
-        entry = self._dirty.get(line)
-        if entry is not None:
-            return entry.data
-        entry = self._inflight.get(line)
+        entry = self._vget(line)
         if entry is not None:
             return entry.data
         base = line * CACHE_LINE
         return self._durable[base : base + CACHE_LINE]
 
+    def _materialize(self, line):
+        """A fresh ``_DirtyLine`` seeded with the CPU-visible content of
+        ``line`` (which, by construction, is not in ``_dirty``)."""
+        pending = self._iget(line)
+        if pending is not None:
+            return _DirtyLine(bytearray(pending.data))
+        base = line * CACHE_LINE
+        return _DirtyLine(self._durable[base : base + CACHE_LINE])
+
     def _apply_words(self, line, entry, words):
         base = line * CACHE_LINE
-        for word in words:
-            lo = word * WORD
-            self._durable[base + lo : base + lo + WORD] = entry.data[lo : lo + WORD]
+        if words == _FULL_LINE:
+            self._durable[base : base + CACHE_LINE] = entry.data
+            return
+        data = entry.data
+        durable = self._durable
+        for word in _MASK_WORDS[words]:
+            lo = word << 3
+            durable[base + lo : base + lo + WORD] = data[lo : lo + WORD]
 
     def _check(self, addr, length):
         if addr < 0 or addr + length > self.size:
@@ -445,40 +914,116 @@ class VolatileMemory:
         self._c_load_miss = registry.counter("dram.load_miss")
         self._c_store = registry.counter("dram.store")
         self._c_store_bytes = registry.counter("dram.store_bytes")
+        self._dram_ns = self.latency.dram_ns
+        self._dram_stream_ns = self.cost.dram_stream_line_ns
+        self._hit_ns = self.cost.cache_hit_ns
+        self._store_ns = self.cost.store_ns
+        self._store_byte_ns = self.cost.store_byte_ns
+        self._store_fixed_ns = {
+            n: self._store_ns + self._store_byte_ns * n for n in (2, 4, 8)
+        }
         self._data = bytearray(size)
         self._resident = _ResidencySet(cache_lines)
+        self._rlines = self._resident._lines
+        self._rcap = cache_lines
 
     def read(self, addr, length):
-        self._check(addr, length)
+        end = addr + length
+        if addr < 0 or end > self.size:
+            self._check(addr, length)
         self._c_load.value += 1
-        first = addr // CACHE_LINE
-        last = (addr + length - 1) // CACHE_LINE
+        line = addr >> 6
+        if 0 < length and end <= (line + 1) << 6:
+            # Fast path: single-line read (headers and cells), with the
+            # residency touch and clock advance inlined as in
+            # ``PersistentMemory.read``.
+            lines = self._rlines
+            try:
+                # DRAM working sets almost always fit the cache, so the
+                # hit path is one C call (move_to_end raises on a miss).
+                lines.move_to_end(line)
+                ns = self._hit_ns
+            except KeyError:
+                lines[line] = None
+                if len(lines) > self._rcap:
+                    lines.popitem(last=False)
+                self._c_load_miss.value += 1
+                ns = self._dram_ns
+            if ns > 0:
+                clock = self.clock
+                clock.now_ns += ns
+                clock.pending_ns += ns
+            return bytes(self._data[addr:end])
+        last = (end - 1) >> 6
         missed_before = False
-        for line in range(first, last + 1):
-            if not self._resident.touch(line):
+        lines = self._rlines
+        rcap = self._rcap
+        clock = self.clock
+        for line in range(line, last + 1):
+            try:
+                lines.move_to_end(line)
+                ns = self._hit_ns
+            except KeyError:
+                lines[line] = None
+                if len(lines) > rcap:
+                    lines.popitem(last=False)
                 self._c_load_miss.value += 1
                 if missed_before:
-                    self.clock.advance(self.cost.dram_stream_line_ns)
+                    ns = self._dram_stream_ns
                 else:
-                    self.clock.advance(self.latency.dram_ns)
+                    ns = self._dram_ns
                     missed_before = True
-            else:
-                self.clock.advance(self.cost.cache_hit_ns)
-        return bytes(self._data[addr : addr + length])
+            if ns > 0:
+                clock.now_ns += ns
+                clock.pending_ns += ns
+        return bytes(self._data[addr:end])
 
     def write(self, addr, data):
         length = len(data)
-        self._check(addr, length)
+        end = addr + length
+        if addr < 0 or end > self.size:
+            self._check(addr, length)
         self._c_store.value += 1
         self._c_store_bytes.value += length
-        self.clock.advance(self.cost.store_ns + self.cost.store_byte_ns * length)
-        self._data[addr : addr + length] = data
-        first = addr // CACHE_LINE
-        last = (addr + length - 1) // CACHE_LINE
-        for line in range(first, last + 1):
-            self._resident.touch(line)
+        ns = self._store_ns + self._store_byte_ns * length
+        clock = self.clock
+        if ns > 0:
+            clock.now_ns += ns
+            clock.pending_ns += ns
+        self._data[addr:end] = data
+        lines = self._rlines
+        rcap = self._rcap
+        for line in range(addr >> 6, ((end - 1) >> 6) + 1):
+            try:
+                lines.move_to_end(line)
+            except KeyError:
+                lines[line] = None
+                if len(lines) > rcap:
+                    lines.popitem(last=False)
 
     def read_u16(self, addr):
+        if addr & 63 != 63 and 0 <= addr and addr + 2 <= self.size:
+            # Fast path mirroring ``PersistentMemory.read_u16``: the
+            # two bytes share a line, so skip the generic read and its
+            # bytes allocation entirely.
+            self._c_load.value += 1
+            line = addr >> 6
+            lines = self._rlines
+            try:
+                lines.move_to_end(line)
+                ns = self._hit_ns
+            except KeyError:
+                lines[line] = None
+                if len(lines) > self._rcap:
+                    lines.popitem(last=False)
+                self._c_load_miss.value += 1
+                ns = self._dram_ns
+            if ns > 0:
+                clock = self.clock
+                clock.now_ns += ns
+                clock.pending_ns += ns
+            data = self._data
+            return data[addr] | (data[addr + 1] << 8)
         return int.from_bytes(self.read(addr, 2), "little")
 
     def read_u32(self, addr):
@@ -488,13 +1033,41 @@ class VolatileMemory:
         return int.from_bytes(self.read(addr, 8), "little")
 
     def write_u16(self, addr, value):
-        self.write(addr, value.to_bytes(2, "little"))
+        if addr & 63 <= 62 and 0 <= addr and addr + 2 <= self.size:
+            self._write_fixed(addr, value.to_bytes(2, "little"), 2)
+        else:
+            self.write(addr, value.to_bytes(2, "little"))
 
     def write_u32(self, addr, value):
-        self.write(addr, value.to_bytes(4, "little"))
+        if addr & 63 <= 60 and 0 <= addr and addr + 4 <= self.size:
+            self._write_fixed(addr, value.to_bytes(4, "little"), 4)
+        else:
+            self.write(addr, value.to_bytes(4, "little"))
 
     def write_u64(self, addr, value):
-        self.write(addr, value.to_bytes(8, "little"))
+        if addr & 63 <= 56 and 0 <= addr and addr + 8 <= self.size:
+            self._write_fixed(addr, value.to_bytes(8, "little"), 8)
+        else:
+            self.write(addr, value.to_bytes(8, "little"))
+
+    def _write_fixed(self, addr, data, length):
+        """Single-line DRAM store of a fixed-width integer."""
+        self._c_store.value += 1
+        self._c_store_bytes.value += length
+        ns = self._store_fixed_ns[length]
+        if ns > 0:
+            clock = self.clock
+            clock.now_ns += ns
+            clock.pending_ns += ns
+        self._data[addr : addr + length] = data
+        line = addr >> 6
+        lines = self._rlines
+        try:
+            lines.move_to_end(line)
+        except KeyError:
+            lines[line] = None
+            if len(lines) > self._rcap:
+                lines.popitem(last=False)
 
     # Persistence operations are no-ops on DRAM: data here is volatile
     # by definition.  They exist so the slotted-page code runs

@@ -46,6 +46,8 @@ reconstructible from the record offset array (Section 4.3), which
 :meth:`rebuild_free_list` implements.
 """
 
+import struct as _struct
+
 FIXED_HEADER_SIZE = 8
 SLOT_SIZE = 2
 # Cell header: u16 payload length + u16 allocated size.  Recording the
@@ -257,8 +259,23 @@ class SlottedPage:
     # ------------------------------------------------------------------
 
     def record(self, slot):
-        """Payload bytes of the record in ``slot``."""
-        return self.read_cell(self.slot_offset(slot))
+        """Payload bytes of the record in ``slot``.
+
+        Equivalent to ``read_cell(slot_offset(slot))`` with the two
+        wrappers inlined — this is the B-tree search probe, the single
+        hottest call in the system (same simulated loads either way).
+        """
+        pm = self.pm
+        base = self.base
+        pending = self._pending
+        if pending is not None:
+            offset = pending.offsets[slot]
+        else:
+            if not 0 <= slot < pm.read_u16(base + _OFF_NRECORDS):
+                raise IndexError("slot %d out of range" % slot)
+            offset = pm.read_u16(base + FIXED_HEADER_SIZE + SLOT_SIZE * slot)
+        length = pm.read_u16(base + offset)
+        return pm.read(base + offset + CELL_HEADER_SIZE, length)
 
     def read_cell(self, offset):
         """Payload of the cell at content-area ``offset``."""
@@ -607,10 +624,10 @@ class SlottedPage:
         self.pm.write_u16(self.base + _OFF_FREELIST, offset)
 
     def _decode(self, image):
-        offsets = [
-            int.from_bytes(image[i : i + SLOT_SIZE], "little")
-            for i in range(FIXED_HEADER_SIZE, len(image), SLOT_SIZE)
-        ]
+        count = (len(image) - FIXED_HEADER_SIZE) // SLOT_SIZE
+        offsets = list(
+            _struct.unpack_from("<%dH" % count, image, FIXED_HEADER_SIZE)
+        )
         return _PendingHeader(
             page_type=image[_OFF_TYPE],
             flags=image[_OFF_FLAGS],
@@ -631,15 +648,15 @@ class SlottedPage:
 
 def encode_header(page_type, flags, content_start, freelist_head, offsets):
     """Serialise a slot header (fixed 8 bytes + record offset array)."""
-    image = bytearray()
-    image.append(page_type)
-    image.append(flags)
-    image += len(offsets).to_bytes(2, "little")
-    image += content_start.to_bytes(2, "little")
-    image += freelist_head.to_bytes(2, "little")
-    for offset in offsets:
-        image += offset.to_bytes(2, "little")
-    return bytes(image)
+    return _struct.pack(
+        "<BBHHH%dH" % len(offsets),
+        page_type,
+        flags,
+        len(offsets),
+        content_start,
+        freelist_head,
+        *offsets,
+    )
 
 
 def _cell_size(payload_len):

@@ -76,6 +76,29 @@ class CrashablePM(PersistentMemory):
 
     mfence = sfence
 
+    # ``PersistentMemory``'s fast paths (fixed-width stores, the
+    # inlined ``flush_range`` loop) bypass the overridable methods
+    # above for speed.  Here every store and every per-line flush must
+    # remain an interceptable event — "every memory event is a crash
+    # point" — so route them back through the generic paths, which
+    # have identical simulated cost and semantics.
+
+    def write_u16(self, addr, value):
+        self.write(addr, value.to_bytes(2, "little"))
+
+    def write_u32(self, addr, value):
+        self.write(addr, value.to_bytes(4, "little"))
+
+    def write_u64(self, addr, value):
+        self.write(addr, value.to_bytes(8, "little"))
+
+    def flush_range(self, addr, length):
+        if length <= 0:
+            return
+        flush = self.clwb if self.flush_instruction == "clwb" else self.clflush
+        for line in range(addr >> 6, ((addr + length - 1) >> 6) + 1):
+            flush(line << 6)
+
 
 @dataclass
 class CrashTestResult:

@@ -61,15 +61,73 @@ def word_diff(old, new):
     """
     if len(old) != len(new):
         raise ValueError("buffers differ in length")
+    if old == new:
+        return []
+    # Scan in 512-byte blocks first: a block-level equality compare is
+    # one C call, and commit-time diffs are sparse (a few changed words
+    # in a 4 KiB page), so most blocks are skipped without the per-word
+    # loop.  Word-level decisions inside unequal blocks are unchanged,
+    # so the resulting ranges are identical to the plain word scan.
     ranges = []
     start = None
-    for word_off in range(0, len(new), WORD):
-        changed = old[word_off : word_off + WORD] != new[word_off : word_off + WORD]
-        if changed and start is None:
-            start = word_off
-        elif not changed and start is not None:
-            ranges.append((start, bytes(new[start:word_off])))
-            start = None
+    length = len(new)
+    block = 512  # multiple of WORD
+    # Word compares go through 64-bit memoryview casts when the buffers
+    # are word-multiple (pages always are): an int compare per word
+    # instead of two 8-byte slice allocations.
+    if length % WORD == 0:
+        old_w = memoryview(bytes(old)).cast("Q")
+        new_w = memoryview(bytes(new)).cast("Q")
+    else:
+        old_w = new_w = None
+    pos = 0
+    while pos < length:
+        hi = pos + block
+        if hi > length:
+            hi = length
+        if (
+            old_w[pos >> 3 : hi >> 3] == new_w[pos >> 3 : hi >> 3]
+            if old_w is not None
+            else old[pos:hi] == new[pos:hi]
+        ):
+            if start is not None:
+                ranges.append((start, bytes(new[start:pos])))
+                start = None
+            pos = hi
+            continue
+        if old_w is not None:
+            # Narrow to 64-byte sub-blocks before the per-word loop:
+            # commit diffs touch a handful of words, so most sub-blocks
+            # of an unequal block are still skipped by one C compare.
+            for sub in range(pos, hi, 64):
+                sub_w = sub >> 3
+                hi_w = sub_w + 8
+                if hi_w > hi >> 3:
+                    hi_w = hi >> 3
+                if old_w[sub_w:hi_w] == new_w[sub_w:hi_w]:
+                    if start is not None:
+                        ranges.append((start, bytes(new[start:sub])))
+                        start = None
+                    continue
+                for word in range(sub_w, hi_w):
+                    if old_w[word] != new_w[word]:
+                        if start is None:
+                            start = word << 3
+                    elif start is not None:
+                        ranges.append((start, bytes(new[start : word << 3])))
+                        start = None
+            pos = hi
+            continue
+        for word_off in range(pos, hi, WORD):
+            changed = (
+                old[word_off : word_off + WORD] != new[word_off : word_off + WORD]
+            )
+            if changed and start is None:
+                start = word_off
+            elif not changed and start is not None:
+                ranges.append((start, bytes(new[start:word_off])))
+                start = None
+        pos = hi
     if start is not None:
         ranges.append((start, bytes(new[start:])))
     return ranges
