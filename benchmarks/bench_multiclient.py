@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""Multi-client contention baseline: deterministic concurrency numbers.
+
+Runs the multi-client scheduler bench (``repro.bench.multiclient``)
+over a fixed grid — schemes x client counts at a 50/50 read/write mix,
+plus a read-ratio sweep at 4 clients — and compares the results
+against the committed baseline in ``BENCH_multiclient.json``.
+
+Unlike ``bench_selfperf.py`` (host wall-clock, noisy, checked with a
+wide regression factor), everything here is *simulated* and the
+scheduler is deterministic, so ``--check`` demands EXACT equality:
+same simulated-ns totals, same commit/abort/deadlock/retry counts,
+same lock counters.  Any diff means concurrency behavior changed and
+the baseline must be consciously regenerated with ``--update``.
+
+Usage::
+
+    python benchmarks/bench_multiclient.py            # run + compare
+    python benchmarks/bench_multiclient.py --check    # exit 1 on any diff
+    python benchmarks/bench_multiclient.py --update   # rewrite baseline
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+try:
+    import repro  # noqa: F401
+except ImportError:
+    sys.path.insert(0, str(ROOT / "src"))
+
+BASELINE_PATH = ROOT / "BENCH_multiclient.json"
+SCHEMES = ("fast", "fastplus", "nvwal")
+CLIENT_COUNTS = (1, 2, 4, 8)
+READ_RATIOS = (0.0, 0.5, 0.9)
+ITEMS = 25
+SEED = 7
+
+
+def _summarize(result):
+    """The comparable (and committed) slice of one run's report."""
+    return {
+        "clients": result["clients"],
+        "read_ratio": result["read_ratio"],
+        "commits": result["commits"],
+        "aborts": result["aborts"],
+        "deadlocks": result["deadlocks"],
+        "timeouts": result["timeouts"],
+        "retries": result["retries"],
+        "steps": result["steps"],
+        "simulated_ns": result["simulated_ns"],
+        "elapsed_ns": result["elapsed_ns"],
+        "throughput_tps": round(result["throughput_tps"], 3),
+        "records": result["records"],
+        "lock_acquires": result["counters"]["lock.acquire"],
+        "lock_conflicts": result["counters"]["lock.conflict"],
+    }
+
+
+def run_grid():
+    from repro.bench.multiclient import run_multi_client
+
+    grid = {"workload": {"items_per_client": ITEMS, "seed": SEED},
+            "client_sweep": {}, "mix_sweep": {}}
+    for scheme in SCHEMES:
+        grid["client_sweep"][scheme] = [
+            _summarize(run_multi_client(
+                scheme, clients=count, items=ITEMS, seed=SEED,
+            ))
+            for count in CLIENT_COUNTS
+        ]
+        grid["mix_sweep"][scheme] = [
+            _summarize(run_multi_client(
+                scheme, clients=4, items=ITEMS, read_ratio=ratio, seed=SEED,
+            ))
+            for ratio in READ_RATIOS
+        ]
+    return grid
+
+
+def _print_grid(grid):
+    print("multiclient: simulated throughput under contention "
+          "(%d items/client, seed %d)" % (ITEMS, SEED))
+    for scheme in SCHEMES:
+        rows = grid["client_sweep"][scheme]
+        print("  %-9s " % scheme + "  ".join(
+            "%dc %8.0f tps (%da/%dd)" % (
+                r["clients"], r["throughput_tps"], r["aborts"], r["deadlocks"],
+            )
+            for r in rows
+        ))
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Deterministic multi-client contention baseline.",
+    )
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 unless results exactly equal the "
+                             "committed baseline")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite %s" % BASELINE_PATH.name)
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also dump the results ('-' = stdout)")
+    args = parser.parse_args(argv)
+
+    grid = run_grid()
+    _print_grid(grid)
+
+    if args.json == "-":
+        print(json.dumps(grid, indent=2, sort_keys=True))
+    elif args.json:
+        pathlib.Path(args.json).write_text(
+            json.dumps(grid, indent=2, sort_keys=True) + "\n"
+        )
+
+    if args.update:
+        BASELINE_PATH.write_text(
+            json.dumps(grid, indent=2, sort_keys=True) + "\n"
+        )
+        print("updated %s" % BASELINE_PATH)
+        return 0
+
+    if args.check:
+        if not BASELINE_PATH.exists():
+            print("multiclient: no committed baseline", file=sys.stderr)
+            return 1
+        baseline = json.loads(BASELINE_PATH.read_text())
+        if grid != baseline:
+            print("multiclient MISMATCH: results differ from %s — "
+                  "concurrency behavior changed (run --update if intended)"
+                  % BASELINE_PATH.name, file=sys.stderr)
+            for section in ("client_sweep", "mix_sweep"):
+                for scheme in SCHEMES:
+                    got = grid[section].get(scheme)
+                    want = (baseline.get(section) or {}).get(scheme)
+                    if got != want:
+                        print("  %s/%s:\n    got  %s\n    want %s"
+                              % (section, scheme, got, want), file=sys.stderr)
+            return 1
+        print("multiclient check: OK (exactly equal to baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

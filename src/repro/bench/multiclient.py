@@ -1,0 +1,128 @@
+"""Multi-client benchmark driver: contention throughput experiments.
+
+Drives N simulated clients through the deterministic cooperative
+scheduler (:mod:`repro.core.scheduler`) against one shared engine and
+reports committed-transaction throughput in *simulated* time together
+with the concurrency counters (aborts / retries / deadlocks /
+timeouts) from the shared obs registry.  This is the Fig 12-style
+surface under contention that the single-session harness could not
+produce: sweep the client count or the read/write mix and watch lock
+conflicts shape throughput.
+
+Everything is deterministic: workloads come from per-client seeded
+PRNGs, the scheduler interleaves by simulated time only, and repeated
+runs produce byte-identical reports (the CI determinism job diffs two
+invocations).
+"""
+
+import random
+
+from repro.bench.harness import build_config
+from repro.core import open_engine
+from repro.core.scheduler import Scheduler
+
+#: Registry counters reported per run (deltas over the scheduled window).
+_COUNTERS = (
+    "engine.txn.begin", "engine.txn.commit", "engine.txn.rollback",
+    "lock.acquire", "lock.upgrade", "lock.conflict", "lock.release",
+    "sched.step", "sched.wait", "sched.wake", "sched.abort",
+    "sched.retry", "sched.deadlock", "sched.timeout",
+)
+
+
+def client_workload(client_index, *, items=50, read_ratio=0.5,
+                    key_space=200, seed=7, record_size=48):
+    """Deterministic workload for one client: ``items`` transaction
+    items mixing reads and writes over a shared hot key space.
+
+    Writes come as small multi-op transactions (1-3 operations) so
+    transactions genuinely overlap under the scheduler; reads are
+    single-op search transactions.  ``read_ratio`` is the probability
+    that an item is a read.
+    """
+    rng = random.Random(seed * 1000 + client_index)
+    payload = bytes(
+        (client_index * 31 + i) % 256 for i in range(record_size)
+    )
+    workload = []
+    for item_no in range(items):
+        key = b"mk%05d" % rng.randrange(key_space)
+        if rng.random() < read_ratio:
+            workload.append(("search", key, None))
+            continue
+        ops = [("insert", key, payload)]
+        for _ in range(rng.randrange(3)):
+            extra = b"mk%05d" % rng.randrange(key_space)
+            if rng.random() < 0.25:
+                ops.append(("delete", extra, None))
+            else:
+                ops.append(("insert", extra, payload))
+        workload.append(("txn", ops))
+    return workload
+
+
+def run_multi_client(scheme, *, clients=4, items=50, read_ratio=0.5,
+                     key_space=200, seed=7, read_ns=300.0, write_ns=300.0,
+                     record_size=48, preload=64, config=None):
+    """One contention run: N clients, shared engine, full report."""
+    config = config or build_config(
+        scheme, read_ns=read_ns, write_ns=write_ns,
+        ops=max(512, clients * items * 3), record_size=record_size,
+    )
+    engine = open_engine(config, scheme=scheme)
+    # Preload part of the hot key space so reads hit and writes update
+    # shared pages (the contended regime), outside the measured window.
+    payload = bytes(record_size)
+    for i in range(preload):
+        engine.insert(b"mk%05d" % (i * key_space // max(1, preload)),
+                      payload, replace=True)
+    scheduler = Scheduler(engine)
+    for index in range(clients):
+        scheduler.add_client(
+            client_workload(
+                index, items=items, read_ratio=read_ratio,
+                key_space=key_space, seed=seed, record_size=record_size,
+            )
+        )
+    snapshot = engine.obs.snapshot()
+    report = scheduler.run()
+    delta = engine.obs.since(snapshot)
+    counters = delta["registry"]["counters"]
+    result = {
+        "scheme": scheme,
+        "clients": clients,
+        "items_per_client": items,
+        "read_ratio": read_ratio,
+        "seed": seed,
+        "commits": report["commits"],
+        "aborts": report["aborts"],
+        "deadlocks": report["deadlocks"],
+        "timeouts": report["timeouts"],
+        "retries": report["retries"],
+        "steps": report["steps"],
+        "elapsed_ns": report["elapsed_ns"],
+        "simulated_ns": report["simulated_ns"],
+        "throughput_tps": report["throughput_tps"],
+        "records": engine.verify(),
+        "counters": {
+            name: counters.get(name, 0) for name in _COUNTERS
+        },
+        "per_client": report["per_client"],
+    }
+    return result
+
+
+def sweep_clients(scheme, *, counts=(1, 2, 4, 8), **kwargs):
+    """Throughput vs. client count at a fixed read/write mix."""
+    return [
+        run_multi_client(scheme, clients=count, **kwargs)
+        for count in counts
+    ]
+
+
+def sweep_read_ratio(scheme, *, ratios=(0.0, 0.5, 0.9), **kwargs):
+    """Throughput vs. read/write mix at a fixed client count."""
+    return [
+        run_multi_client(scheme, read_ratio=ratio, **kwargs)
+        for ratio in ratios
+    ]

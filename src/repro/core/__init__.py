@@ -17,8 +17,17 @@ commit scheme) on a simulated persistent-memory arena:
 from repro.core.config import SystemConfig
 from repro.core.base import Engine, ReadView, Transaction, TransactionError
 from repro.core.fast import FASTEngine, FASTPlusEngine
+from repro.core.locking import (
+    DeadlockError,
+    LockConflict,
+    LockError,
+    LockManager,
+    LockTimeout,
+)
 from repro.core.naive import NaiveEngine
 from repro.core.nvwal import NVWALEngine
+from repro.core.scheduler import Scheduler, SchedulerError
+from repro.core.session import Session
 
 _ENGINES = {
     "fast": FASTEngine,
@@ -54,13 +63,21 @@ def open_engine(config=None, *, scheme=None, pm=None):
 
 
 __all__ = [
+    "DeadlockError",
     "Engine",
     "FASTEngine",
     "FASTPlusEngine",
+    "LockConflict",
+    "LockError",
+    "LockManager",
+    "LockTimeout",
     "NVWALEngine",
     "NaiveEngine",
     "ReadView",
     "SCHEMES",
+    "Scheduler",
+    "SchedulerError",
+    "Session",
     "SystemConfig",
     "Transaction",
     "TransactionError",

@@ -11,11 +11,22 @@ the named segments ("search", "page_update", "commit", plus the
 sub-phases) correspond to the bars of the paper's breakdown figures.
 """
 
+from contextlib import nullcontext
+
 from repro.btree.btree import BTree
+from repro.core.locking import LOCK_IS, LOCK_IX
 from repro.pm.clock import SimClock
 from repro.pm.memory import PersistentMemory
 from repro.pm.stats import MemoryStats
 from repro.storage.pagestore import N_ROOT_SLOTS, PageStore
+
+#: Shared reusable no-op context manager: the default (session-less)
+#: transaction path opens this instead of a session clock segment.
+_NULL_CM = nullcontext()
+
+
+def _null_segment():
+    return _NULL_CM
 
 
 class TransactionError(Exception):
@@ -27,16 +38,16 @@ class ReadView:
 
     def __init__(self, store):
         self.store = store
-        self.segment = store.pm.clock.segment  # hot-path alias
+        # The one hot-path alias for the view protocol's
+        # ``segment(name)``: bound straight to the clock's cached
+        # context managers, skipping two attribute hops per call.
+        self.segment = store.pm.clock.segment
 
     def root_page_no(self, slot):
         return self.store.root(slot)
 
     def page(self, page_no):
         return self.store.page(page_no)
-
-    def segment(self, name):
-        return self.store.pm.clock.segment(name)
 
 
 class Transaction:
@@ -47,40 +58,86 @@ class Transaction:
 
         with engine.transaction() as txn:
             txn.insert(b"key", b"value")
+
+    With a ``session``, the transaction belongs to that session: its
+    context is wrapped by the session's lock manager (when locking),
+    simulated time spent in its operations is attributed to the
+    session's clock segment, and the session is notified on finish.
     """
 
-    def __init__(self, engine):
+    def __init__(self, engine, session=None):
         self.engine = engine
-        self.ctx = engine._new_context()
+        self.session = session
+        ctx = engine._new_context(session=session)
+        if session is not None:
+            ctx = session._wrap_context(ctx)
+            self._op_segment = session.op_segment
+            self._locked = session.locking
+        else:
+            self._op_segment = _null_segment
+            self._locked = False
+        self.ctx = ctx
         self._done = False
+
+    @property
+    def inner_ctx(self):
+        """The scheme context itself (unwrapping any lock shim) — what
+        the engine's commit/rollback/recovery paths consume."""
+        ctx = self.ctx
+        return ctx.inner if self._locked else ctx
 
     # -- data operations ------------------------------------------------
 
     def insert(self, key, value, *, root_slot=0, replace=False):
         self._check_open()
-        self.engine.tree(root_slot).insert(self.ctx, key, value, replace=replace)
+        with self._op_segment():
+            if self._locked:
+                self.ctx.begin_op()
+                self.ctx.lock_root(root_slot, LOCK_IX)
+            self.engine.tree(root_slot).insert(
+                self.ctx, key, value, replace=replace
+            )
 
     def update(self, key, value, *, root_slot=0):
         self._check_open()
-        return self.engine.tree(root_slot).update(self.ctx, key, value)
+        with self._op_segment():
+            if self._locked:
+                self.ctx.begin_op()
+                self.ctx.lock_root(root_slot, LOCK_IX)
+            return self.engine.tree(root_slot).update(self.ctx, key, value)
 
     def delete(self, key, *, root_slot=0):
         self._check_open()
-        return self.engine.tree(root_slot).delete(self.ctx, key)
+        with self._op_segment():
+            if self._locked:
+                self.ctx.begin_op()
+                self.ctx.lock_root(root_slot, LOCK_IX)
+            return self.engine.tree(root_slot).delete(self.ctx, key)
 
     def search(self, key, *, root_slot=0):
         """Read inside the transaction (sees its own writes)."""
         self._check_open()
-        return self.engine.tree(root_slot).search(self.ctx, key)
+        with self._op_segment():
+            if self._locked:
+                self.ctx.begin_op()
+                self.ctx.lock_root(root_slot, LOCK_IS)
+            return self.engine.tree(root_slot).search(self.ctx, key)
 
     def scan(self, lo=None, hi=None, *, root_slot=0):
         self._check_open()
+        if self._locked:
+            self.ctx.begin_op()
+            self.ctx.lock_root(root_slot, LOCK_IS)
         return self.engine.tree(root_slot).scan(self.ctx, lo, hi)
 
     def create_tree(self, root_slot):
         """Allocate an empty tree at ``root_slot`` (commits with txn)."""
         self._check_open()
-        self.engine.tree(root_slot).create(self.ctx)
+        with self._op_segment():
+            if self._locked:
+                self.ctx.begin_op()
+                self.ctx.lock_root(root_slot, LOCK_IX)
+            self.engine.tree(root_slot).create(self.ctx)
 
     def savepoint(self):
         """Capture a point to partially roll back to (``rollback_to``).
@@ -108,19 +165,33 @@ class Transaction:
         self._check_open()
         self._done = True
         try:
-            self.engine._commit(self.ctx)
+            with self._op_segment():
+                self.engine._commit(self.inner_ctx)
             self.engine.obs.inc("engine.txn.commit")
         finally:
-            self.engine._active = None
+            if self.session is None:
+                self.engine._active = None
+            else:
+                self.session._txn_finished(self, committed=True)
 
     def rollback(self):
         self._check_open()
         self._done = True
         try:
-            self.engine._rollback(self.ctx)
+            with self._op_segment():
+                if self._locked:
+                    # Concurrent sessions roll back precisely: other
+                    # sessions' uncommitted pages must survive, so no
+                    # global garbage collection here.
+                    self.engine._rollback_precise(self.inner_ctx)
+                else:
+                    self.engine._rollback(self.inner_ctx)
             self.engine.obs.inc("engine.txn.rollback")
         finally:
-            self.engine._active = None
+            if self.session is None:
+                self.engine._active = None
+            else:
+                self.session._txn_finished(self, committed=False)
 
     def __enter__(self):
         return self
@@ -146,6 +217,9 @@ class Engine:
     #: leaf slot-header record cap (None = space-limited); FAST⁺
     #: overrides this with the one-cache-line bound.
     leaf_capacity = None
+    #: Concurrent sessions need transaction rollback; the naive
+    #: in-place scheme cannot provide it and opts out.
+    supports_sessions = True
 
     def __init__(self, config, pm, store):
         self.config = config
@@ -156,6 +230,9 @@ class Engine:
         self.obs = pm.obs
         self._trees = {}
         self._active = None
+        self._sessions = {}      # sid -> live Session
+        self._next_sid = 1
+        self._lock_manager = None
         self._seq = 1
         # Per-commit dirty-page counts: recorded workload data (not a
         # metric) fed to the legacy block-device models that reproduce
@@ -208,7 +285,7 @@ class Engine:
     def _attach_regions(self):
         """Attach scheme-specific regions after a restart."""
 
-    def _new_context(self):
+    def _new_context(self, session=None):
         raise NotImplementedError
 
     def _commit(self, ctx):
@@ -216,6 +293,14 @@ class Engine:
 
     def _rollback(self, ctx):
         raise NotImplementedError
+
+    def _rollback_precise(self, ctx):
+        """Roll back exactly one session's context without global
+        garbage collection (other sessions' uncommitted pages must
+        survive).  Schemes whose ``_rollback`` is already precise —
+        NVWAL restores page snapshots and frees only its own
+        allocations — simply inherit this alias."""
+        self._rollback(ctx)
 
     def recover(self):
         """Bring the committed state to consistency after a crash."""
@@ -256,12 +341,69 @@ class Engine:
         return tree
 
     def transaction(self):
+        """The engine's implicit single-session transaction (the
+        historical API; sessions don't pass through here)."""
         if self._active is not None:
             raise TransactionError("a transaction is already active")
         txn = Transaction(self)
         self._active = txn
         self.obs.inc("engine.txn.begin")
         return txn
+
+    # -- sessions ----------------------------------------------------------
+
+    @property
+    def lock_manager(self):
+        """The engine-wide lock manager shared by all sessions
+        (created on first use; the single-session path never does)."""
+        if self._lock_manager is None:
+            from repro.core.locking import LockManager
+
+            self._lock_manager = LockManager(obs=self.obs)
+        return self._lock_manager
+
+    def session(self, name=None):
+        """Open a lock-managed session (one concurrent client).
+
+        Sessions own their transactions independently of the engine's
+        implicit one: several sessions may hold open transactions at
+        the same time, serialized by the shared lock manager.
+        """
+        if not self.supports_sessions:
+            raise TransactionError(
+                "the %r scheme does not support concurrent sessions "
+                "(it cannot roll back)" % self.scheme
+            )
+        from repro.core.session import Session
+
+        sid = self._next_sid
+        self._next_sid += 1
+        session = Session(
+            self, sid, name or ("s%d" % sid), lock_manager=self.lock_manager
+        )
+        self._sessions[sid] = session
+        self.obs.inc("engine.session.open")
+        return session
+
+    def _session_closed(self, session):
+        self._sessions.pop(session.sid, None)
+
+    def sessions(self):
+        """The live (unclosed) sessions, in creation order."""
+        return list(self._sessions.values())
+
+    def _protected_pages(self, exclude_ctx=None):
+        """Pages owned by live sessions' uncommitted transactions —
+        unreachable from any committed structure, but *not* garbage."""
+        protected = set()
+        for session in self._sessions.values():
+            ctx = session.transaction_ctx
+            if ctx is None or ctx is exclude_ctx:
+                continue
+            owned = getattr(ctx, "uncommitted_pages", None)
+            if owned is not None:
+                protected |= owned()
+        return protected
 
     def insert(self, key, value, *, root_slot=0, replace=False):
         """Single-statement transaction (the paper's mobile workload)."""
@@ -312,9 +454,18 @@ class Engine:
                 pages |= self.tree(slot).reachable_pages(view)
         return pages
 
-    def garbage_collect(self):
-        """Reclaim pages leaked by crashes (paper Section 4.4)."""
-        return self.store.garbage_collect(self.reachable_pages())
+    def garbage_collect(self, *, exclude_ctx=None):
+        """Reclaim pages leaked by crashes (paper Section 4.4).
+
+        Pages held by other live sessions' uncommitted transactions
+        are *not* garbage even though no committed structure reaches
+        them yet; ``exclude_ctx`` names the context whose own pages
+        should nonetheless be reclaimed (its rollback is the caller).
+        """
+        protected = self._protected_pages(exclude_ctx)
+        return self.store.garbage_collect(
+            self.reachable_pages(), protected=protected
+        )
 
     def compact(self, root_slot=0, *, min_waste=64):
         """VACUUM one tree: rewrite fragmented pages copy-on-write in

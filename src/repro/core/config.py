@@ -57,6 +57,13 @@ class SystemConfig:
     #: pages wait for an explicit ``engine.garbage_collect()``
     #: (free-list staleness is always corrected lazily on use).
     eager_recovery_gc: bool = True
+    #: Concurrency policy (sessions + scheduler, simulated time):
+    #: how long a session waits on a lock before timing out, how far
+    #: an aborted transaction backs off before retrying, and how many
+    #: retries it gets before the scheduler gives up on the item.
+    lock_timeout_ns: float = 2_000_000.0
+    lock_retry_backoff_ns: float = 50_000.0
+    max_txn_retries: int = 64
 
     # ------------------------------------------------------------------
     # Arena layout: [page store | slot-header log | NVWAL heap]

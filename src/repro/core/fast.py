@@ -40,8 +40,9 @@ class FASTContext:
     """Transaction context implementing the B-tree mutation protocol
     with in-place record writes and deferred (logged) header commits."""
 
-    def __init__(self, engine):
+    def __init__(self, engine, session=None):
         self.engine = engine
+        self.session = session
         self.store = engine.store
         self.pm = engine.pm
         self.clock = engine.pm.clock
@@ -53,6 +54,10 @@ class FASTContext:
         self.freed = []        # page_nos released once the txn commits
         self.reclaims = []     # (page, offset) cells dead once committed
         self.root_updates = {}
+        # Every page this transaction obtained from the store and still
+        # owns — what precise (session) rollback returns to the free
+        # list and what GC must protect while the txn is open.
+        self.allocated = []
         # In-place child-pointer swaps (durable immediately): recorded
         # as (address, old_child, new_child) so savepoint rollback can
         # reverse them — both directions are crash-safe because both
@@ -107,6 +112,7 @@ class FASTContext:
         page_no = self.store.page_no_of(page)
         self._pages[page_no] = page
         self.new_pages[page_no] = page
+        self.allocated.append(page_no)
         return page_no, page
 
     def free_page(self, page_no):
@@ -157,6 +163,7 @@ class FASTContext:
         fresh_no = self.store.page_no_of(fresh)
         self._pages[fresh_no] = fresh
         self.new_pages[fresh_no] = fresh
+        self.allocated.append(fresh_no)
         return fresh_no, fresh
 
     # -- savepoints --------------------------------------------------------
@@ -194,6 +201,8 @@ class FASTContext:
                 self._pages.pop(page_no, None)
                 self.dirty.pop(page_no, None)
                 self.store.free_page(page_no)
+                # Returned to the store: the txn no longer owns it.
+                self.allocated.remove(page_no)
         for page_no, page in list(self._pages.items()):
             if page_no not in snapshot["pending"]:
                 if page.has_pending:
@@ -212,6 +221,10 @@ class FASTContext:
         self.root_updates = dict(snapshot["root_updates"])
 
     # -- bookkeeping -------------------------------------------------------
+
+    def uncommitted_pages(self):
+        """Pages this open transaction owns (GC protection set)."""
+        return set(self.allocated)
 
     def _mark_dirty(self, page):
         page_no = self.store.page_no_of(page)
@@ -252,8 +265,8 @@ class FASTEngine(Engine):
         self.log = SlotHeaderLog.attach(self.pm, self.config.log_base,
                                         self.config.log_bytes)
 
-    def _new_context(self):
-        return FASTContext(self)
+    def _new_context(self, session=None):
+        return FASTContext(self, session=session)
 
     # -- commit ------------------------------------------------------------
 
@@ -337,7 +350,31 @@ class FASTEngine(Engine):
         # swap is durable but harmless: such pages expose only
         # committed content) — are reclaimed by reachability, exactly
         # like crash recovery does.
-        self.garbage_collect()
+        self.garbage_collect(exclude_ctx=ctx)
+
+    def _rollback_precise(self, ctx):
+        """Session rollback: undo *this* transaction only.
+
+        The single-session ``_rollback`` reclaims by reachability,
+        which would also sweep up pages owned by other live sessions'
+        open transactions.  Here everything is reversed from the
+        context's own records instead: durable child-pointer swaps are
+        un-swapped (newest first — both directions are crash-safe, the
+        pages are committed-equivalent), pending header updates are
+        discarded, the staged log is dropped, and every page the
+        transaction obtained from the store goes back to the free list.
+        """
+        while ctx.pointer_swaps:
+            position, old_child, _ = ctx.pointer_swaps.pop()
+            self.pm.write_u32(position, old_child)
+            self.pm.persist(position, 4)
+        for page in list(ctx.dirty.values()) + list(ctx.new_pages.values()):
+            if page.has_pending:
+                page.discard_pending()
+        self.log.discard()
+        for page_no in reversed(ctx.allocated):
+            self.store.free_page(page_no)
+        ctx.allocated = []
 
     def recover(self):
         """Crash recovery (paper Section 4.4).

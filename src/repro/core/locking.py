@@ -1,0 +1,382 @@
+"""Multi-granularity lock manager for concurrent sessions.
+
+The session layer serializes conflicting transactions with classic
+intent locking: a transaction takes an *intent* lock on the B-tree's
+root slot (``IS`` to read, ``IX`` to write, ``X`` to repoint the root)
+and then shared/exclusive latches on the individual pages it touches.
+Locks are held to commit/rollback (strict two-phase locking), which is
+what makes the cooperative scheduler's interleavings serializable in
+commit order.
+
+Everything here is *simulated-time* machinery: there are no host
+threads, so a conflicting ``acquire`` never blocks — it raises
+:class:`LockConflict` naming the holders, and the caller (normally the
+:class:`repro.core.scheduler.Scheduler`) decides whether to wait,
+retry, or abort.  Waiting sessions are registered with
+:meth:`LockManager.start_wait`, which keeps the wait-for graph the
+deadlock detector walks.
+
+``LockingContext`` is the shim that puts the lock manager between a
+session and ``PageStore``/``BTree``: it wraps an engine transaction
+context, acquires the right latch before delegating each view/mutation
+call, and forwards everything else untouched.  Single-session engines
+never construct one, so the default code path pays nothing.
+"""
+
+LOCK_IS = "IS"
+LOCK_IX = "IX"
+LOCK_S = "S"
+LOCK_X = "X"
+
+#: mode -> the set of modes it may coexist with (on other owners).
+_COMPATIBLE = {
+    LOCK_IS: frozenset((LOCK_IS, LOCK_IX, LOCK_S)),
+    LOCK_IX: frozenset((LOCK_IS, LOCK_IX)),
+    LOCK_S: frozenset((LOCK_IS, LOCK_S)),
+    LOCK_X: frozenset(),
+}
+
+#: mode -> the weaker modes it subsumes (a holder of the key needs no
+#: new lock to act in any listed mode).
+_COVERS = {
+    LOCK_IS: frozenset((LOCK_IS,)),
+    LOCK_IX: frozenset((LOCK_IS, LOCK_IX)),
+    LOCK_S: frozenset((LOCK_IS, LOCK_S)),
+    LOCK_X: frozenset((LOCK_IS, LOCK_IX, LOCK_S, LOCK_X)),
+}
+
+
+def _upgrade(held, wanted):
+    """Least mode subsuming both ``held`` and ``wanted`` (no SIX mode:
+    the IX+S combination escalates straight to X)."""
+    if wanted in _COVERS[held]:
+        return held
+    if held in _COVERS[wanted]:
+        return wanted
+    return LOCK_X
+
+
+class LockError(Exception):
+    """Base class for locking failures."""
+
+
+class LockConflict(LockError):
+    """The requested lock is incompatible with current holders.
+
+    Raised instead of blocking (there are no host threads to block).
+    ``resource``/``mode`` describe the request, ``holders`` the owner
+    ids whose granted locks stand in the way.
+    """
+
+    def __init__(self, owner, resource, mode, holders):
+        self.owner = owner
+        self.resource = resource
+        self.mode = mode
+        self.holders = tuple(holders)
+        super().__init__(
+            "%r cannot lock %r in %s (held by %s)"
+            % (owner, resource, mode, ", ".join(map(repr, self.holders)))
+        )
+
+
+class DeadlockError(LockError):
+    """A wait-for cycle was found; ``cycle`` lists the owners on it."""
+
+    def __init__(self, victim, cycle):
+        self.victim = victim
+        self.cycle = tuple(cycle)
+        super().__init__(
+            "deadlock: %s (victim %r)"
+            % (" -> ".join(map(repr, self.cycle)), victim)
+        )
+
+
+class LockTimeout(LockError):
+    """A session waited longer than the configured simulated timeout."""
+
+
+def root_resource(slot):
+    """The lockable resource for a named root slot."""
+    return ("root", slot)
+
+
+def page_resource(page_no):
+    """The lockable resource for one page."""
+    return ("page", page_no)
+
+
+class LockManager:
+    """Grants IS/IX/S/X locks to owners and tracks who waits on whom.
+
+    Owners are opaque hashable ids (the session ids).  State is purely
+    volatile — locks are a concurrency-control artifact, not a
+    persistence one, and a crash discards them with the rest of the
+    volatile state.
+    """
+
+    def __init__(self, *, obs=None):
+        self.obs = obs
+        self._granted = {}   # resource -> {owner: mode}
+        self._owned = {}     # owner -> set of resources
+        self._waits = {}     # owner -> (resource, mode)
+
+    # -- grants ------------------------------------------------------------
+
+    def acquire(self, owner, resource, mode):
+        """Grant ``mode`` on ``resource`` (upgrading a held lock if
+        needed) or raise :class:`LockConflict`.  Returns the mode now
+        held."""
+        granted = self._granted.get(resource)
+        if granted is None:
+            granted = self._granted[resource] = {}
+        held = granted.get(owner)
+        if held is not None:
+            target = _upgrade(held, mode)
+            if target == held:
+                return held
+        else:
+            target = mode
+        compatible = _COMPATIBLE[target]
+        blockers = [
+            other for other, other_mode in granted.items()
+            if other != owner and other_mode not in compatible
+        ]
+        if blockers:
+            if self.obs is not None:
+                self.obs.inc("lock.conflict")
+            raise LockConflict(owner, resource, mode, blockers)
+        granted[owner] = target
+        self._owned.setdefault(owner, set()).add(resource)
+        if self.obs is not None:
+            self.obs.inc("lock.upgrade" if held is not None else "lock.acquire")
+        return target
+
+    def try_acquire(self, owner, resource, mode):
+        """``acquire`` returning False instead of raising on conflict."""
+        try:
+            self.acquire(owner, resource, mode)
+        except LockConflict:
+            return False
+        return True
+
+    def holds(self, owner, resource):
+        """The mode ``owner`` holds on ``resource`` (None if none)."""
+        granted = self._granted.get(resource)
+        return granted.get(owner) if granted else None
+
+    def locks_of(self, owner):
+        """{resource: mode} snapshot of everything ``owner`` holds."""
+        return {
+            resource: self._granted[resource][owner]
+            for resource in self._owned.get(owner, ())
+        }
+
+    def release_all(self, owner):
+        """Drop every lock and any registered wait of ``owner``
+        (transaction end — strict 2PL releases in one step).  Returns
+        the number of locks released."""
+        resources = self._owned.pop(owner, None)
+        released = 0
+        if resources:
+            for resource in resources:
+                granted = self._granted.get(resource)
+                if granted and granted.pop(owner, None) is not None:
+                    released += 1
+                    if not granted:
+                        del self._granted[resource]
+        self._waits.pop(owner, None)
+        if released and self.obs is not None:
+            self.obs.inc("lock.release", released)
+        return released
+
+    # -- wait-for graph ----------------------------------------------------
+
+    def start_wait(self, owner, resource, mode):
+        """Register that ``owner`` is waiting to lock ``resource``."""
+        self._waits[owner] = (resource, mode)
+
+    def stop_wait(self, owner):
+        """Remove ``owner``'s registered wait (woken or aborted)."""
+        self._waits.pop(owner, None)
+
+    def waiting(self, owner):
+        """The (resource, mode) ``owner`` waits for, or None."""
+        return self._waits.get(owner)
+
+    def blockers(self, owner, resource, mode):
+        """Owners whose granted locks block ``owner``'s request."""
+        granted = self._granted.get(resource)
+        if not granted:
+            return ()
+        held = granted.get(owner)
+        target = mode if held is None else _upgrade(held, mode)
+        compatible = _COMPATIBLE[target]
+        return tuple(
+            other for other, other_mode in granted.items()
+            if other != owner and other_mode not in compatible
+        )
+
+    def wait_edges(self):
+        """The wait-for graph: {waiter: (blocking owners...)}."""
+        return {
+            owner: self.blockers(owner, resource, mode)
+            for owner, (resource, mode) in self._waits.items()
+        }
+
+    def find_deadlock(self, owner):
+        """Walk the wait-for graph from ``owner``; return the cycle
+        through ``owner`` as an owner list, or None.
+
+        Deterministic: edges are expanded in grant-insertion order, so
+        identical histories find identical cycles.
+        """
+        edges = self.wait_edges()
+        path = [owner]
+        on_path = {owner}
+        visited = set()
+
+        def visit(node):
+            for blocker in edges.get(node, ()):
+                if blocker == owner:
+                    return True
+                if blocker in on_path or blocker in visited:
+                    continue
+                if blocker in edges:
+                    path.append(blocker)
+                    on_path.add(blocker)
+                    if visit(blocker):
+                        return True
+                    on_path.discard(path.pop())
+                visited.add(blocker)
+            return False
+
+        if visit(owner):
+            return list(path)
+        return None
+
+
+class LockingContext:
+    """A transaction context proxy that latches before delegating.
+
+    Sits between a :class:`repro.core.session.Session` and the
+    scheme context (FAST/FAST⁺/NVWAL): reads take S page latches,
+    mutations take X, root-pointer updates take X on the root slot.
+    Attributes and methods outside the view/mutation protocol are
+    forwarded to the wrapped context, so the commit paths (which
+    receive the *inner* context) see the exact objects they always did.
+
+    ``op_mutated`` tracks whether the current top-level operation has
+    already changed transaction state; the scheduler uses it to decide
+    between waiting (operation restart is safe — only reads happened)
+    and aborting the transaction (a partial mutation cannot be
+    re-issued).
+    """
+
+    def __init__(self, inner, session):
+        # Avoid __setattr__ recursion by writing through __dict__.
+        self.__dict__["_inner"] = inner
+        self.__dict__["_session"] = session
+        self.__dict__["_locks"] = session.lock_manager
+        self.__dict__["_owner"] = session.sid
+        self.__dict__["_store"] = session.engine.store
+        self.__dict__["op_mutated"] = False
+
+    # -- lock plumbing ----------------------------------------------------
+
+    def begin_op(self):
+        """Mark the start of a top-level operation (insert/search/...)."""
+        self.__dict__["op_mutated"] = False
+
+    def _lock(self, resource, mode):
+        self._locks.acquire(self._owner, resource, mode)
+
+    def lock_root(self, slot, mode):
+        """Intent lock on a tree's root slot (taken per operation)."""
+        self._locks.acquire(self._owner, root_resource(slot), mode)
+
+    def _page_no(self, page):
+        page_no = getattr(page, "page_no", None)
+        if page_no is not None:
+            return page_no  # NVWAL's DRAM frames carry their number
+        return self._store.page_no_of(page)
+
+    def _xlock_page(self, page):
+        self._locks.acquire(
+            self._owner, page_resource(self._page_no(page)), LOCK_X
+        )
+
+    # -- view protocol -----------------------------------------------------
+
+    def segment(self, name):
+        return self._inner.segment(name)
+
+    def root_page_no(self, slot):
+        return self._inner.root_page_no(slot)
+
+    def page(self, page_no):
+        self._lock(page_resource(page_no), LOCK_S)
+        return self._inner.page(page_no)
+
+    # -- mutation protocol -------------------------------------------------
+
+    def insert_record(self, page, slot, payload):
+        self._xlock_page(page)
+        offset = self._inner.insert_record(page, slot, payload)
+        self.__dict__["op_mutated"] = True
+        return offset
+
+    def update_record(self, page, slot, payload):
+        self._xlock_page(page)
+        offset = self._inner.update_record(page, slot, payload)
+        self.__dict__["op_mutated"] = True
+        return offset
+
+    def delete_record(self, page, slot):
+        self._xlock_page(page)
+        self._inner.delete_record(page, slot)
+        self.__dict__["op_mutated"] = True
+
+    def allocate_page(self, page_type):
+        page_no, page = self._inner.allocate_page(page_type)
+        # A fresh page is uncontended: the grant cannot conflict.
+        self._lock(page_resource(page_no), LOCK_X)
+        self.__dict__["op_mutated"] = True
+        return page_no, page
+
+    def free_page(self, page_no):
+        self._lock(page_resource(page_no), LOCK_X)
+        self._inner.free_page(page_no)
+        self.__dict__["op_mutated"] = True
+
+    def set_root(self, slot, page_no):
+        self._lock(root_resource(slot), LOCK_X)
+        self._inner.set_root(slot, page_no)
+        self.__dict__["op_mutated"] = True
+
+    def overwrite_child_pointer(self, parent_page, slot, new_child_no):
+        self._xlock_page(parent_page)
+        self._inner.overwrite_child_pointer(parent_page, slot, new_child_no)
+        self.__dict__["op_mutated"] = True
+
+    def defragment(self, page_no):
+        self._lock(page_resource(page_no), LOCK_X)
+        fresh_no, fresh = self._inner.defragment(page_no)
+        self._lock(page_resource(fresh_no), LOCK_X)
+        self.__dict__["op_mutated"] = True
+        return fresh_no, fresh
+
+    # -- passthrough -------------------------------------------------------
+
+    @property
+    def inner(self):
+        """The wrapped scheme context (what the commit paths consume)."""
+        return self._inner
+
+    def __getattr__(self, name):
+        return getattr(self.__dict__["_inner"], name)
+
+    def __setattr__(self, name, value):
+        if name in self.__dict__:
+            self.__dict__[name] = value
+        else:
+            setattr(self.__dict__["_inner"], name, value)

@@ -108,8 +108,11 @@ class NaiveEngine(Engine):
     """Unlogged in-place slotted paging (no crash atomicity)."""
 
     scheme = "naive"
+    #: Sessions need rollback (lock conflicts abort transactions); the
+    #: naive scheme has none, so it stays single-session by design.
+    supports_sessions = False
 
-    def _new_context(self):
+    def _new_context(self, session=None):
         return NaiveContext(self)
 
     def _commit(self, ctx):

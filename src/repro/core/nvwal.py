@@ -106,8 +106,9 @@ class NVWALView:
 class NVWALContext(NVWALView):
     """Transaction context: volatile page updates + commit-time WAL."""
 
-    def __init__(self, engine):
+    def __init__(self, engine, session=None):
         super().__init__(engine)
+        self.session = session
         self.clock = engine.clock
         self.obs = engine.obs
         self.dirty = {}       # page_no -> SlottedPage (DRAM)
@@ -115,6 +116,11 @@ class NVWALContext(NVWALView):
         self.new_pages = set()
         self.freed = []
         self.root_updates = {}
+
+    def uncommitted_pages(self):
+        """Pages this open transaction owns (GC protection set) —
+        page numbers reserved for DRAM-only new pages."""
+        return set(self.new_pages)
 
     def root_page_no(self, slot):
         if slot in self.root_updates:
@@ -305,8 +311,8 @@ class NVWALEngine(Engine):
         self.wal = NVWALog.attach(self.pm, self.config.heap_base,
                                   self.config.heap_bytes)
 
-    def _new_context(self):
-        return NVWALContext(self)
+    def _new_context(self, session=None):
+        return NVWALContext(self, session=session)
 
     def read_view(self):
         return NVWALView(self)

@@ -1,0 +1,374 @@
+"""Deterministic cooperative scheduler for N simulated clients.
+
+Concurrency in this reproduction is *simulated*, like everything else:
+there are no host threads.  Each client is a :class:`repro.core.session.Session`
+plus a workload (a list of transaction items), and the scheduler
+interleaves them one operation at a time on the shared
+:class:`repro.pm.clock.SimClock`:
+
+* every client carries a ``ready_at_ns`` instant (the simulated time
+  at which its next operation may start — right after its previous
+  operation, or later when it is backing off after an abort);
+* each step runs the runnable client with the smallest
+  ``(ready_at_ns, client index)`` — round-robin *by simulated time*,
+  which is exactly how concurrent clients interleave on real hardware,
+  and byte-reproducible because nothing depends on host time, host
+  threads, or hash order;
+* a step executes ONE operation (insert/update/delete/search/think) of
+  the client's current transaction, so transactions genuinely
+  interleave and conflict through the shared
+  :class:`repro.core.locking.LockManager`.
+
+Conflict policy (the timeout/abort-retry policy of the lock manager):
+
+* a :class:`LockConflict` before the operation mutated anything
+  (``ctx.op_mutated`` False — only reads happened) parks the client in
+  WAITING: its wait is registered in the wait-for graph, and it wakes
+  as soon as a blocker commits or aborts.  A wait-for cycle found at
+  park time aborts the requester immediately (deadlock victim);
+* a conflict *after* the operation mutated transaction state cannot be
+  waited out — the half-applied operation cannot be re-issued — so the
+  transaction aborts and the whole item retries after a deterministic
+  exponential backoff;
+* a wait that outlives ``lock_timeout_ns`` simulated nanoseconds times
+  out: the transaction aborts and retries the same way.
+
+Aborted items retry up to ``max_txn_retries`` times (then the run
+fails loudly — livelock is a bug in the policy, not something to paper
+over).  Committed items are recorded in ``commit_order``; because of
+strict two-phase locking the interleaving is serializable *in that
+order*, which is what the crash harness validates against.
+
+Workload items use the same shapes as :mod:`repro.testing.crashsim`:
+``("txn", [ops])`` for a multi-operation transaction or a bare
+``(kind, key, value)`` tuple for a single-operation transaction, with
+kinds ``insert`` / ``update`` / ``delete`` / ``search`` / ``think``
+(think's ``key`` is simulated nanoseconds to hold the transaction open).
+"""
+
+from repro.core.locking import DeadlockError, LockConflict
+
+READY = "ready"
+WAITING = "waiting"
+DONE = "done"
+
+
+class SchedulerError(Exception):
+    """The scheduler cannot make progress (retry budget exhausted)."""
+
+
+class _Client:
+    """One simulated client: a session plus its workload cursor."""
+
+    __slots__ = (
+        "index", "name", "session", "items", "item_idx", "ops", "op_idx",
+        "txn", "state", "ready_at_ns", "wait_deadline_ns", "retries",
+        "commits", "aborts", "deadlocks", "timeouts", "total_retries",
+        "reads", "steps", "last_step",
+    )
+
+    def __init__(self, index, name, session, items):
+        self.index = index
+        self.name = name
+        self.session = session
+        self.items = list(items)
+        self.item_idx = 0
+        self.ops = None          # current item's op list (txn open)
+        self.op_idx = 0
+        self.txn = None
+        self.state = READY
+        self.ready_at_ns = 0.0
+        self.wait_deadline_ns = None
+        self.retries = 0         # of the current item
+        self.commits = 0
+        self.aborts = 0
+        self.deadlocks = 0
+        self.timeouts = 0
+        self.total_retries = 0
+        self.reads = 0
+        self.steps = 0
+        self.last_step = 0   # global step sequence of the last run
+
+    @property
+    def finished(self):
+        return self.item_idx >= len(self.items)
+
+    def summary(self):
+        return {
+            "name": self.name,
+            "items": len(self.items),
+            "commits": self.commits,
+            "aborts": self.aborts,
+            "deadlocks": self.deadlocks,
+            "timeouts": self.timeouts,
+            "retries": self.total_retries,
+            "reads": self.reads,
+            "steps": self.steps,
+        }
+
+
+def _ops_of(item):
+    """Normalize a workload item to its operation list."""
+    if item and item[0] == "txn":
+        return list(item[1])
+    return [item]
+
+
+class Scheduler:
+    """Interleaves N client sessions deterministically (see module doc)."""
+
+    def __init__(self, engine, *, lock_timeout_ns=None,
+                 retry_backoff_ns=None, max_retries=None):
+        if not engine.supports_sessions:
+            raise SchedulerError(
+                "the %r scheme does not support concurrent sessions"
+                % engine.scheme
+            )
+        self.engine = engine
+        self.obs = engine.obs
+        self.clock = engine.clock
+        config = engine.config
+        self.lock_timeout_ns = (
+            config.lock_timeout_ns if lock_timeout_ns is None
+            else lock_timeout_ns
+        )
+        self.retry_backoff_ns = (
+            config.lock_retry_backoff_ns if retry_backoff_ns is None
+            else retry_backoff_ns
+        )
+        self.max_retries = (
+            config.max_txn_retries if max_retries is None else max_retries
+        )
+        self.clients = []
+        self._step_seq = 0
+        #: The client whose operation is (or was last) executing — at a
+        #: simulated crash, the only client that can have an in-flight
+        #: commit (cooperative scheduling: one session runs at a time).
+        self.running_client = None
+        #: (client name, item index) per committed transaction — the
+        #: serialization order (strict 2PL commits in lock order).
+        self.commit_order = []
+
+    def add_client(self, items, *, name=None):
+        """Register one client with its workload; returns the client."""
+        index = len(self.clients)
+        name = name or ("c%d" % index)
+        session = self.engine.session(name)
+        client = _Client(index, name, session, items)
+        client.ready_at_ns = self.clock.now_ns
+        self.clients.append(client)
+        return client
+
+    # -- the run loop ------------------------------------------------------
+
+    def run(self):
+        """Interleave all clients to completion; returns the report."""
+        start_ns = self.clock.now_ns
+        while True:
+            client = self._next_client()
+            if client is None:
+                break
+            self._step(client)
+        report = self._report(start_ns)
+        for client in self.clients:
+            client.session.close()
+        return report
+
+    def _next_client(self):
+        """The next event in simulated-time order: either a runnable
+        client (returned) or the earliest lock-wait timeout (handled
+        here, then re-evaluated)."""
+        while True:
+            # Ties on ready_at (common right after a wake) go to the
+            # least-recently-run client, so releases hand the lock over
+            # instead of letting the low-index client streak (convoy).
+            ready = min(
+                (
+                    (c.ready_at_ns, c.last_step, c.index, c)
+                    for c in self.clients if c.state is READY
+                ),
+                default=None,
+            )
+            waiting = min(
+                (
+                    (c.wait_deadline_ns, c.last_step, c.index, c)
+                    for c in self.clients if c.state is WAITING
+                ),
+                default=None,
+            )
+            if ready is not None and (
+                waiting is None or ready[0] <= waiting[0]
+            ):
+                client = ready[3]
+                self.clock.advance_to(client.ready_at_ns)
+                return client
+            if waiting is None:
+                return None  # every client DONE
+            deadline, _, _, client = waiting
+            self.clock.advance_to(deadline)
+            self._time_out(client)
+
+    def _step(self, client):
+        """Run one operation of ``client``'s current transaction."""
+        client.steps += 1
+        self._step_seq += 1
+        client.last_step = self._step_seq
+        self.running_client = client
+        self.obs.inc("sched.step")
+        if client.txn is None:
+            client.ops = _ops_of(client.items[client.item_idx])
+            client.op_idx = 0
+            client.txn = client.session.transaction()
+        kind, key, value = client.ops[client.op_idx]
+        txn = client.txn
+        if kind == "think":
+            # A sleep, not work: the client (with any locks it holds)
+            # parks until now + key ns of simulated time; other clients
+            # run in the meantime.  A terminal think falls through to
+            # the commit below.
+            client.op_idx += 1
+            if client.op_idx < len(client.ops):
+                client.ready_at_ns = self.clock.now_ns + key
+                return
+        else:
+            try:
+                if kind == "insert":
+                    txn.insert(key, value, replace=True)
+                elif kind == "update":
+                    txn.update(key, value)
+                elif kind == "delete":
+                    txn.delete(key)
+                elif kind == "search":
+                    txn.search(key)
+                    client.reads += 1
+                else:
+                    raise SchedulerError("unknown op kind %r" % (kind,))
+            except LockConflict as conflict:
+                self._on_conflict(client, conflict)
+                return
+            client.op_idx += 1
+        if client.op_idx >= len(client.ops):
+            txn.commit()
+            self.commit_order.append((client.name, client.item_idx))
+            client.txn = None
+            client.ops = None
+            client.commits += 1
+            client.retries = 0
+            client.item_idx += 1
+            if client.finished:
+                client.state = DONE
+        client.ready_at_ns = self.clock.now_ns
+        self._wake_waiters()
+
+    # -- conflicts, deadlock, timeout --------------------------------------
+
+    def _on_conflict(self, client, conflict):
+        locks = self.engine.lock_manager
+        if client.txn.ctx.op_mutated:
+            # The operation already changed transaction state; it
+            # cannot simply be re-issued, so the transaction aborts
+            # and the whole item retries after backoff.
+            self._abort(client, "sched.abort.mutated")
+            return
+        # Only reads happened: park and retry the operation when a
+        # blocker releases.  Deadlock check at park time — the new
+        # wait edge is the only one that can have closed a cycle.
+        locks.start_wait(client.session.sid, conflict.resource, conflict.mode)
+        cycle = locks.find_deadlock(client.session.sid)
+        if cycle is not None:
+            locks.stop_wait(client.session.sid)
+            client.deadlocks += 1
+            self.obs.inc("sched.deadlock")
+            self._abort(client, "sched.abort.deadlock")
+            return
+        client.state = WAITING
+        client.wait_deadline_ns = self.clock.now_ns + self.lock_timeout_ns
+        self.obs.inc("sched.wait")
+
+    def _time_out(self, client):
+        """A parked client's wait deadline arrived."""
+        locks = self.engine.lock_manager
+        wait = locks.waiting(client.session.sid)
+        if wait is not None and not locks.blockers(
+            client.session.sid, wait[0], wait[1]
+        ):
+            # The blockers vanished without a wake (defensive; wakes
+            # normally happen eagerly at release time).
+            self._wake(client)
+            return
+        locks.stop_wait(client.session.sid)
+        client.state = READY
+        client.wait_deadline_ns = None
+        client.timeouts += 1
+        self.obs.inc("sched.timeout")
+        self._abort(client, "sched.abort.timeout")
+
+    def _abort(self, client, counter):
+        """Roll back the client's transaction and schedule the retry."""
+        client.txn.rollback()
+        client.txn = None
+        client.ops = None
+        client.aborts += 1
+        self.obs.inc("sched.abort")
+        self.obs.inc(counter)
+        client.retries += 1
+        if client.retries > self.max_retries:
+            raise SchedulerError(
+                "client %r exhausted %d retries on item %d"
+                % (client.name, self.max_retries, client.item_idx)
+            )
+        client.total_retries += 1
+        self.obs.inc("sched.retry")
+        # Deterministic exponential backoff, staggered per client so
+        # simultaneous aborters do not collide forever.
+        delay = self.retry_backoff_ns * (
+            1 << min(client.retries - 1, 8)
+        ) + client.index * (self.retry_backoff_ns / 16.0)
+        client.ready_at_ns = self.clock.now_ns + delay
+        client.state = READY
+        self._wake_waiters()
+
+    def _wake_waiters(self):
+        """Wake every parked client whose blockers released their locks."""
+        locks = self.engine.lock_manager
+        for client in self.clients:
+            if client.state is not WAITING:
+                continue
+            wait = locks.waiting(client.session.sid)
+            if wait is None or not locks.blockers(
+                client.session.sid, wait[0], wait[1]
+            ):
+                self._wake(client)
+
+    def _wake(self, client):
+        self.engine.lock_manager.stop_wait(client.session.sid)
+        client.state = READY
+        client.wait_deadline_ns = None
+        client.ready_at_ns = self.clock.now_ns
+        self.obs.inc("sched.wake")
+
+    # -- reporting ---------------------------------------------------------
+
+    def _report(self, start_ns):
+        elapsed_ns = self.clock.now_ns - start_ns
+        commits = sum(c.commits for c in self.clients)
+        return {
+            "scheme": self.engine.scheme,
+            "clients": len(self.clients),
+            "simulated_ns": self.clock.now_ns,
+            "elapsed_ns": elapsed_ns,
+            "commits": commits,
+            "aborts": sum(c.aborts for c in self.clients),
+            "deadlocks": sum(c.deadlocks for c in self.clients),
+            "timeouts": sum(c.timeouts for c in self.clients),
+            "retries": sum(c.total_retries for c in self.clients),
+            "steps": sum(c.steps for c in self.clients),
+            "throughput_tps": (
+                commits / (elapsed_ns / 1e9) if elapsed_ns else 0.0
+            ),
+            "commit_order": list(self.commit_order),
+            "per_client": [c.summary() for c in self.clients],
+        }
+
+
+__all__ = ["Scheduler", "SchedulerError", "DeadlockError"]

@@ -1,0 +1,135 @@
+"""Sessions: independently-owned transaction scopes over one engine.
+
+The paper's host system (SQLite) serializes writers, and this
+reproduction historically did the same — ``Engine`` owned one implicit
+transaction at a time.  A :class:`Session` generalizes that: each
+session owns at most one open transaction, its own clock-segment
+attribution (all simulated time spent inside its operations lands in
+the ``session.<name>`` segment) and obs labels
+(``session.<name>.commit`` / ``.abort`` counters), and — when the
+engine hands out lock-managed sessions — a :class:`LockingContext`
+that serializes conflicting page/root access against the other
+sessions (strict 2PL).
+
+The *default* single-session path (``engine.transaction()``,
+``engine.insert()``, every existing benchmark and golden-counter test)
+does not construct sessions and is byte-for-byte unchanged.
+
+Sessions are cooperative, not threaded: at most one session executes
+host code at any instant.  The deterministic interleaving of many
+sessions is the scheduler's job (:mod:`repro.core.scheduler`).
+"""
+
+from repro.core.locking import LockingContext
+
+
+class Session:
+    """One client's transaction scope on a shared engine."""
+
+    def __init__(self, engine, sid, name, *, lock_manager=None):
+        self.engine = engine
+        self.sid = sid
+        self.name = name
+        self.lock_manager = lock_manager
+        self.segment_name = "session.%s" % name
+        #: Per-session obs labels ("session.<name>.commit" ...).
+        self.obs = engine.obs.labeled("session.%s" % name)
+        self._clock = engine.clock
+        self._txn = None
+        self.closed = False
+
+    # -- transactions ------------------------------------------------------
+
+    @property
+    def locking(self):
+        return self.lock_manager is not None
+
+    @property
+    def in_transaction(self):
+        return self._txn is not None
+
+    @property
+    def transaction_ctx(self):
+        """The open transaction's *inner* scheme context (None when
+        idle) — what the engine consults to protect this session's
+        uncommitted pages from garbage collection."""
+        if self._txn is None:
+            return None
+        return self._txn.inner_ctx
+
+    def transaction(self):
+        """Begin this session's transaction (one at a time)."""
+        from repro.core.base import Transaction, TransactionError
+
+        if self.closed:
+            raise TransactionError("session %r is closed" % self.name)
+        if self._txn is not None:
+            raise TransactionError(
+                "session %r already has an open transaction" % self.name
+            )
+        txn = Transaction(self.engine, session=self)
+        self._txn = txn
+        self.engine.obs.inc("engine.txn.begin")
+        return txn
+
+    def _wrap_context(self, ctx):
+        """Interpose the lock manager (when this session locks)."""
+        if self.lock_manager is None:
+            return ctx
+        return LockingContext(ctx, self)
+
+    def op_segment(self):
+        """Clock segment attributing an operation's simulated time to
+        this session (nested inside it, the usual phase segments keep
+        accumulating exactly as before)."""
+        return self._clock.segment(self.segment_name)
+
+    def _txn_finished(self, txn, committed):
+        """Transaction epilogue: drop lock state, count the outcome."""
+        if self._txn is txn:
+            self._txn = None
+        if self.lock_manager is not None:
+            self.lock_manager.release_all(self.sid)
+        self.obs.inc("commit" if committed else "abort")
+
+    # -- autocommit conveniences ------------------------------------------
+
+    def insert(self, key, value, *, root_slot=0, replace=False):
+        with self.transaction() as txn:
+            txn.insert(key, value, root_slot=root_slot, replace=replace)
+
+    def update(self, key, value, *, root_slot=0):
+        with self.transaction() as txn:
+            return txn.update(key, value, root_slot=root_slot)
+
+    def delete(self, key, *, root_slot=0):
+        with self.transaction() as txn:
+            return txn.delete(key, root_slot=root_slot)
+
+    def search(self, key, *, root_slot=0):
+        with self.transaction() as txn:
+            return txn.search(key, root_slot=root_slot)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self):
+        """Roll back any open transaction and detach from the engine."""
+        if self.closed:
+            return
+        if self._txn is not None:
+            self._txn.rollback()
+        if self.lock_manager is not None:
+            self.lock_manager.release_all(self.sid)
+        self.closed = True
+        self.engine._session_closed(self)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+    def __repr__(self):
+        state = "txn open" if self._txn is not None else "idle"
+        return "Session(%r, %s)" % (self.name, state)

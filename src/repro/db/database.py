@@ -32,9 +32,11 @@ Result = Rows
 class Database:
     """A SQL database over one of the paper's storage engines."""
 
-    def __init__(self, engine, *, cache_statements=False):
+    def __init__(self, engine, *, cache_statements=False, session=None,
+                 catalog=None):
         self.engine = engine
-        self.catalog = Catalog(engine)
+        self.session = session  # None = the engine's implicit connection
+        self.catalog = catalog if catalog is not None else Catalog(engine)
         self.executor = Executor(self.catalog, engine.clock)
         self.cache_statements = cache_statements
         self._statement_cache = {}
@@ -52,6 +54,22 @@ class Database:
         """
         engine = open_engine(config or SystemConfig(), scheme=scheme, pm=pm)
         return cls(engine, cache_statements=cache_statements)
+
+    def connect(self, name=None):
+        """A new connection: same engine and catalog, its own session.
+
+        Connections are the SQL face of :meth:`repro.core.base.Engine.session` —
+        each owns an independent transaction scope, serialized against
+        the other connections by the engine's lock manager.  Close the
+        connection (or use it as a context manager) to release its
+        session.
+        """
+        return Database(
+            self.engine,
+            cache_statements=self.cache_statements,
+            session=self.engine.session(name),
+            catalog=self.catalog,
+        )
 
     # ------------------------------------------------------------------
     # Statement execution
@@ -91,7 +109,7 @@ class Database:
             )
         if self._txn is not None:
             return self.executor.execute(node, params, self._txn)
-        with self.engine.transaction() as txn:
+        with self._transaction() as txn:
             return self.executor.execute(node, params, txn)
 
     def executemany(self, sql, param_rows):
@@ -122,10 +140,17 @@ class Database:
     # Transactions
     # ------------------------------------------------------------------
 
+    def _transaction(self):
+        """Begin a transaction in this connection's scope (its session,
+        or the engine's implicit single-session path)."""
+        if self.session is not None:
+            return self.session.transaction()
+        return self.engine.transaction()
+
     def _begin(self):
         if self._txn is not None:
             raise SqlError("cannot BEGIN: a transaction is already active")
-        self._txn = self.engine.transaction()
+        self._txn = self._transaction()
         self._savepoints = []
 
     def _commit(self):
@@ -190,9 +215,12 @@ class Database:
         return self.engine.stats
 
     def close(self):
-        """Roll back any open transaction (data is already durable)."""
+        """Roll back any open transaction (data is already durable)
+        and release this connection's session, if it has one."""
         if self._txn is not None:
             self._rollback()
+        if self.session is not None:
+            self.session.close()
 
     def __enter__(self):
         return self

@@ -117,6 +117,13 @@ class Observability:
     def inc(self, name, n=1):
         self.registry.inc(name, n)
 
+    def labeled(self, prefix):
+        """A thin view of this handle that prefixes counter names with
+        ``<prefix>.`` — per-session attribution (``session.s1.commit``)
+        without per-session registries, so one snapshot still holds
+        everything."""
+        return _LabeledObs(self, prefix)
+
     def event(self, kind, a=0, b=0):
         self.trace.record(kind, a, b)
 
@@ -153,3 +160,22 @@ class Observability:
             json.dump(snapshot, fh, indent=2, sort_keys=True)
             fh.write("\n")
         return snapshot
+
+
+class _LabeledObs:
+    """Counter view with a fixed name prefix (see ``Observability.labeled``)."""
+
+    __slots__ = ("_obs", "_prefix")
+
+    def __init__(self, obs, prefix):
+        self._obs = obs
+        self._prefix = prefix + "."
+
+    def inc(self, name, n=1):
+        self._obs.registry.inc(self._prefix + name, n)
+
+    def counter(self, name):
+        return self._obs.registry.counter(self._prefix + name)
+
+    def span(self, name):
+        return self._obs.clock.segment(self._prefix + name)

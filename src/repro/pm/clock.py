@@ -101,6 +101,12 @@ class SimClock:
         self.now_ns += ns
         self.pending_ns += ns
 
+    def advance_to(self, target_ns):
+        """Advance simulated time to ``target_ns`` if it lies ahead
+        (no-op otherwise).  Used by the cooperative scheduler to model
+        a session sleeping until a wake-up instant."""
+        self.advance(target_ns - self.now_ns)
+
     def flush_pending(self):
         """Attribute ``pending_ns`` to every currently open segment."""
         ns = self.pending_ns

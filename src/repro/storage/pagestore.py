@@ -153,18 +153,20 @@ class PageStore:
             page_no = self.pm.read_u32(self.page_base(page_no))
         return count
 
-    def garbage_collect(self, reachable):
+    def garbage_collect(self, reachable, *, protected=frozenset()):
         """Rebuild the free list as every page not in ``reachable``.
 
         ``reachable`` is the set of page numbers referenced by
         committed structures (e.g. a B-tree walk from the root).  Pages
         leaked by a crash between allocation and linking are thereby
-        reclaimed (paper Section 4.4).
+        reclaimed (paper Section 4.4).  ``protected`` pages survive
+        even when unreachable — they belong to other live sessions'
+        uncommitted transactions.
         """
         freed = 0
         head = 0
         for page_no in range(self.npages - 1, 0, -1):
-            if page_no in reachable:
+            if page_no in reachable or page_no in protected:
                 continue
             base = self.page_base(page_no)
             self.pm.write_u32(base, head)

@@ -281,6 +281,160 @@ def crash_points_in(scheme, workload, *, config=None):
     return pm.events
 
 
+# ----------------------------------------------------------------------
+# Crash injection through the multi-client scheduler
+# ----------------------------------------------------------------------
+
+_SMALL_CONFIG = dict(
+    npages=128, page_size=512, log_bytes=16384,
+    heap_bytes=1 << 20, dram_bytes=64 * 512,
+)
+
+
+def _writes_of(item):
+    """The state-changing ops of an item (reads/thinks have none)."""
+    return [
+        op for op in _ops_of(item)
+        if op[0] in ("insert", "update", "delete")
+    ]
+
+
+def _scheduled_model(clients, commit_order):
+    """Replay the committed transactions in commit order — strict 2PL
+    makes the interleaving serializable in exactly that order, so this
+    is the one state a correct recovery may expose (modulo the
+    in-flight commit)."""
+    items_of = {client.name: client.items for client in clients}
+    model = {}
+    for name, item_idx in commit_order:
+        _apply(model, ("txn", _writes_of(items_of[name][item_idx])))
+    return model
+
+
+def run_scheduler_to_crash_point(scheme, workloads, budget, *, config=None,
+                                 policy=None, seed=0):
+    """Crash an N-client scheduled run after ``budget`` armed memory
+    events, recover, and validate the serializable committed prefix.
+
+    ``workloads`` is one item list per client (items as in
+    ``run_to_crash_point``: bare ``(op, key, value)`` tuples or
+    ``("txn", [ops])``, plus ``("search", key, None)`` reads).  The
+    recovered database must equal the committed transactions replayed
+    in the scheduler's commit order, optionally plus the whole item
+    that was in flight on the one client executing at the crash — any
+    other state (a torn commit, a half-rolled-back abort, another
+    session's uncommitted pages surfacing) is a violation.
+    """
+    from repro.core.scheduler import Scheduler
+
+    config = config or SystemConfig(**_SMALL_CONFIG)
+    engine, pm = _build_engine(config, scheme)
+    scheduler = Scheduler(engine)
+    for items in workloads:
+        scheduler.add_client(items)
+    crashed = False
+    pm.budget = budget
+    pm.events = 0
+    pm.armed = True
+    try:
+        scheduler.run()
+    except CrashPoint:
+        crashed = True
+    finally:
+        pm.armed = False
+
+    committed = _scheduled_model(scheduler.clients, scheduler.commit_order)
+
+    if not crashed:
+        recovered = {k: v for k, v in engine.scan()}
+        result = CrashTestResult(False, committed, (), recovered)
+        # Per-session invariants: every client drained its workload,
+        # and every commit it counted is in the global commit order.
+        order_counts = {}
+        for name, _ in scheduler.commit_order:
+            order_counts[name] = order_counts.get(name, 0) + 1
+        for client in scheduler.clients:
+            if client.commits != len(client.items):
+                result.violations.append(
+                    "client %r committed %d of %d items"
+                    % (client.name, client.commits, len(client.items))
+                )
+            if order_counts.get(client.name, 0) != client.commits:
+                result.violations.append(
+                    "client %r commit count disagrees with commit order"
+                    % client.name
+                )
+        _validate(engine, result, strict_inflight=False)
+        return result
+
+    # Only the client that was executing can have an in-flight commit;
+    # every other open transaction was parked mid-operation and its
+    # effects must vanish with the volatile state.
+    inflight = ()
+    running = scheduler.running_client
+    if running is not None and not running.finished:
+        writes = _writes_of(running.items[running.item_idx])
+        if writes:
+            inflight = ("txn", writes)
+
+    pm.crash(policy or RandomPersist(rng=random.Random(seed)))
+    try:
+        engine = engine_class(scheme).attach(config, pm)
+        recovered = {k: v for k, v in engine.scan()}
+    except Exception as err:  # corruption can crash recovery itself
+        result = CrashTestResult(True, committed, inflight, {})
+        result.violations.append(
+            "recovery crashed: %s: %s" % (type(err).__name__, err)
+        )
+        return result
+    result = CrashTestResult(True, committed, inflight, recovered)
+    _validate(engine, result, strict_inflight=True)
+    return result
+
+
+def scheduler_crash_points_in(scheme, workloads, *, config=None):
+    """Armed memory events in a full scheduled run (the sweep range)."""
+    from repro.core.scheduler import Scheduler
+
+    config = config or SystemConfig(**_SMALL_CONFIG)
+    engine, pm = _build_engine(config, scheme)
+    scheduler = Scheduler(engine)
+    for items in workloads:
+        scheduler.add_client(items)
+    pm.budget = None
+    pm.events = 0
+    pm.armed = True
+    scheduler.run()
+    pm.armed = False
+    return pm.events
+
+
+def run_scheduler_crash_sweep(scheme, workloads, *, config=None, stride=1,
+                              seeds=(0, 1), policies=None, max_points=None):
+    """Crash the scheduled multi-client run at every ``stride``-th
+    memory event; returns the failing ``CrashTestResult`` list (empty =
+    the committed prefix survived every interleaved crash point)."""
+    total = scheduler_crash_points_in(scheme, workloads, config=config)
+    budgets = list(range(1, total + 1, stride))
+    if max_points is not None and len(budgets) > max_points:
+        step = max(1, len(budgets) // max_points)
+        budgets = budgets[::step]
+    failures = []
+    for budget in budgets:
+        if policies is not None:
+            runs = [(None, policy) for policy in policies]
+        else:
+            runs = [(seed, None) for seed in seeds]
+        for seed, policy in runs:
+            result = run_scheduler_to_crash_point(
+                scheme, workloads, budget,
+                config=config, policy=policy, seed=seed or budget,
+            )
+            if not result.ok:
+                failures.append((budget, result))
+    return failures
+
+
 def run_crash_sweep(scheme, workload, *, config=None, stride=1, seeds=(0, 1),
                     policies=None, max_points=None):
     """Crash the workload at every ``stride``-th memory event under

@@ -1,0 +1,67 @@
+"""The multi-client contention benchmark driver."""
+
+from repro.bench.multiclient import (
+    client_workload,
+    run_multi_client,
+    sweep_clients,
+    sweep_read_ratio,
+)
+
+
+class TestClientWorkload:
+    def test_deterministic_per_client(self):
+        assert client_workload(3, items=20) == client_workload(3, items=20)
+
+    def test_clients_differ(self):
+        assert client_workload(0, items=20) != client_workload(1, items=20)
+
+    def test_read_ratio_extremes(self):
+        reads_only = client_workload(0, items=30, read_ratio=1.0)
+        assert all(kind == "search" for kind, _, _ in reads_only)
+        writes_only = client_workload(0, items=30, read_ratio=0.0)
+        assert all(item[0] == "txn" for item in writes_only)
+
+
+class TestRunMultiClient:
+    def test_all_items_commit(self):
+        result = run_multi_client("fastplus", clients=3, items=10)
+        assert result["commits"] == 30
+        assert result["commits"] == result["counters"]["engine.txn.commit"]
+        assert len(result["per_client"]) == 3
+
+    def test_single_client_has_no_contention(self):
+        result = run_multi_client("fast", clients=1, items=10)
+        assert result["aborts"] == 0
+        assert result["deadlocks"] == 0
+        assert result["counters"]["lock.conflict"] == 0
+
+    def test_contention_shows_in_counters(self):
+        result = run_multi_client("fast", clients=8, items=15,
+                                  read_ratio=0.0, key_space=40)
+        assert result["counters"]["lock.conflict"] > 0
+        assert result["counters"]["sched.wait"] > 0
+        # Aborted work is retried: every item still commits.
+        assert result["commits"] == 8 * 15
+
+    def test_byte_identical_reruns(self):
+        a = run_multi_client("nvwal", clients=4, items=12)
+        b = run_multi_client("nvwal", clients=4, items=12)
+        assert a == b
+
+    def test_simulated_throughput_positive(self):
+        result = run_multi_client("fastplus", clients=2, items=8)
+        assert result["simulated_ns"] > 0
+        assert result["throughput_tps"] > 0
+
+
+class TestSweeps:
+    def test_sweep_clients_shape(self):
+        rows = sweep_clients("fast", counts=(1, 2), items=6)
+        assert [r["clients"] for r in rows] == [1, 2]
+        assert all(r["commits"] == r["clients"] * 6 for r in rows)
+
+    def test_sweep_read_ratio_shape(self):
+        rows = sweep_read_ratio("fast", ratios=(0.0, 1.0), clients=2, items=6)
+        assert [r["read_ratio"] for r in rows] == [0.0, 1.0]
+        # All-read runs never conflict on write locks.
+        assert rows[1]["counters"]["lock.conflict"] == 0

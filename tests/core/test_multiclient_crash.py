@@ -1,0 +1,83 @@
+"""Crash injection through the multi-client scheduler.
+
+The single-client crash sweeps (tests/core/test_crash_consistency.py)
+prove each scheme survives a crash at any memory event.  These tests
+interleave N clients through the deterministic scheduler first, so the
+crash lands mid-interleaving: recovery must still yield exactly the
+committed transactions, replayed in commit order, plus at most the one
+item the running client had in flight.
+"""
+
+import pytest
+
+from repro.testing.crashsim import (
+    run_scheduler_crash_sweep,
+    run_scheduler_to_crash_point,
+    scheduler_crash_points_in,
+)
+
+SCHEMES = ("fast", "fastplus", "nvwal")
+
+
+def _workloads():
+    """Two clients with overlapping keys, one read-only-ish client."""
+    w1 = [
+        ("txn", [
+            ("insert", b"a%02d" % i, b"x" * 24),
+            ("insert", b"shared%02d" % i, b"from-c0"),
+        ])
+        for i in range(4)
+    ]
+    w2 = [
+        ("txn", [
+            ("insert", b"shared%02d" % i, b"from-c1"),
+            ("delete", b"a%02d" % i, None),
+        ])
+        for i in range(3)
+    ]
+    w3 = [("insert", b"b%02d" % i, b"z" * 16) for i in range(4)]
+    return [w1, w2, w3]
+
+
+class TestScheduledCrashPoints:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_crash_points_exist(self, scheme):
+        total = scheduler_crash_points_in(scheme, _workloads())
+        assert total > 20
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_single_midpoint_crash_recovers(self, scheme):
+        total = scheduler_crash_points_in(scheme, _workloads())
+        result = run_scheduler_to_crash_point(
+            scheme, _workloads(), total // 2
+        )
+        assert result.crashed
+        assert result.ok, result.violations
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_overlong_budget_runs_to_completion(self, scheme):
+        total = scheduler_crash_points_in(scheme, _workloads())
+        result = run_scheduler_to_crash_point(
+            scheme, _workloads(), total + 1000
+        )
+        assert not result.crashed
+        assert result.ok, result.violations
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_sweep_finds_no_violations(self, scheme):
+        # Stride keeps this a smoke-level sweep; the exhaustive version
+        # runs in CI via run_scheduler_crash_sweep with stride=1.
+        failures = run_scheduler_crash_sweep(
+            scheme, _workloads(), stride=9, seeds=(0,)
+        )
+        assert failures == [], failures[:3]
+
+
+class TestScheduledCrashDeterminism:
+    def test_same_budget_same_outcome(self):
+        a = run_scheduler_to_crash_point("fast", _workloads(), 33)
+        b = run_scheduler_to_crash_point("fast", _workloads(), 33)
+        assert a.crashed == b.crashed
+        assert a.committed == b.committed
+        assert a.recovered == b.recovered
+        assert a.inflight == b.inflight

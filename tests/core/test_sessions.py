@@ -1,0 +1,176 @@
+"""Session-scoped transactions: concurrency, isolation, rollback."""
+
+import pytest
+
+from repro.core import LockConflict, TransactionError, open_engine
+from repro.core.locking import LOCK_IX, root_resource
+
+from tests.core.conftest import small_config
+
+
+class TestSessionLifecycle:
+    def test_open_and_close(self, engine):
+        session = engine.session("alpha")
+        assert session.name == "alpha"
+        assert engine.sessions() == [session]
+        session.close()
+        assert engine.sessions() == []
+        assert session.closed
+
+    def test_context_manager(self, engine):
+        with engine.session() as session:
+            session.insert(b"k", b"v")
+        assert session.closed
+        assert engine.search(b"k") == b"v"
+
+    def test_closed_session_rejects_transactions(self, engine):
+        session = engine.session()
+        session.close()
+        with pytest.raises(TransactionError):
+            session.transaction()
+
+    def test_nested_transaction_rejected(self, engine):
+        with engine.session() as session:
+            txn = session.transaction()
+            with pytest.raises(TransactionError):
+                session.transaction()
+            txn.rollback()
+
+    def test_close_rolls_back_open_transaction(self, engine):
+        session = engine.session()
+        txn = session.transaction()
+        txn.insert(b"gone", b"x")
+        session.close()
+        assert engine.search(b"gone") is None
+
+    def test_naive_engine_refuses_sessions(self):
+        engine = open_engine(small_config(scheme="naive"))
+        with pytest.raises(TransactionError):
+            engine.session()
+
+
+class TestConcurrentTransactions:
+    def test_two_open_transactions_disjoint_keys(self, engine):
+        # Two sessions with open transactions at once — impossible on
+        # the old one-implicit-txn engine.  Force them onto different
+        # pages by seeding enough keys to split the tree.
+        for i in range(40):
+            engine.insert(b"seed%03d" % i, b"x" * 40)
+        s1, s2 = engine.session(), engine.session()
+        t1, t2 = s1.transaction(), s2.transaction()
+        t1.insert(b"seed000", b"one", replace=True)
+        t2.insert(b"seed039", b"two", replace=True)
+        t1.commit()
+        t2.commit()
+        assert engine.search(b"seed000") == b"one"
+        assert engine.search(b"seed039") == b"two"
+        s1.close(), s2.close()
+
+    def test_conflicting_write_raises(self, engine):
+        s1, s2 = engine.session(), engine.session()
+        t1 = s1.transaction()
+        t1.insert(b"hot", b"v1")
+        t2 = s2.transaction()
+        with pytest.raises(LockConflict):
+            t2.insert(b"hot", b"v2")
+        t1.commit()
+        # After the holder commits, the other session proceeds.
+        t2.insert(b"hot", b"v2", replace=True)
+        t2.commit()
+        assert engine.search(b"hot") == b"v2"
+        s1.close(), s2.close()
+
+    def test_locks_released_on_commit_and_rollback(self, engine):
+        s1, s2 = engine.session(), engine.session()
+        locks = engine.lock_manager
+        t1 = s1.transaction()
+        t1.insert(b"a", b"1")
+        assert locks.locks_of(s1.sid)
+        t1.commit()
+        assert not locks.locks_of(s1.sid)
+        t2 = s2.transaction()
+        t2.insert(b"b", b"2")
+        t2.rollback()
+        assert not locks.locks_of(s2.sid)
+        s1.close(), s2.close()
+
+    def test_root_intent_locks(self, engine):
+        with engine.session() as session:
+            txn = session.transaction()
+            txn.insert(b"k", b"v")
+            held = engine.lock_manager.holds(
+                session.sid, root_resource(0)
+            )
+            assert held in (LOCK_IX, "X")
+            txn.commit()
+
+
+class TestSessionRollback:
+    def test_rollback_is_precise(self, engine):
+        """Rolling back one session must not disturb another session's
+        open (uncommitted) transaction."""
+        for i in range(40):
+            engine.insert(b"seed%03d" % i, b"x" * 40)
+        s1, s2 = engine.session(), engine.session()
+        t1 = s1.transaction()
+        t1.insert(b"seed000", b"keepme", replace=True)
+        t2 = s2.transaction()
+        t2.insert(b"seed039", b"dropme", replace=True)
+        t2.rollback()
+        # t1's uncommitted work survived t2's rollback.
+        t1.commit()
+        assert engine.search(b"seed000") == b"keepme"
+        assert engine.search(b"seed039") == b"x" * 40
+        assert engine.verify() == 40
+        s1.close(), s2.close()
+
+    def test_rollback_with_page_allocation(self, engine):
+        """A rolled-back transaction that split pages returns every
+        allocated page — no leak, no corruption of the other session."""
+        free_before = engine.store.free_page_count()
+        with engine.session() as session:
+            txn = session.transaction()
+            for i in range(60):  # enough to force splits
+                txn.insert(b"bulk%03d" % i, b"y" * 48)
+            txn.rollback()
+        assert engine.verify() == 0
+        assert engine.store.free_page_count() == free_before
+
+    def test_per_session_obs_counters(self, engine):
+        with engine.session("alice") as session:
+            session.insert(b"k1", b"v")
+            txn = session.transaction()
+            txn.insert(b"k2", b"v")
+            txn.rollback()
+        registry = engine.registry
+        assert registry.value("session.alice.commit") == 1
+        assert registry.value("session.alice.abort") == 1
+
+    def test_session_clock_segment(self, engine):
+        with engine.session("bob") as session:
+            session.insert(b"k", b"v")
+        assert engine.clock.elapsed("session.bob") > 0
+
+
+class TestSingleSessionUnchanged:
+    def test_default_path_has_no_lock_traffic(self, engine):
+        for i in range(10):
+            engine.insert(b"k%02d" % i, b"v")
+        with engine.transaction() as txn:
+            txn.insert(b"k99", b"v")
+        counters = engine.registry.counters("lock.")
+        assert counters == {}
+        assert engine.registry.value("engine.session.open") == 0
+
+    def test_engine_transactions_between_session_transactions(self, engine):
+        # The implicit engine transaction bypasses the lock manager, so
+        # it may not overlap an *open* session transaction — but it
+        # composes freely with idle sessions.
+        with engine.session() as session:
+            session.insert(b"from-session", b"s")
+            with engine.transaction() as implicit:
+                implicit.insert(b"from-engine", b"e")
+            session.insert(b"again", b"s2")
+        assert engine.search(b"from-session") == b"s"
+        assert engine.search(b"from-engine") == b"e"
+        assert engine.search(b"again") == b"s2"

@@ -118,6 +118,45 @@ def test_commit_after_rollback_to_only_keeps_prefix(engine):
     assert recovered.search(b"also") == b"2"
 
 
+def test_savepoint_across_multiple_trees(engine):
+    """One savepoint covers writes to several root slots: rolling back
+    rewinds every tree, not just slot 0."""
+    with engine.transaction() as txn:
+        txn.create_tree(1)
+        txn.create_tree(2)
+        txn.insert(b"a", b"t0")
+        txn.insert(b"a", b"t1", root_slot=1)
+        token = txn.savepoint()
+        txn.insert(b"b", b"t0")
+        txn.insert(b"b", b"t1", root_slot=1)
+        txn.insert(b"b", b"t2", root_slot=2)
+        txn.delete(b"a", root_slot=1)
+        txn.rollback_to(token)
+        assert txn.search(b"b") is None
+        assert txn.search(b"b", root_slot=1) is None
+        assert txn.search(b"b", root_slot=2) is None
+        assert txn.search(b"a", root_slot=1) == b"t1"
+    assert engine.search(b"a") == b"t0"
+    assert engine.search(b"a", root_slot=1) == b"t1"
+    assert engine.search(b"b", root_slot=2) is None
+
+
+def test_session_transaction_savepoints(engine):
+    """Savepoints work inside a lock-managed session transaction, and a
+    partial rollback keeps the session's locks (strict 2PL: locks only
+    drop at commit/rollback of the whole transaction)."""
+    with engine.session() as session:
+        txn = session.transaction()
+        txn.insert(b"keep", b"1")
+        token = txn.savepoint()
+        txn.insert(b"drop", b"2")
+        txn.rollback_to(token)
+        assert engine.lock_manager.locks_of(session.sid)
+        txn.commit()
+    assert engine.search(b"keep") == b"1"
+    assert engine.search(b"drop") is None
+
+
 def test_naive_engine_rejects_savepoints():
     engine = open_engine(small_config(scheme="naive"))
     txn = engine.transaction()
@@ -192,6 +231,67 @@ def test_sql_rollback_to_unknown_savepoint():
     with pytest.raises(SqlError):
         ours.execute("ROLLBACK TO nope")
     ours.execute("ROLLBACK")
+
+
+def test_sql_release_inside_nested_savepoints():
+    """RELEASE of a middle savepoint also forgets everything nested
+    inside it, while the outer savepoints stay addressable (SQLite
+    semantics, checked differentially)."""
+    ours, theirs = make_pair()
+    both(ours, theirs, "BEGIN")
+    both(ours, theirs, "INSERT INTO t VALUES (1, 'one')")
+    both(ours, theirs, "SAVEPOINT outer_sp")
+    both(ours, theirs, "INSERT INTO t VALUES (2, 'two')")
+    both(ours, theirs, "SAVEPOINT mid")
+    both(ours, theirs, "INSERT INTO t VALUES (3, 'three')")
+    both(ours, theirs, "SAVEPOINT inner_sp")
+    both(ours, theirs, "INSERT INTO t VALUES (4, 'four')")
+    both(ours, theirs, "RELEASE mid")
+    # mid and inner_sp are gone; the rows they guarded are kept.
+    with pytest.raises(SqlError):
+        ours.execute("ROLLBACK TO mid")
+    with pytest.raises(SqlError):
+        ours.execute("ROLLBACK TO inner_sp")
+    # outer_sp still works and rewinds past the released region.
+    both(ours, theirs, "ROLLBACK TO outer_sp")
+    check(ours, theirs, "SELECT * FROM t ORDER BY id")
+    both(ours, theirs, "COMMIT")
+    check(ours, theirs, "SELECT * FROM t ORDER BY id")
+
+
+def test_sql_rollback_to_missing_after_transaction_cycle():
+    """Savepoints do not leak across transactions: a name defined in a
+    committed (or rolled-back) transaction is missing in the next one."""
+    ours, _ = make_pair()
+    ours.execute("BEGIN")
+    ours.execute("SAVEPOINT sp")
+    ours.execute("COMMIT")
+    ours.execute("BEGIN")
+    with pytest.raises(SqlError):
+        ours.execute("ROLLBACK TO sp")
+    ours.execute("ROLLBACK")
+
+
+def test_sql_savepoint_spans_multiple_tables():
+    """One savepoint guards writes to several tables (= several engine
+    trees); ROLLBACK TO rewinds all of them."""
+    ours, theirs = make_pair()
+    schema = "CREATE TABLE u (id INTEGER PRIMARY KEY, v TEXT)"
+    ours.execute(schema)
+    theirs.execute(schema)
+    both(ours, theirs, "BEGIN")
+    both(ours, theirs, "INSERT INTO t VALUES (1, 'keep-t')")
+    both(ours, theirs, "INSERT INTO u VALUES (1, 'keep-u')")
+    both(ours, theirs, "SAVEPOINT sp")
+    both(ours, theirs, "INSERT INTO t VALUES (2, 'drop-t')")
+    both(ours, theirs, "INSERT INTO u VALUES (2, 'drop-u')")
+    both(ours, theirs, "DELETE FROM u WHERE id = 1")
+    both(ours, theirs, "ROLLBACK TO sp")
+    check(ours, theirs, "SELECT * FROM t ORDER BY id")
+    check(ours, theirs, "SELECT * FROM u ORDER BY id")
+    both(ours, theirs, "COMMIT")
+    check(ours, theirs, "SELECT * FROM t ORDER BY id")
+    check(ours, theirs, "SELECT * FROM u ORDER BY id")
 
 
 def test_sql_savepoint_covers_ddl():
