@@ -1,0 +1,32 @@
+"""``repro.analysis``: persistence-ordering & lock-discipline analyzer.
+
+Two cooperating passes over the reproduction:
+
+* a **static lint pass** (:mod:`repro.analysis.lint`) — ``ast``-based
+  rules PM001-PM005 over ``src/repro`` enforcing the paper's write
+  discipline at the source level (raw stores stay inside wrapper
+  modules, stores are flushed before commit marks, simulation code is
+  deterministic, metric names are schema-registered, lock errors are
+  never swallowed);
+* a **dynamic invariant checker** (:mod:`repro.analysis.tracecheck`) —
+  a :class:`TraceChecker` consuming the ``TraceRecorder`` event ring
+  and asserting, per committed transaction, the ordering theorem the
+  paper argues in Section 4.4: every dirtied log line is flushed and
+  fenced before the ≤8-byte commit mark, the mark itself is a single
+  atomic store, no pre-commit store lands on live (committed-reachable)
+  bytes in FAST/FAST⁺ page space, and every session obeys strict 2PL.
+
+``python -m repro.analysis --lint --trace-check`` runs both; findings
+carry file:line / trace-offset provenance, honour ``# repro:
+allow[RULE]`` suppressions, and are compared against a committed
+baseline (which this repo keeps empty).
+"""
+
+from repro.analysis.findings import Finding, load_baseline, new_findings
+from repro.analysis.lint import lint_paths
+from repro.analysis.tracecheck import TraceChecker
+
+__all__ = [
+    "Finding", "TraceChecker", "lint_paths",
+    "load_baseline", "new_findings",
+]

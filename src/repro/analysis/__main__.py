@@ -1,0 +1,112 @@
+"""CLI: ``python -m repro.analysis`` — lint + trace-check + self-test.
+
+Exit status is the contract CI enforces: 0 when every finding (static
+and dynamic) is in the committed baseline — which this repository
+keeps *empty*, so 0 means "no findings at all" — and 1 otherwise.
+
+    python -m repro.analysis --lint src/repro      # static rules
+    python -m repro.analysis --trace-check          # dynamic corpora
+    python -m repro.analysis --lint --trace-check   # both
+    python -m repro.analysis --self-test            # rules still fire
+    python -m repro.analysis --write-baseline       # accept findings
+
+With no mode flags, both passes run.
+"""
+
+import argparse
+import json
+import sys
+
+from repro.analysis import findings as findings_mod
+from repro.analysis.lint import lint_paths
+
+DEFAULT_BASELINE = "ANALYSIS_BASELINE.json"
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="persistence-ordering & lock-discipline analyzer",
+    )
+    parser.add_argument("--lint", action="store_true",
+                        help="run the static rules (PM001-PM005)")
+    parser.add_argument("--trace-check", action="store_true",
+                        help="run the dynamic corpora (TC101-TC106)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify every rule fires on its known-bad "
+                             "fixture")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        help="baseline file (default %(default)s)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="write current findings as the new baseline")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="machine-readable report on stdout")
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="lint roots (default: src/repro)")
+    args = parser.parse_args(argv)
+
+    run_lint = args.lint
+    run_trace = args.trace_check
+    if not (run_lint or run_trace or args.self_test):
+        run_lint = run_trace = True
+
+    failures = []
+    if args.self_test:
+        from repro.analysis import selftest
+
+        failures = selftest.run()
+
+    findings = []
+    stats = {}
+    if run_lint:
+        findings.extend(lint_paths(args.paths or ["src/repro"]))
+    if run_trace:
+        from repro.analysis import corpus
+
+        trace_findings, stats = corpus.run_all()
+        findings.extend(trace_findings)
+
+    baseline = findings_mod.load_baseline(args.baseline)
+    fresh = findings_mod.new_findings(findings, baseline)
+
+    if args.write_baseline:
+        findings_mod.save_baseline(args.baseline, findings)
+
+    if args.as_json:
+        json.dump({
+            "findings": [f.as_dict() for f in findings],
+            "new": [f.render() for f in fresh],
+            "baselined": len(findings) - len(fresh),
+            "self_test_failures": failures,
+            "trace_stats": stats,
+        }, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    else:
+        for finding in fresh:
+            print(finding.render())
+        if failures:
+            print("self-test FAILED:")
+            for failure in failures:
+                print("  " + failure)
+        summary = []
+        if run_lint or run_trace:
+            summary.append(
+                "%d finding(s), %d new vs baseline"
+                % (len(findings), len(fresh))
+            )
+        if stats:
+            summary.append(
+                "%(runs)d checked runs, %(txns)d txns, %(events)d events"
+                % stats
+            )
+        if args.self_test and not failures:
+            summary.append("self-test ok")
+        print("; ".join(summary) if summary else "nothing to do")
+
+    if args.write_baseline:
+        return 0
+    return 1 if (fresh or failures) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

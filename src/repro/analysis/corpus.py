@@ -1,0 +1,170 @@
+"""Trace-checked corpora: curated runs with a :class:`TraceChecker`
+attached.
+
+Three harnesses, together covering every execution mode the dynamic
+invariants apply to:
+
+* :func:`run_single_client` — FAST / FAST⁺ single-session workloads
+  with full checking (flush coverage, mark atomicity, live-range
+  protection refreshed from the committed state before every
+  transaction);
+* :func:`run_scheduled` — the multi-client contention bench under the
+  deterministic scheduler, checking ordering plus strict 2PL off the
+  lock/txn event stream (live ranges are per-transaction snapshots,
+  which interleaving invalidates, so that invariant is out of scope
+  here);
+* :func:`run_crash_swept` — the crash-injection sweep with a checker
+  riding along on every budgeted run: ordering violations surface even
+  at executions that happen to recover correctly.
+
+``python -m repro.analysis --trace-check`` runs all three and merges
+the findings.
+"""
+
+from repro.analysis.tracecheck import TraceChecker
+from repro.core import SystemConfig, open_engine
+
+#: Arena geometry shared by all corpora: small pages so the workloads
+#: exercise splits, reclaims, and checkpoints within a few dozen ops.
+_SMALL_CONFIG = dict(
+    npages=128, page_size=512, log_bytes=16384,
+    heap_bytes=1 << 20, dram_bytes=64 * 512,
+)
+
+#: Schemes with a commit mark the ordering invariants apply to.
+SCHEMES = ("fast", "fastplus")
+
+
+def _workload(items):
+    """A deterministic mixed workload: inserts (driving page splits at
+    the 512-byte page size), same-key updates, multi-op transactions,
+    and deletes — every store path of the commit schemes."""
+    payload = bytes(range(48))
+    ops = []
+    for i in range(items):
+        ops.append(("insert", b"ck%04d" % i, payload))
+    for i in range(0, items, 3):
+        ops.append(("update", b"ck%04d" % i, payload[::-1]))
+    for i in range(0, items, 4):
+        ops.append(("txn", [
+            ("insert", b"cx%04d" % i, payload),
+            ("delete", b"ck%04d" % ((i + 1) % items), None),
+        ]))
+    for i in range(0, items, 5):
+        ops.append(("delete", b"cx%04d" % ((i // 5) * 5), None))
+    return ops
+
+
+def _execute(txn, item):
+    ops = item[1] if item[0] == "txn" else [item]
+    for kind, key, value in ops:
+        if kind == "insert":
+            txn.insert(key, value, replace=True)
+        elif kind == "update":
+            txn.update(key, value)
+        else:
+            txn.delete(key)
+
+
+def _account(engine, checker):
+    stats = checker.stats
+    engine.obs.inc("analysis.trace.txns", stats["txns"])
+    engine.obs.inc("analysis.trace.events", stats["events"])
+    engine.obs.inc("analysis.trace.findings", stats["findings"])
+    return stats
+
+
+def run_single_client(scheme, *, items=30, config=None):
+    """Full-invariant checked run of one session; returns
+    ``(findings, stats)``."""
+    config = config or SystemConfig(**_SMALL_CONFIG)
+    engine = open_engine(config, scheme=scheme)
+    checker = TraceChecker.for_engine(engine)
+    for item in _workload(items):
+        checker.begin_txn(TraceChecker.live_ranges_of(engine))
+        txn = engine.transaction()
+        _execute(txn, item)
+        txn.commit()
+    findings = checker.finish()
+    return findings, _account(engine, checker)
+
+
+def run_scheduled(scheme, *, clients=4, items=12, config=None):
+    """Ordering + strict-2PL checked multi-client scheduler run."""
+    from repro.bench.multiclient import client_workload
+    from repro.core.scheduler import Scheduler
+
+    config = config or SystemConfig(**_SMALL_CONFIG)
+    engine = open_engine(config, scheme=scheme)
+    payload = bytes(48)
+    for i in range(0, 200, 4):
+        engine.insert(b"mk%05d" % i, payload, replace=True)
+    checker = TraceChecker.for_engine(
+        engine, invariants=("flush", "atomic", "twopl"),
+    )
+    # Drain the ring after every step: the checker never lets the ring
+    # wrap, and the wait-for graph is validated at every grant.
+    scheduler = Scheduler(engine, on_step=lambda _client: checker.advance())
+    for index in range(clients):
+        scheduler.add_client(client_workload(index, items=items))
+    scheduler.run()
+    findings = checker.finish()
+    return findings, _account(engine, checker)
+
+
+def run_crash_swept(scheme, *, items=6, stride=7, max_points=40):
+    """The crash-injection sweep with a checker on every budgeted run.
+
+    Recovery is *not* checked (its redo stores legitimately overwrite
+    live bytes); each checker observes the run up to its crash point.
+    Correctness of the recovered state stays the crash sweep's own job
+    — a sweep failure here is surfaced as a TC000 finding so the CLI
+    cannot report a clean trace over a broken execution.
+    """
+    from repro.analysis.findings import Finding
+    from repro.testing.crashsim import run_crash_sweep
+
+    checkers = []
+
+    def factory(engine):
+        checker = TraceChecker.for_engine(engine)
+        checkers.append(checker)
+        return checker
+
+    failures = run_crash_sweep(
+        scheme, _workload(items), stride=stride, seeds=(0,),
+        max_points=max_points, checker_factory=factory,
+    )
+    findings = []
+    stats = {"txns": 0, "events": 0, "findings": 0}
+    for checker in checkers:
+        findings.extend(checker.finish())
+        for key in stats:
+            stats[key] += checker.stats[key]
+    for budget, result in failures:
+        findings.append(Finding(
+            "TC000",
+            "crash sweep violation at budget %d: %s"
+            % (budget, "; ".join(result.violations)),
+        ))
+    return findings, stats
+
+
+def run_all(schemes=SCHEMES):
+    """Every corpus over every scheme; returns ``(findings, stats)``."""
+    findings = []
+    totals = {"txns": 0, "events": 0, "findings": 0, "runs": 0}
+
+    def merge(result):
+        run_findings, stats = result
+        findings.extend(run_findings)
+        for key in ("txns", "events"):
+            totals[key] += stats[key]
+        totals["findings"] += len(run_findings)
+        totals["runs"] += 1
+
+    for scheme in schemes:
+        merge(run_single_client(scheme))
+        merge(run_scheduled(scheme))
+        merge(run_crash_swept(scheme))
+    return findings, totals

@@ -1,0 +1,146 @@
+"""Findings, suppressions, and the committed baseline.
+
+A :class:`Finding` is one rule violation with provenance: static
+findings carry ``file:line``, dynamic findings carry the trace sequence
+number (``trace_seq``) of the offending event.  Both render as one
+stable line of text — the unit of comparison for the baseline file and
+for the fixture tests that pin exact analyzer output.
+
+Suppressions are source comments::
+
+    pm.write_u32(addr, value)  # repro: allow[PM001] atomic pointer swap
+
+``allow[RULE]`` on the flagged line (or the line directly above it)
+suppresses that rule there; the justification text after the tag is
+mandatory by convention and checked by the lint pass itself (an allow
+with no justification is a finding).
+
+The baseline file is a JSON list of finding keys.  ``new_findings``
+returns only findings not in the baseline — CI fails on any; this
+repository commits an *empty* baseline, so every finding is new.
+"""
+
+import json
+import re
+
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Z]+\d+)\]\s*(.*)")
+
+
+class Finding:
+    """One rule violation with provenance."""
+
+    __slots__ = ("rule", "message", "file", "line", "trace_seq")
+
+    def __init__(self, rule, message, *, file=None, line=None,
+                 trace_seq=None):
+        self.rule = rule
+        self.message = message
+        self.file = file
+        self.line = line
+        self.trace_seq = trace_seq
+
+    @property
+    def provenance(self):
+        if self.file is not None:
+            return "%s:%d" % (self.file, self.line or 0)
+        if self.trace_seq is not None:
+            return "trace@%d" % self.trace_seq
+        return "<unknown>"
+
+    @property
+    def key(self):
+        """Stable identity used for baseline matching (no line numbers
+        for static findings, so unrelated edits don't churn the
+        baseline: rule + file + message)."""
+        if self.file is not None:
+            return "%s %s %s" % (self.rule, self.file, self.message)
+        return "%s %s" % (self.rule, self.message)
+
+    def render(self):
+        return "%s: %s: %s" % (self.provenance, self.rule, self.message)
+
+    def as_dict(self):
+        entry = {"rule": self.rule, "message": self.message}
+        if self.file is not None:
+            entry["file"] = self.file
+            entry["line"] = self.line
+        if self.trace_seq is not None:
+            entry["trace_seq"] = self.trace_seq
+        return entry
+
+    def __repr__(self):
+        return "Finding(%s)" % self.render()
+
+    def __eq__(self, other):
+        return isinstance(other, Finding) and self.render() == other.render()
+
+    def __hash__(self):
+        return hash(self.render())
+
+
+# ----------------------------------------------------------------------
+# Suppression comments
+# ----------------------------------------------------------------------
+
+def parse_allows(source):
+    """``{line_number: (rule, justification)}`` for every ``# repro:
+    allow[RULE]`` comment in ``source`` (1-based line numbers)."""
+    allows = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _ALLOW_RE.search(text)
+        if match:
+            allows[lineno] = (match.group(1), match.group(2).strip())
+    return allows
+
+
+def is_suppressed(allows, rule, line):
+    """True when ``rule`` is allowed at ``line`` — by a tag on the
+    line itself or on the line directly above it."""
+    for candidate in (line, line - 1):
+        entry = allows.get(candidate)
+        if entry is not None and entry[0] == rule:
+            return True
+    return False
+
+
+def unjustified_allows(allows, file):
+    """Findings for allow tags with no justification text: a
+    suppression must say *why* (one line) or it is itself flagged."""
+    findings = []
+    for lineno, (rule, justification) in sorted(allows.items()):
+        if not justification:
+            findings.append(Finding(
+                "PM000",
+                "allow[%s] without a one-line justification" % rule,
+                file=file, line=lineno,
+            ))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Baseline
+# ----------------------------------------------------------------------
+
+def load_baseline(path):
+    """The set of baselined finding keys (empty for a missing file)."""
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except FileNotFoundError:
+        return set()
+    return set(data.get("findings", []))
+
+
+def save_baseline(path, findings):
+    """Write ``findings`` as the new baseline (sorted, stable)."""
+    with open(path, "w") as fh:
+        json.dump(
+            {"findings": sorted({f.key for f in findings})},
+            fh, indent=2, sort_keys=True,
+        )
+        fh.write("\n")
+
+
+def new_findings(findings, baseline):
+    """Findings whose key is not in the ``baseline`` key set."""
+    return [f for f in findings if f.key not in baseline]

@@ -1,0 +1,183 @@
+"""Analyzer self-test: every rule must fire on its known-bad input.
+
+A lint or trace checker that silently stops matching is worse than none
+— CI would keep passing on green nothing.  ``python -m repro.analysis
+--self-test`` runs every static rule against an embedded known-bad
+module and every dynamic invariant against an embedded known-bad event
+trace, and fails unless each produces exactly its expected rule.  The
+richer fixture files (with exact-output assertions) live in
+``tests/analysis/fixtures``; these embedded copies keep the CLI
+self-contained.
+"""
+
+from repro.analysis.lint import lint_source
+from repro.analysis.tracecheck import TraceChecker
+from repro.core.locking import LOCK_X, encode_lock
+from repro.obs import trace as ev
+
+# ----------------------------------------------------------------------
+# Static rules: (module path that scopes the rule, known-bad source)
+# ----------------------------------------------------------------------
+
+STATIC_FIXTURES = {
+    "PM001": ("core/bad.py", (
+        "def f(pm):\n"
+        "    pm.write_u64(0, 1)\n"
+        "    pm.flush_range(0, 8)\n"
+    )),
+    "PM002": ("core/bad.py", (
+        "def commit(self):\n"
+        "    self.pm.write_u64(self.head, 1)  "
+        "# repro: allow[PM001] fixture isolates PM002\n"
+        "    self.log.commit(7)\n"
+    )),
+    "PM003": ("core/bad.py", (
+        "import time\n"
+        "def now():\n"
+        "    return time.time()\n"
+    )),
+    "PM004": ("core/bad.py", (
+        "def f(obs):\n"
+        "    obs.inc('engine.txn.bogus')\n"
+    )),
+    "PM005": ("core/bad.py", (
+        "def f(g):\n"
+        "    try:\n"
+        "        g()\n"
+        "    except LockConflict:\n"
+        "        pass\n"
+    )),
+}
+
+# ----------------------------------------------------------------------
+# Dynamic invariants: known-bad event traces
+# ----------------------------------------------------------------------
+
+_LOG = (0x10000, 0x14000)
+_WORD = 0x10008
+_PAGES = (0, 0x10000)
+_LIVE = [(0x100, 0x140)]
+
+_RES_A = encode_lock(("page", 1), LOCK_X)
+_RES_B = encode_lock(("page", 2), LOCK_X)
+_RES_C = encode_lock(("page", 3), LOCK_X)
+
+
+def _ordering_checker():
+    return TraceChecker(
+        None, log_range=_LOG, commit_word=_WORD, page_range=_PAGES,
+    )
+
+
+def _tc101():
+    # A log frame stored but never flushed when the mark lands.
+    checker = _ordering_checker()
+    checker.feed([
+        (1, 0.0, ev.STORE, 0x10040, 16),
+        (2, 0.0, ev.STORE, _WORD, 8),
+        (3, 0.0, ev.CLFLUSH, 0x10000, 0),
+        (4, 0.0, ev.FENCE, 0, 0),
+        (5, 0.0, ev.COMMIT_MARK, 1, 0),
+    ])
+    return checker.finish()
+
+
+def _tc102():
+    # The commit mark published by a 16-byte (non-atomic) store.
+    checker = _ordering_checker()
+    checker.feed([
+        (1, 0.0, ev.STORE, _WORD, 16),
+        (2, 0.0, ev.CLFLUSH, 0x10000, 0),
+        (3, 0.0, ev.FENCE, 0, 0),
+        (4, 0.0, ev.COMMIT_MARK, 1, 0),
+    ])
+    return checker.finish()
+
+
+def _tc103():
+    # A 32-byte pre-commit store straight onto live bytes.
+    checker = _ordering_checker()
+    checker.begin_txn(_LIVE)
+    checker.feed([(1, 0.0, ev.STORE, 0x100, 32)])
+    return checker.finish()
+
+
+def _tc103_swap():
+    # An atomic pointer swap that is never flushed before the window
+    # ends — the exemption requires immediate flush + fence.
+    checker = _ordering_checker()
+    checker.begin_txn(_LIVE)
+    checker.feed([(1, 0.0, ev.STORE, 0x100, 8)])
+    return checker.finish()
+
+
+def _tc104():
+    # Acquire after release: a second growth phase.
+    checker = _ordering_checker()
+    checker.feed([
+        (1, 0.0, ev.TXN_BEGIN, 1, 0),
+        (2, 0.0, ev.LOCK_ACQUIRE, 1, _RES_A),
+        (3, 0.0, ev.LOCK_RELEASE, 1, _RES_A),
+        (4, 0.0, ev.LOCK_ACQUIRE, 1, _RES_B),
+    ])
+    return checker.finish()
+
+
+def _tc105():
+    # Commit with a lock still held.
+    checker = _ordering_checker()
+    checker.feed([
+        (1, 0.0, ev.TXN_BEGIN, 1, 0),
+        (2, 0.0, ev.LOCK_ACQUIRE, 1, _RES_A),
+        (3, 0.0, ev.TXN_COMMIT, 1, 0),
+    ])
+    return checker.finish()
+
+
+def _tc106():
+    # A wait-for cycle (1 waits on 2, 2 waits on 1) still present when
+    # a later acquire is granted — deadlock detection failed to abort.
+    checker = _ordering_checker()
+    checker.feed([
+        (1, 0.0, ev.LOCK_ACQUIRE, 1, _RES_A),
+        (2, 0.0, ev.LOCK_ACQUIRE, 2, _RES_B),
+        (3, 0.0, ev.LOCK_WAIT, 1, _RES_B),
+        (4, 0.0, ev.LOCK_WAIT, 2, _RES_A),
+        (5, 0.0, ev.LOCK_ACQUIRE, 3, _RES_C),
+    ])
+    return checker.finish()
+
+
+DYNAMIC_FIXTURES = {
+    "TC101": _tc101,
+    "TC102": _tc102,
+    "TC103": _tc103,
+    "TC103-swap": _tc103_swap,
+    "TC104": _tc104,
+    "TC105": _tc105,
+    "TC106": _tc106,
+}
+
+
+def run():
+    """Run every fixture; returns a list of failure strings (empty =
+    every rule still fires)."""
+    failures = []
+    for rule, (module, source) in sorted(STATIC_FIXTURES.items()):
+        findings = lint_source(source, file=module, module=module)
+        fired = {f.rule for f in findings}
+        if fired != {rule}:
+            failures.append(
+                "%s: expected exactly {%s} from its fixture, got %s"
+                % (rule, rule, sorted(fired) or "nothing")
+            )
+    for name, fixture in sorted(DYNAMIC_FIXTURES.items()):
+        rule = name.split("-")[0]
+        findings = fixture()
+        fired = {f.rule for f in findings}
+        if fired != {rule}:
+            failures.append(
+                "%s: expected exactly {%s} from its fixture, got %s"
+                % (name, rule, sorted(fired) or "nothing")
+            )
+    return failures

@@ -1,0 +1,477 @@
+"""Dynamic invariant checking over the ``TraceRecorder`` event ring.
+
+A :class:`TraceChecker` consumes the typed event stream the simulation
+already emits (stores, flushes, fences, commit marks, RTM windows, and
+— since this PR — lock and transaction events) and asserts the paper's
+ordering theorem *as it executes*:
+
+``TC101`` (flush-before-fence-before-mark)
+    At every commit mark, every cache line of the log region dirtied
+    since the last truncate must be flushed AND fenced — a dirty or
+    in-flight log line at the mark means the mark could become durable
+    before the frames it validates (paper Section 3.3's ordering).
+``TC102`` (atomic commit mark)
+    The commit mark must be published by a single ≤8-byte store that
+    does not cross an 8-byte-atomic word boundary (the hardware's
+    failure-atomic unit, Section 3.1).
+``TC103`` (no live overwrite)
+    Before its commit mark, a transaction must never store into a live
+    (committed-reachable) byte range of the FAST/FAST⁺ page space —
+    records go to free space, headers are published only by the mark
+    (Section 4.1).  Two sanctioned exemptions: stores inside an RTM
+    window (the hardware-atomic in-place commit), and single-word
+    (≤8 B) stores immediately flushed + fenced (the paper's atomic
+    pointer swap, Section 4.3).
+``TC104``/``TC105``/``TC106`` (strict 2PL)
+    Per session: no lock acquired after the first release (TC104), no
+    lock still held at transaction end (TC105), and the wait-for graph
+    is acyclic at every granted acquire and commit (TC106) — a cycle
+    must be resolved by victim abort before anyone else makes progress.
+
+Harness protocol: call :meth:`begin_txn` (with fresh live ranges)
+before each transaction and :meth:`advance` after it; or just
+:meth:`advance` periodically for lock-discipline-only checking (the
+scheduler corpus).  Call :meth:`finish` at the end.  Findings carry
+the trace sequence number of the offending event.
+"""
+
+from repro.core.locking import _COMPATIBLE, decode_lock
+from repro.analysis.findings import Finding
+from repro.obs import trace as ev
+
+_WORD = 8
+
+#: Everything the checker can assert; pick a subset per corpus.
+ALL_INVARIANTS = ("flush", "atomic", "live", "twopl")
+
+
+def _lines_of(addr, length):
+    return range(addr >> 6, ((addr + max(length, 1) - 1) >> 6) + 1)
+
+
+class _SessionState:
+    __slots__ = ("held", "released", "open")
+
+    def __init__(self):
+        self.held = {}        # resource -> mode
+        self.released = False
+        self.open = False
+
+
+class TraceChecker:
+    """Streaming checker over a trace event sequence."""
+
+    def __init__(self, trace=None, *, log_range=None, commit_word=None,
+                 page_range=None, invariants=ALL_INVARIANTS):
+        self.trace = trace
+        self.findings = []
+        self.invariants = frozenset(invariants)
+        #: [base, end) of the redo-log region (TC101 coverage scope).
+        self.log_range = log_range
+        #: Address of the 8-byte commit word (TC102).
+        self.commit_word = commit_word
+        #: [base, end) of the page arena incl. the store header
+        #: (TC103 scope).
+        self.page_range = page_range
+        self._cursor = 0
+        self._events_seen = 0
+        self._txns_seen = 0
+        # -- ordering state -------------------------------------------
+        self._line_state = {}     # log-region line -> "dirty"|"inflight"
+        self._word_store = None   # last (seq, addr, len) at commit word
+        # -- live-range state -----------------------------------------
+        self._live = []           # sorted (start, end) committed ranges
+        self._pre_commit = False  # inside a txn, before its mark
+        self._in_rtm = False
+        self._pending_swap = None  # (seq, addr, len, flushed, fenced)
+        # -- 2PL state ------------------------------------------------
+        self._sessions = {}       # sid -> _SessionState
+        self._waits = {}          # sid -> (resource, mode)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def for_engine(cls, engine, *, invariants=ALL_INVARIANTS):
+        """A checker scoped to ``engine``'s arena geometry."""
+        config = engine.config
+        log_range = None
+        commit_word = None
+        if getattr(engine, "log", None) is not None:
+            log_range = (config.log_base, config.log_base + config.log_bytes)
+            commit_word = config.log_base + 8
+        page_range = (
+            config.store_base,
+            config.store_base + config.npages * config.page_size,
+        )
+        return cls(
+            engine.obs.trace,
+            log_range=log_range,
+            commit_word=commit_word,
+            page_range=page_range,
+            invariants=invariants,
+        )
+
+    @staticmethod
+    def live_ranges_of(engine):
+        """Committed-reachable byte ranges of ``engine``'s page space:
+        the named-root pointer words, and every reachable page's
+        durable slot header plus its allocated cells.  Pure reads —
+        computing this never perturbs the traced store stream.
+
+        The free-list head word (header bytes 6-8) is carved out: the
+        in-page free list is reconstructible by design (paper Section
+        4.3) and is deliberately rewritten in place, unflushed, at any
+        time."""
+        store = engine.store
+        ranges = []
+        roots_base = store.base + 16  # _OFF_ROOTS
+        ranges.append((roots_base, roots_base + 4 * 12))
+        for page_no in sorted(engine.reachable_pages()):
+            page = store.page(page_no)
+            image = page.committed_header_image()
+            ranges.append((page.base, page.base + 6))
+            ranges.append((page.base + 8, page.base + len(image)))
+            for offset in page.committed_offsets():
+                size = page.cell_allocated_size(offset)
+                ranges.append((page.base + offset, page.base + offset + size))
+        ranges.sort()
+        return ranges
+
+    # ------------------------------------------------------------------
+    # Harness protocol
+    # ------------------------------------------------------------------
+
+    def begin_txn(self, live_ranges=None):
+        """Open a transaction window: drain pending events (the tail of
+        the previous transaction is post-commit), then arm pre-commit
+        checking against ``live_ranges``."""
+        self.advance()
+        self._flush_pending_swap(at_end=True)
+        if live_ranges is not None:
+            self._live = sorted(live_ranges)
+        self._pre_commit = True
+        self._txns_seen += 1
+
+    def advance(self):
+        """Process every event recorded since the last call."""
+        if self.trace is None:
+            return
+        events = self.trace.events(since_seq=self._cursor)
+        if events and events[0][0] > self._cursor + 1 and self._cursor:
+            self.findings.append(Finding(
+                "TC000",
+                "trace ring dropped %d events; checking is incomplete "
+                "(enlarge the recorder capacity or advance more often)"
+                % (events[0][0] - self._cursor - 1),
+                trace_seq=events[0][0],
+            ))
+        for event in events:
+            self._process(event)
+        if events:
+            self._cursor = events[-1][0]
+
+    def finish(self):
+        """Drain remaining events and run end-of-stream checks."""
+        self.advance()
+        self._flush_pending_swap(at_end=True)
+        return self.findings
+
+    def close(self):
+        """Seal the checker at the current stream position: drain what
+        was recorded so far, then detach from the recorder so later
+        events are never consumed.  The crash harness calls this at the
+        simulated power cut — recovery's redo stores legitimately
+        rewrite live bytes and must not be judged by pre-crash state."""
+        self.advance()
+        # An atomic swap still awaiting its flush at the power cut is
+        # not a violation — the interrupted code was about to issue it,
+        # and either direction of the swap is committed-equivalent.
+        self._pending_swap = None
+        self.trace = None
+        return self.findings
+
+    def feed(self, events):
+        """Process raw ``(seq, t_ns, kind, a, b)`` tuples directly
+        (fixture traces; no recorder needed)."""
+        for event in events:
+            self._process(event)
+            self._cursor = event[0]
+        return self
+
+    @property
+    def stats(self):
+        return {
+            "events": self._events_seen,
+            "txns": self._txns_seen,
+            "findings": len(self.findings),
+        }
+
+    # ------------------------------------------------------------------
+    # Event dispatch
+    # ------------------------------------------------------------------
+
+    def _process(self, event):
+        seq, _t, kind, a, b = event
+        self._events_seen += 1
+        if kind == ev.STORE:
+            self._on_store(seq, a, b)
+        elif kind in (ev.CLFLUSH, ev.CLWB):
+            self._on_flush(a)
+        elif kind == ev.FENCE:
+            self._on_fence()
+        elif kind == ev.COMMIT_MARK:
+            self._on_commit_mark(seq)
+        elif kind == ev.RTM_BEGIN:
+            self._in_rtm = True
+        elif kind == ev.RTM_ABORT:
+            self._in_rtm = False
+        elif kind == ev.RTM_COMMIT:
+            self._in_rtm = False
+            # FAST⁺ in-place publish: the header line itself is the
+            # commit mark; everything after it is post-commit.
+            self._pre_commit = False
+        elif kind == ev.LOCK_ACQUIRE or kind == ev.LOCK_UPGRADE:
+            self._on_lock_acquire(seq, a, b, upgrade=kind == ev.LOCK_UPGRADE)
+        elif kind == ev.LOCK_RELEASE:
+            self._on_lock_release(a, b)
+        elif kind == ev.LOCK_WAIT:
+            resource, mode = decode_lock(b)
+            self._waits[a] = (resource, mode)
+        elif kind == ev.LOCK_WAKE:
+            self._waits.pop(a, None)
+        elif kind == ev.TXN_BEGIN:
+            state = self._sessions.setdefault(a, _SessionState())
+            state.open = True
+            state.released = False
+            self._txns_seen += 1
+        elif kind in (ev.TXN_COMMIT, ev.TXN_ABORT):
+            self._on_txn_end(seq, a, committed=kind == ev.TXN_COMMIT)
+
+    # ------------------------------------------------------------------
+    # TC101 / TC102 — flush coverage and mark atomicity
+    # ------------------------------------------------------------------
+
+    def _log_lines(self, addr, length):
+        base, end = self.log_range
+        if addr + length <= base or addr >= end:
+            return ()
+        return _lines_of(max(addr, base), min(addr + length, end) - max(addr, base))
+
+    def _on_store(self, seq, addr, length):
+        if self.log_range is not None:
+            for line in self._log_lines(addr, length):
+                self._line_state[line] = "dirty"
+        if self.commit_word is not None:
+            if addr <= self.commit_word < addr + length:
+                self._word_store = (seq, addr, length)
+        if "live" in self.invariants:
+            self._check_live_store(seq, addr, length)
+
+    def _on_flush(self, addr):
+        line = addr >> 6
+        if self._line_state.get(line) == "dirty":
+            self._line_state[line] = "inflight"
+        swap = self._pending_swap
+        if swap is not None and (swap[1] >> 6) == (addr >> 6):
+            self._pending_swap = (swap[0], swap[1], swap[2], True, False)
+
+    def _on_fence(self):
+        self._line_state = {
+            line: state for line, state in self._line_state.items()
+            if state != "inflight"
+        }
+        swap = self._pending_swap
+        if swap is not None and swap[3]:
+            self._pending_swap = None  # flushed + fenced: sanctioned
+
+    def _on_commit_mark(self, seq):
+        if "flush" in self.invariants and self.log_range is not None:
+            bad = sorted(
+                line for line, state in self._line_state.items()
+                if state in ("dirty", "inflight")
+            )
+            if bad:
+                self.findings.append(Finding(
+                    "TC101",
+                    "commit mark with %d log line(s) not flushed+fenced "
+                    "(first: line %#x %s)"
+                    % (len(bad), bad[0] << 6, self._line_state[bad[0]]),
+                    trace_seq=seq,
+                ))
+        if "atomic" in self.invariants and self.commit_word is not None:
+            store = self._word_store
+            if store is None:
+                self.findings.append(Finding(
+                    "TC102",
+                    "commit mark event with no store to the commit word",
+                    trace_seq=seq,
+                ))
+            else:
+                _sseq, addr, length = store
+                crosses = (addr // _WORD) != ((addr + length - 1) // _WORD)
+                if length > _WORD or crosses:
+                    self.findings.append(Finding(
+                        "TC102",
+                        "commit mark published by a %d-byte store at %#x "
+                        "(not a single ≤8-byte atomic store)"
+                        % (length, addr),
+                        trace_seq=seq,
+                    ))
+            self._word_store = None
+        # The mark closes the transaction's pre-commit window.
+        self._pre_commit = False
+
+    # ------------------------------------------------------------------
+    # TC103 — no store to live ranges before the commit mark
+    # ------------------------------------------------------------------
+
+    def _overlaps_live(self, addr, length):
+        end = addr + length
+        for start, stop in self._live:
+            if start >= end:
+                break
+            if stop > addr:
+                return (start, stop)
+        return None
+
+    def _check_live_store(self, seq, addr, length):
+        if not self._pre_commit or self._in_rtm:
+            return
+        if self.page_range is not None:
+            base, end = self.page_range
+            if addr + length <= base or addr >= end:
+                return
+        hit = self._overlaps_live(addr, length)
+        if hit is None:
+            return
+        # A previous small swap must complete (flush+fence) before the
+        # next store; a second store while one is pending breaks the
+        # "immediately persisted" exemption.
+        self._flush_pending_swap(at_end=False)
+        atomic = (
+            length <= _WORD
+            and (addr // _WORD) == ((addr + length - 1) // _WORD)
+        )
+        if atomic:
+            self._pending_swap = (seq, addr, length, False, False)
+            return
+        self.findings.append(Finding(
+            "TC103",
+            "pre-commit store of %d bytes at %#x overwrites live "
+            "range [%#x, %#x)" % (length, addr, hit[0], hit[1]),
+            trace_seq=seq,
+        ))
+
+    def _flush_pending_swap(self, *, at_end):
+        swap = self._pending_swap
+        if swap is None:
+            return
+        self._pending_swap = None
+        seq, addr, _length, flushed, _fenced = swap
+        self.findings.append(Finding(
+            "TC103",
+            "atomic pointer-swap store at %#x was not %s before the "
+            "next %s (live bytes may tear)"
+            % (
+                addr,
+                "fenced" if flushed else "flushed",
+                "window end" if at_end else "store",
+            ),
+            trace_seq=seq,
+        ))
+
+    # ------------------------------------------------------------------
+    # TC104 / TC105 / TC106 — strict two-phase locking
+    # ------------------------------------------------------------------
+
+    def _on_lock_acquire(self, seq, sid, word, *, upgrade):
+        if "twopl" not in self.invariants:
+            return
+        resource, mode = decode_lock(word)
+        state = self._sessions.setdefault(sid, _SessionState())
+        if state.released:
+            self.findings.append(Finding(
+                "TC104",
+                "session %d acquired %s on %r after releasing locks "
+                "(strict 2PL forbids a second growth phase)"
+                % (sid, mode, (resource,)[0]),
+                trace_seq=seq,
+            ))
+        state.held[resource] = mode
+        self._waits.pop(sid, None)
+        self._check_acyclic(seq)
+
+    def _on_lock_release(self, sid, word):
+        if "twopl" not in self.invariants:
+            return
+        resource, _mode = decode_lock(word)
+        state = self._sessions.setdefault(sid, _SessionState())
+        state.held.pop(resource, None)
+        state.released = True
+
+    def _on_txn_end(self, seq, sid, *, committed):
+        state = self._sessions.setdefault(sid, _SessionState())
+        if "twopl" in self.invariants and state.held:
+            self.findings.append(Finding(
+                "TC105",
+                "session %d %s with %d lock(s) still held (first: %r)"
+                % (
+                    sid,
+                    "committed" if committed else "aborted",
+                    len(state.held),
+                    sorted(state.held)[0],
+                ),
+                trace_seq=seq,
+            ))
+        if "twopl" in self.invariants and committed:
+            self._check_acyclic(seq)
+        state.held.clear()
+        state.released = False
+        state.open = False
+        self._waits.pop(sid, None)
+
+    def _blockers(self, sid, resource, mode):
+        compatible = _COMPATIBLE[mode]
+        blockers = []
+        for other, state in self._sessions.items():
+            if other == sid:
+                continue
+            other_mode = state.held.get(resource)
+            if other_mode is not None and other_mode not in compatible:
+                blockers.append(other)
+        return blockers
+
+    def _check_acyclic(self, seq):
+        """The wait-for graph must be acyclic at every granted acquire
+        and at every commit: a deadlock cycle may exist only in the
+        instant between parking and victim selection, never across a
+        subsequent grant."""
+        edges = {
+            sid: self._blockers(sid, resource, mode)
+            for sid, (resource, mode) in self._waits.items()
+        }
+        for start in sorted(edges):
+            path, on_path = [start], {start}
+            if self._dfs_cycle(start, start, edges, path, on_path):
+                self.findings.append(Finding(
+                    "TC106",
+                    "wait-for cycle persists across a lock grant: %s"
+                    % " -> ".join(str(s) for s in path + [start]),
+                    trace_seq=seq,
+                ))
+                return
+
+    def _dfs_cycle(self, start, node, edges, path, on_path):
+        for blocker in edges.get(node, ()):
+            if blocker == start:
+                return True
+            if blocker in on_path or blocker not in edges:
+                continue
+            path.append(blocker)
+            on_path.add(blocker)
+            if self._dfs_cycle(start, blocker, edges, path, on_path):
+                return True
+            on_path.discard(path.pop())
+        return False

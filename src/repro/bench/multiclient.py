@@ -63,8 +63,16 @@ def client_workload(client_index, *, items=50, read_ratio=0.5,
 
 def run_multi_client(scheme, *, clients=4, items=50, read_ratio=0.5,
                      key_space=200, seed=7, read_ns=300.0, write_ns=300.0,
-                     record_size=48, preload=64, config=None):
-    """One contention run: N clients, shared engine, full report."""
+                     record_size=48, preload=64, config=None,
+                     checker_factory=None):
+    """One contention run: N clients, shared engine, full report.
+
+    ``checker_factory`` (optional) is called with the engine and must
+    return a ``repro.analysis.TraceChecker``-shaped object; it is then
+    drained after every scheduler step and finished with the run, and
+    the report gains a ``trace_check`` entry with its verdict — the
+    bench itself asserting the ordering + 2PL discipline it exercises.
+    """
     config = config or build_config(
         scheme, read_ns=read_ns, write_ns=write_ns,
         ops=max(512, clients * items * 3), record_size=record_size,
@@ -76,7 +84,11 @@ def run_multi_client(scheme, *, clients=4, items=50, read_ratio=0.5,
     for i in range(preload):
         engine.insert(b"mk%05d" % (i * key_space // max(1, preload)),
                       payload, replace=True)
-    scheduler = Scheduler(engine)
+    checker = checker_factory(engine) if checker_factory is not None else None
+    scheduler = Scheduler(
+        engine,
+        on_step=None if checker is None else lambda _client: checker.advance(),
+    )
     for index in range(clients):
         scheduler.add_client(
             client_workload(
@@ -109,6 +121,12 @@ def run_multi_client(scheme, *, clients=4, items=50, read_ratio=0.5,
         },
         "per_client": report["per_client"],
     }
+    if checker is not None:
+        findings = checker.finish()
+        result["trace_check"] = {
+            "findings": [f.render() for f in findings],
+            "stats": checker.stats,
+        }
     return result
 
 

@@ -151,6 +151,7 @@ class FASTContext:
         position = parent_page.base + offset + CELL_HEADER_SIZE
         with self.obs.span("defrag"):
             old_child_no = self.pm.read_u32(position)
+            # repro: allow[PM001] the paper's atomic pointer swap: one u32 store + immediate persist
             self.pm.write_u32(position, new_child_no)
             self.pm.persist(position, 4)
         self.pointer_swaps.append((position, old_child_no, new_child_no))
@@ -193,6 +194,7 @@ class FASTContext:
         """
         while len(self.pointer_swaps) > snapshot["swap_count"]:
             position, old_child, _ = self.pointer_swaps.pop()
+            # repro: allow[PM001] savepoint rollback reverses a pointer swap the same atomic way
             self.pm.write_u32(position, old_child)
             self.pm.persist(position, 4)
         for page_no in list(self.new_pages):
@@ -366,6 +368,7 @@ class FASTEngine(Engine):
         """
         while ctx.pointer_swaps:
             position, old_child, _ = ctx.pointer_swaps.pop()
+            # repro: allow[PM001] precise rollback reverses a pointer swap the same atomic way
             self.pm.write_u32(position, old_child)
             self.pm.persist(position, 4)
         for page in list(ctx.dirty.values()) + list(ctx.new_pages.values()):

@@ -23,10 +23,34 @@ call, and forwards everything else untouched.  Single-session engines
 never construct one, so the default code path pays nothing.
 """
 
+from repro.obs import trace as ev
+
 LOCK_IS = "IS"
 LOCK_IX = "IX"
 LOCK_S = "S"
 LOCK_X = "X"
+
+#: Stable numeric codes for packing lock events into trace integers.
+_MODE_CODE = {LOCK_IS: 0, LOCK_IX: 1, LOCK_S: 2, LOCK_X: 3}
+_MODE_NAME = {code: mode for mode, code in _MODE_CODE.items()}
+_RES_CODE = {"root": 1, "page": 2}
+_RES_NAME = {code: kind for kind, code in _RES_CODE.items()}
+
+
+def encode_lock(resource, mode):
+    """Pack a (resource, mode) pair into one trace integer.
+
+    Layout: ``kind << 40 | id << 8 | mode`` — ids are page numbers or
+    root slots, both far below 2**32, so the packing is lossless.
+    """
+    kind, ident = resource
+    return (_RES_CODE[kind] << 40) | (ident << 8) | _MODE_CODE[mode]
+
+
+def decode_lock(word):
+    """Inverse of :func:`encode_lock`: ``((kind, id), mode)``."""
+    resource = (_RES_NAME[word >> 40], (word >> 8) & 0xFFFF_FFFF)
+    return resource, _MODE_NAME[word & 0xFF]
 
 #: mode -> the set of modes it may coexist with (on other owners).
 _COMPATIBLE = {
@@ -148,7 +172,13 @@ class LockManager:
         granted[owner] = target
         self._owned.setdefault(owner, set()).add(resource)
         if self.obs is not None:
-            self.obs.inc("lock.upgrade" if held is not None else "lock.acquire")
+            upgraded = held is not None
+            self.obs.inc("lock.upgrade" if upgraded else "lock.acquire")
+            self.obs.event(
+                ev.LOCK_UPGRADE if upgraded else ev.LOCK_ACQUIRE,
+                owner if isinstance(owner, int) else 0,
+                encode_lock(resource, target),
+            )
         return target
 
     def try_acquire(self, owner, resource, mode):
@@ -177,16 +207,27 @@ class LockManager:
         the number of locks released."""
         resources = self._owned.pop(owner, None)
         released = 0
+        obs = self.obs
+        sid = owner if isinstance(owner, int) else 0
         if resources:
-            for resource in resources:
+            # Sorted release order keeps the emitted event sequence
+            # deterministic across processes (set iteration order of
+            # ("page", n) tuples depends on string hash seeds).
+            for resource in sorted(resources):
                 granted = self._granted.get(resource)
-                if granted and granted.pop(owner, None) is not None:
-                    released += 1
-                    if not granted:
-                        del self._granted[resource]
+                if granted is None:
+                    continue
+                mode = granted.pop(owner, None)
+                if mode is None:
+                    continue
+                released += 1
+                if not granted:
+                    del self._granted[resource]
+                if obs is not None:
+                    obs.event(ev.LOCK_RELEASE, sid, encode_lock(resource, mode))
         self._waits.pop(owner, None)
-        if released and self.obs is not None:
-            self.obs.inc("lock.release", released)
+        if released and obs is not None:
+            obs.inc("lock.release", released)
         return released
 
     # -- wait-for graph ----------------------------------------------------
@@ -194,10 +235,19 @@ class LockManager:
     def start_wait(self, owner, resource, mode):
         """Register that ``owner`` is waiting to lock ``resource``."""
         self._waits[owner] = (resource, mode)
+        if self.obs is not None:
+            self.obs.event(
+                ev.LOCK_WAIT,
+                owner if isinstance(owner, int) else 0,
+                encode_lock(resource, mode),
+            )
 
     def stop_wait(self, owner):
         """Remove ``owner``'s registered wait (woken or aborted)."""
-        self._waits.pop(owner, None)
+        if self._waits.pop(owner, None) is not None and self.obs is not None:
+            self.obs.event(
+                ev.LOCK_WAKE, owner if isinstance(owner, int) else 0
+            )
 
     def waiting(self, owner):
         """The (resource, mode) ``owner`` waits for, or None."""

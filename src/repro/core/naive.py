@@ -83,6 +83,7 @@ class NaiveContext:
 
         offset = parent_page.slot_offset(slot)
         position = parent_page.base + offset + CELL_HEADER_SIZE
+        # repro: allow[PM001] the naive scheme's whole point is unprotected in-place stores
         self.pm.write_u32(position, new_child_no)
         self.pm.persist(position, 4)
 

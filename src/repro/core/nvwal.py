@@ -430,6 +430,7 @@ class NVWALEngine(Engine):
                     self.dram._data[page.base : page.base + self.config.page_size]
                 )
                 target = self.store.page_base(page_no)
+                # repro: allow[PM001] checkpoint writeback of whole WAL-protected pages, flushed below
                 self.pm.write(target, content)
                 self.pm.flush_range(target, self.config.page_size)
             for slot, page_no in self.wal.roots.items():

@@ -118,7 +118,8 @@ class Scheduler:
     """Interleaves N client sessions deterministically (see module doc)."""
 
     def __init__(self, engine, *, lock_timeout_ns=None,
-                 retry_backoff_ns=None, max_retries=None):
+                 retry_backoff_ns=None, max_retries=None,
+                 cleanup_on_error=True, on_step=None):
         if not engine.supports_sessions:
             raise SchedulerError(
                 "the %r scheme does not support concurrent sessions"
@@ -139,6 +140,17 @@ class Scheduler:
         self.max_retries = (
             config.max_txn_retries if max_retries is None else max_retries
         )
+        #: Roll back open transactions and close sessions when an
+        #: unexpected (non-LockConflict) exception escapes the run loop,
+        #: so a failed operation can never leak held locks.  Crash
+        #: harnesses set this False: a simulated power failure must
+        #: leave the engine exactly as the crash found it (no post-crash
+        #: rollback writes).
+        self.cleanup_on_error = cleanup_on_error
+        #: Optional callback invoked after every completed step with the
+        #: stepped client — the trace-checker harness drains the event
+        #: ring here so the ring never wraps mid-run.
+        self.on_step = on_step
         self.clients = []
         self._step_seq = 0
         #: The client whose operation is (or was last) executing — at a
@@ -164,15 +176,56 @@ class Scheduler:
     def run(self):
         """Interleave all clients to completion; returns the report."""
         start_ns = self.clock.now_ns
-        while True:
-            client = self._next_client()
-            if client is None:
-                break
-            self._step(client)
+        try:
+            while True:
+                client = self._next_client()
+                if client is None:
+                    break
+                self._step(client)
+                if self.on_step is not None:
+                    self.on_step(client)
+        except LockConflict:
+            # ``_step`` handles conflicts (wait/abort/retry); one
+            # escaping means a non-operation path raised it — never
+            # swallow, but still release what the clients hold.
+            if self.cleanup_on_error:
+                self._cleanup_after_error()
+            raise
+        except Exception:
+            # An operation failed for a non-conflict reason (engine
+            # error, bad workload item...).  Without cleanup the failed
+            # client's transaction would stay open with its locks held
+            # and every session would leak.  Roll back and close, then
+            # re-raise the original error.
+            if self.cleanup_on_error:
+                self._cleanup_after_error()
+            raise
         report = self._report(start_ns)
         for client in self.clients:
             client.session.close()
         return report
+
+    def _cleanup_after_error(self):
+        """Best-effort teardown after an unexpected error: roll back
+        every open transaction (releasing its locks) and close every
+        session.  Lock release is guaranteed even when a rollback
+        itself fails mid-way."""
+        locks = self.engine.lock_manager
+        for client in self.clients:
+            if client.txn is not None:
+                try:
+                    client.txn.rollback()
+                # repro: allow[PM005] failed-rollback cleanup: the original error re-raises; lock release below must still run
+                except Exception:
+                    pass
+                finally:
+                    locks.release_all(client.session.sid)
+                client.txn = None
+                client.ops = None
+            try:
+                client.session.close()
+            except Exception:
+                locks.release_all(client.session.sid)
 
     def _next_client(self):
         """The next event in simulated-time order: either a runnable

@@ -21,6 +21,7 @@ sessions is the scheduler's job (:mod:`repro.core.scheduler`).
 """
 
 from repro.core.locking import LockingContext
+from repro.obs import trace as ev
 
 
 class Session:
@@ -70,6 +71,7 @@ class Session:
         txn = Transaction(self.engine, session=self)
         self._txn = txn
         self.engine.obs.inc("engine.txn.begin")
+        self.engine.obs.event(ev.TXN_BEGIN, self.sid)
         return txn
 
     def _wrap_context(self, ctx):
@@ -85,12 +87,20 @@ class Session:
         return self._clock.segment(self.segment_name)
 
     def _txn_finished(self, txn, committed):
-        """Transaction epilogue: drop lock state, count the outcome."""
+        """Transaction epilogue: drop lock state, count the outcome.
+
+        The lock releases are emitted into the trace *before* the
+        TXN_COMMIT/TXN_ABORT event, so the dynamic checker's "all
+        locks released at transaction end" invariant reads straight
+        off the event order (strict 2PL releases in one step)."""
         if self._txn is txn:
             self._txn = None
         if self.lock_manager is not None:
             self.lock_manager.release_all(self.sid)
         self.obs.inc("commit" if committed else "abort")
+        self.engine.obs.event(
+            ev.TXN_COMMIT if committed else ev.TXN_ABORT, self.sid
+        )
 
     # -- autocommit conveniences ------------------------------------------
 

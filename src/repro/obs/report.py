@@ -56,6 +56,35 @@ def _group(names):
     return groups
 
 
+def _lock_discipline(kind_totals):
+    """Summarise the lock/transaction event kinds, if any were traced.
+
+    Every granted lock is released exactly once (upgrades replace the
+    mode in place), so an acquire/release imbalance in a quiescent
+    snapshot means leaked locks — the same condition the dynamic
+    checker's TC105 flags per transaction.
+    """
+    acquires = kind_totals.get("lock_acquire", 0)
+    upgrades = kind_totals.get("lock_upgrade", 0)
+    releases = kind_totals.get("lock_release", 0)
+    waits = kind_totals.get("lock_wait", 0)
+    begins = kind_totals.get("txn_begin", 0)
+    commits = kind_totals.get("txn_commit", 0)
+    aborts = kind_totals.get("txn_abort", 0)
+    if not (acquires or releases or begins):
+        return []
+    lines = [
+        "  lock discipline: %d acquired (+%d upgraded), %d released, "
+        "%d waits" % (acquires, upgrades, releases, waits),
+        "  transactions: %d begun, %d committed, %d aborted"
+        % (begins, commits, aborts),
+    ]
+    leaked = acquires - releases
+    if leaked:
+        lines.append("  WARNING: %d lock(s) never released" % leaked)
+    return lines
+
+
 def render_report(snapshot, *, title="observability report"):
     registry = snapshot["registry"]
     counters = registry.get("counters", {})
@@ -83,6 +112,7 @@ def render_report(snapshot, *, title="observability report"):
                     for kind, count in sorted(kind_totals.items())
                 )
             )
+        lines.extend(_lock_discipline(kind_totals))
     if counters:
         lines.append("")
         lines.append("counters")

@@ -1,0 +1,83 @@
+"""The registry schema: every counter/gauge/histogram name in the system.
+
+``MetricsRegistry`` creates instruments on demand, which keeps call
+sites free of registration boilerplate — but it also means a typo'd
+counter name silently becomes a *new* counter instead of an error.
+This module is the closed-world inventory the ``repro.analysis`` lint
+pass (rule PM004) checks literal metric names against: a name used
+anywhere in ``src/repro`` must be listed here (exactly, or under a
+registered prefix), or the lint fails.
+
+Keep this file boring: plain frozensets and tuples, grouped by the
+subsystem that owns the names.  When a PR adds a counter, it adds the
+name here in the same commit — the schema is documentation that cannot
+go stale.
+"""
+
+#: Exact counter names, grouped by owning subsystem.
+COUNTERS = frozenset({
+    # pm/memory.py — the simulated PM arena
+    "pm.load", "pm.load_miss", "pm.store", "pm.store_bytes",
+    "pm.flush", "pm.flush.clwb", "pm.flush_bytes", "pm.fence",
+    # pm/memory.py — the volatile (DRAM) arena
+    "dram.load", "dram.load_miss", "dram.store", "dram.store_bytes",
+    # htm/rtm.py
+    "rtm.begin", "rtm.commit", "rtm.abort", "rtm.abort.capacity",
+    "rtm.fallback",
+    # wal/slot_header_log.py
+    "log.frame", "log.commit_mark", "log.truncate", "log.replay",
+    # wal/nvwal.py
+    "wal.frame", "wal.commit_mark", "wal.reset", "wal.replay",
+    # core/base.py, core/fast.py, core/nvwal.py, core/naive.py
+    "engine.txn.begin", "engine.txn.commit", "engine.txn.rollback",
+    "engine.session.open", "engine.checkpoint", "engine.recovery",
+    "engine.recovery.replayed",
+    "engine.commit.inplace", "engine.commit.logged",
+    "engine.commit.fallback",
+    # core/locking.py
+    "lock.acquire", "lock.upgrade", "lock.conflict", "lock.release",
+    # core/scheduler.py
+    "sched.step", "sched.wait", "sched.wake", "sched.abort",
+    "sched.abort.mutated", "sched.abort.deadlock", "sched.abort.timeout",
+    "sched.retry", "sched.deadlock", "sched.timeout",
+    # analysis/corpus.py — trace-checker harness bookkeeping
+    "analysis.trace.txns", "analysis.trace.events",
+    "analysis.trace.findings",
+})
+
+#: Exact gauge names.
+GAUGES = frozenset({
+    "wal.bytes_used",
+})
+
+#: Name prefixes under which arbitrary suffixes are legal.
+#: ``session.`` covers the per-session labeled counters
+#: (``session.<name>.commit`` / ``.abort``); ``phase.`` covers the
+#: per-segment histograms the clock observer files automatically.
+PREFIXES = (
+    "session.",
+    "phase.",
+)
+
+#: Short names passed to labeled obs handles (``obs.labeled(prefix)``)
+#: — the prefix supplies the namespace, so only the suffix appears as
+#: a literal at the call site.
+LABELED = frozenset({
+    "commit", "abort",
+})
+
+
+def is_registered(name):
+    """True when ``name`` is a schema-listed metric name.
+
+    Accepts exact counter/gauge names, any name under a registered
+    prefix, and the short labeled-counter suffixes.
+    """
+    if name in COUNTERS or name in GAUGES or name in LABELED:
+        return True
+    return any(name.startswith(prefix) for prefix in PREFIXES)
+
+
+def all_names():
+    """Every exact name in the schema (for reports and self-tests)."""
+    return sorted(COUNTERS | GAUGES)

@@ -47,14 +47,32 @@ RTM_COMMIT = "rtm_commit"
 RTM_ABORT = "rtm_abort"              # a=0 transient, 1 capacity, 2 explicit
 LOG_APPEND = "log_append"            # a=frame addr/page_no, b=frame bytes
 COMMIT_MARK = "commit_mark"          # a=transaction sequence number
+LOG_TRUNCATE = "log_truncate"        # the log's commit word reset to 0
 CHECKPOINT = "checkpoint"            # a=pages/entries written back
 RECOVERY_REPLAY = "recovery_replay"  # a=page_no/slot replayed
 CRASH = "crash"                      # power failure injected
 
+# Lock-discipline events (emitted by the LockManager / Session layer
+# only — the single-session fast path records none of these).  ``a`` is
+# always the owning session id; for lock events ``b`` is the packed
+# (resource kind, resource id, mode) word — see
+# ``repro.core.locking.encode_lock`` / ``decode_lock``.
+LOCK_ACQUIRE = "lock_acquire"        # a=sid, b=encoded (resource, mode)
+LOCK_UPGRADE = "lock_upgrade"        # a=sid, b=encoded (resource, mode)
+LOCK_RELEASE = "lock_release"        # a=sid, b=encoded (resource, mode)
+LOCK_WAIT = "lock_wait"              # a=sid, b=encoded wanted (resource, mode)
+LOCK_WAKE = "lock_wake"              # a=sid
+TXN_BEGIN = "txn_begin"              # a=sid
+TXN_COMMIT = "txn_commit"            # a=sid
+TXN_ABORT = "txn_abort"              # a=sid
+
 KINDS = (
     STORE, CLFLUSH, CLWB, FENCE,
     RTM_BEGIN, RTM_COMMIT, RTM_ABORT,
-    LOG_APPEND, COMMIT_MARK, CHECKPOINT, RECOVERY_REPLAY, CRASH,
+    LOG_APPEND, COMMIT_MARK, LOG_TRUNCATE,
+    CHECKPOINT, RECOVERY_REPLAY, CRASH,
+    LOCK_ACQUIRE, LOCK_UPGRADE, LOCK_RELEASE, LOCK_WAIT, LOCK_WAKE,
+    TXN_BEGIN, TXN_COMMIT, TXN_ABORT,
 )
 
 ABORT_TRANSIENT = 0

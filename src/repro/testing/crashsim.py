@@ -161,10 +161,17 @@ def _execute(txn, item):
 
 
 def run_to_crash_point(scheme, workload, budget, *, config=None, policy=None,
-                       seed=0):
+                       seed=0, checker_factory=None):
     """Run ``workload`` (a list of ``(op, key, value)`` single-op
     transactions), crash after ``budget`` armed memory events, recover,
     and validate.  ``budget=None`` runs to completion (baseline).
+
+    ``checker_factory`` (optional) is called with the fresh engine and
+    must return a ``repro.analysis.TraceChecker``-shaped object; the
+    run then drives it transaction by transaction so persistence-
+    ordering violations surface even at crash points that happen to
+    recover cleanly.  The checker observes the run only up to the
+    crash — recovery's redo stores legitimately rewrite live bytes.
 
     Returns a ``CrashTestResult``; ``result.violations`` lists every
     broken invariant (empty = the scheme survived this crash point).
@@ -174,6 +181,7 @@ def run_to_crash_point(scheme, workload, budget, *, config=None, policy=None,
         heap_bytes=1 << 20, dram_bytes=64 * 512,
     )
     engine, pm = _build_engine(config, scheme)
+    checker = checker_factory(engine) if checker_factory is not None else None
     committed = {}
     inflight = ()
     crashed = False
@@ -183,6 +191,10 @@ def run_to_crash_point(scheme, workload, budget, *, config=None, policy=None,
     try:
         for op in workload:
             inflight = op
+            if checker is not None:
+                # Pure PM reads: refreshing the live set never ticks
+                # the crash budget or perturbs the traced store stream.
+                checker.begin_txn(checker.live_ranges_of(engine))
             txn = engine.transaction()
             _execute(txn, op)
             txn.commit()
@@ -192,6 +204,8 @@ def run_to_crash_point(scheme, workload, budget, *, config=None, policy=None,
         crashed = True
     finally:
         pm.armed = False
+        if checker is not None:
+            checker.close()  # seal at the crash; recovery is unchecked
 
     if not crashed:
         recovered = {k: v for k, v in engine.scan()}
@@ -329,7 +343,11 @@ def run_scheduler_to_crash_point(scheme, workloads, budget, *, config=None,
 
     config = config or SystemConfig(**_SMALL_CONFIG)
     engine, pm = _build_engine(config, scheme)
-    scheduler = Scheduler(engine)
+    # No error cleanup: a CrashPoint is a simulated power failure, and
+    # the recovered state must be exactly what the crash left behind —
+    # rolling the running transaction back would write *after* the
+    # power was cut.
+    scheduler = Scheduler(engine, cleanup_on_error=False)
     for items in workloads:
         scheduler.add_client(items)
     crashed = False
@@ -398,7 +416,7 @@ def scheduler_crash_points_in(scheme, workloads, *, config=None):
 
     config = config or SystemConfig(**_SMALL_CONFIG)
     engine, pm = _build_engine(config, scheme)
-    scheduler = Scheduler(engine)
+    scheduler = Scheduler(engine, cleanup_on_error=False)
     for items in workloads:
         scheduler.add_client(items)
     pm.budget = None
@@ -436,9 +454,11 @@ def run_scheduler_crash_sweep(scheme, workloads, *, config=None, stride=1,
 
 
 def run_crash_sweep(scheme, workload, *, config=None, stride=1, seeds=(0, 1),
-                    policies=None, max_points=None):
+                    policies=None, max_points=None, checker_factory=None):
     """Crash the workload at every ``stride``-th memory event under
     each policy/seed; returns the list of failing ``CrashTestResult``.
+    ``checker_factory`` attaches a fresh trace checker to every
+    budgeted run (see ``run_to_crash_point``).
 
     An empty return value is the theorem the paper argues in Section
     4.4: no crash point and no writeback ordering breaks the scheme.
@@ -458,6 +478,7 @@ def run_crash_sweep(scheme, workload, *, config=None, stride=1, seeds=(0, 1),
             result = run_to_crash_point(
                 scheme, workload, budget,
                 config=config, policy=policy, seed=seed or budget,
+                checker_factory=checker_factory,
             )
             if not result.ok:
                 failures.append((budget, result))

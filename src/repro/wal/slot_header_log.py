@@ -137,6 +137,7 @@ class SlotHeaderLog:
         self.pm.write_u64(self.base + _OFF_COMMIT, 0)
         self.pm.persist(self.base + _OFF_COMMIT, 8)
         self.pm.obs.inc("log.truncate")
+        self.pm.obs.event(ev.LOG_TRUNCATE)
         self._staged = []
         self._staged_bytes = 0
 

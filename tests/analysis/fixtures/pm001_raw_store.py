@@ -1,0 +1,6 @@
+"""Known-bad fixture: raw PM store outside the wrapper layers (PM001)."""
+
+
+def reroute(pm, addr, value):
+    pm.write_u64(addr, value)
+    pm.flush_range(addr, 8)

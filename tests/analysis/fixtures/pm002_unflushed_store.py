@@ -1,0 +1,8 @@
+"""Known-bad fixture: PM store never flushed before the commit mark (PM002)."""
+
+
+class BrokenCommit:
+    def commit(self):
+        # repro: allow[PM001] fixture isolates the PM002 rule
+        self.pm.write_u64(self.head, 1)
+        self.log.commit(7)

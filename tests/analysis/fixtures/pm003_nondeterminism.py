@@ -1,0 +1,12 @@
+"""Known-bad fixture: nondeterminism on the simulation path (PM003)."""
+
+import random
+import time
+
+
+def jitter(pages):
+    start = time.time()
+    delay = random.random()
+    for page in {1, 2, 3}:
+        pages.append(page)
+    return start + delay

@@ -1,0 +1,5 @@
+"""Known-bad fixture: metric name missing from the schema (PM004)."""
+
+
+def record(obs):
+    obs.inc("engine.txn.banana")

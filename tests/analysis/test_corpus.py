@@ -1,0 +1,73 @@
+"""The real system passes its own dynamic invariants, the analyzer's
+self-test still fires every rule, and the harness integrations work."""
+
+from repro.analysis import corpus, selftest
+from repro.analysis.tracecheck import TraceChecker
+from repro.bench.multiclient import run_multi_client
+from repro.testing.crashsim import run_crash_sweep
+
+
+def test_selftest_every_rule_fires():
+    assert selftest.run() == []
+
+
+def test_single_client_corpus_is_clean_fast():
+    findings, stats = corpus.run_single_client("fast")
+    assert findings == [], "\n".join(f.render() for f in findings)
+    assert stats["txns"] > 0 and stats["events"] > 0
+
+
+def test_single_client_corpus_is_clean_fastplus():
+    findings, stats = corpus.run_single_client("fastplus")
+    assert findings == [], "\n".join(f.render() for f in findings)
+    assert stats["txns"] > 0
+
+
+def test_scheduled_corpus_is_clean():
+    findings, stats = corpus.run_scheduled("fast", clients=3, items=6)
+    assert findings == [], "\n".join(f.render() for f in findings)
+    assert stats["txns"] > 0  # TXN_BEGIN events from the session layer
+
+
+def test_crash_swept_corpus_is_clean():
+    findings, stats = corpus.run_crash_swept(
+        "fast", items=3, stride=11, max_points=8,
+    )
+    assert findings == [], "\n".join(f.render() for f in findings)
+    assert stats["events"] > 0
+
+
+def test_crash_sweep_checker_factory_hook():
+    checkers = []
+
+    def factory(engine):
+        checker = TraceChecker.for_engine(engine)
+        checkers.append(checker)
+        return checker
+
+    failures = run_crash_sweep(
+        "fast", [("insert", b"k%d" % i, bytes(24)) for i in range(3)],
+        stride=17, seeds=(0,), max_points=4, checker_factory=factory,
+    )
+    assert failures == []
+    assert checkers, "factory was never called"
+    for checker in checkers:
+        assert checker.trace is None  # sealed at the crash
+        assert checker.finish() == []
+
+
+def test_multi_client_bench_trace_check_hook():
+    result = run_multi_client(
+        "fast", clients=2, items=5,
+        checker_factory=lambda engine: TraceChecker.for_engine(
+            engine, invariants=("flush", "atomic", "twopl"),
+        ),
+    )
+    assert result["trace_check"]["findings"] == []
+    stats = result["trace_check"]["stats"]
+    assert stats["txns"] > 0 and stats["events"] > 0
+
+
+def test_multi_client_bench_report_unchanged_without_checker():
+    result = run_multi_client("fast", clients=2, items=5)
+    assert "trace_check" not in result

@@ -1,0 +1,66 @@
+"""Lock/transaction lifecycle events in the trace ring: session-id
+tagging, decodable lock words, report rendering, and the guarantee that
+``tracing(False)`` keeps the metrics registry byte-identical."""
+
+from repro.core import SystemConfig, open_engine
+from repro.core.locking import decode_lock
+from repro.obs import trace as ev
+from repro.obs.report import render_report
+
+_CONFIG = dict(
+    npages=128, page_size=512, log_bytes=16384,
+    heap_bytes=1 << 20, dram_bytes=64 * 512,
+)
+
+
+def _run(tracing):
+    engine = open_engine(SystemConfig(**_CONFIG), scheme="fast")
+    engine.obs.tracing(tracing)
+    with engine.session("alice") as session:
+        with session.transaction() as txn:
+            txn.insert(b"k1", b"v1")
+            txn.insert(b"k2", b"v2")
+        with session.transaction() as txn:
+            txn.update(b"k1", b"v1b")
+    return engine
+
+
+def test_lock_events_carry_session_ids_and_decodable_words():
+    engine = _run(tracing=True)
+    trace = engine.obs.trace
+    acquires = trace.events(kind=ev.LOCK_ACQUIRE)
+    releases = trace.events(kind=ev.LOCK_RELEASE)
+    assert acquires and releases
+    sids = {event[3] for event in acquires}
+    assert sids == {event[3] for event in releases}
+    for event in acquires + releases:
+        resource, mode = decode_lock(event[4])
+        assert resource[0] in ("root", "page")
+        assert mode in ("IS", "IX", "S", "X")
+
+
+def test_txn_events_bracket_lock_activity():
+    engine = _run(tracing=True)
+    trace = engine.obs.trace
+    begins = trace.events(kind=ev.TXN_BEGIN)
+    commits = trace.events(kind=ev.TXN_COMMIT)
+    assert len(begins) == len(commits) == 2
+    # Strict 2PL: every lock is released by the time its transaction's
+    # commit event lands.
+    last_release = trace.events(kind=ev.LOCK_RELEASE)[-1][0]
+    assert last_release < commits[-1][0]
+
+
+def test_report_renders_lock_discipline_section(tmp_path):
+    engine = _run(tracing=True)
+    snapshot = engine.obs.export_json(str(tmp_path / "obs.json"))
+    text = render_report(snapshot)
+    assert "lock discipline:" in text
+    assert "transactions: 2 begun, 2 committed, 0 aborted" in text
+    assert "WARNING" not in text
+
+
+def test_tracing_off_keeps_registry_byte_identical():
+    traced = _run(tracing=True).obs.registry.snapshot()
+    untraced = _run(tracing=False).obs.registry.snapshot()
+    assert traced == untraced

@@ -1,0 +1,155 @@
+"""Dynamic invariants TC101-TC106: exact output on known-bad trace
+fixtures, ring-drop detection, and live-range extraction."""
+
+import json
+import os
+
+from repro.analysis.tracecheck import TraceChecker
+from repro.core import SystemConfig, open_engine
+from repro.obs import trace as ev
+from repro.obs.trace import TraceRecorder
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+#: Geometry every JSON fixture is written against.
+LOG_RANGE = (0x10000, 0x14000)
+COMMIT_WORD = 0x10008
+PAGE_RANGE = (0, 0x10000)
+
+
+def _run_fixture(name):
+    with open(os.path.join(FIXTURES, name)) as fh:
+        fixture = json.load(fh)
+    checker = TraceChecker(
+        None, log_range=LOG_RANGE, commit_word=COMMIT_WORD,
+        page_range=PAGE_RANGE,
+    )
+    live = fixture.get("live")
+    if live is not None:
+        checker.begin_txn([tuple(r) for r in live])
+    checker.feed([tuple(event) for event in fixture["events"]])
+    findings = checker.finish()
+    return [f.render() for f in findings], fixture["expect"]
+
+
+def test_tc101_unflushed_log_line_at_mark():
+    got, expect = _run_fixture("tc101_unflushed_log.json")
+    assert got == expect
+
+
+def test_tc102_non_atomic_commit_mark():
+    got, expect = _run_fixture("tc102_wide_mark.json")
+    assert got == expect
+
+
+def test_tc103_pre_commit_live_overwrite():
+    got, expect = _run_fixture("tc103_live_overwrite.json")
+    assert got == expect
+
+
+def test_tc103_unpersisted_pointer_swap():
+    got, expect = _run_fixture("tc103_unflushed_swap.json")
+    assert got == expect
+
+
+def test_tc104_acquire_after_release():
+    got, expect = _run_fixture("tc104_acquire_after_release.json")
+    assert got == expect
+
+
+def test_tc105_lock_held_at_commit():
+    got, expect = _run_fixture("tc105_held_at_commit.json")
+    assert got == expect
+
+
+def test_tc106_persistent_waitfor_cycle():
+    got, expect = _run_fixture("tc106_waitfor_cycle.json")
+    assert got == expect
+
+
+def test_disciplined_commit_produces_no_findings():
+    got, expect = _run_fixture("tc_good_commit.json")
+    assert got == expect == []
+
+
+def test_swap_completed_by_flush_and_fence_is_sanctioned():
+    checker = TraceChecker(
+        None, log_range=LOG_RANGE, commit_word=COMMIT_WORD,
+        page_range=PAGE_RANGE,
+    )
+    checker.begin_txn([(0x100, 0x140)])
+    checker.feed([
+        (1, 0.0, ev.STORE, 0x100, 8),
+        (2, 0.0, ev.CLFLUSH, 0x100, 0),
+        (3, 0.0, ev.FENCE, 0, 0),
+    ])
+    assert checker.finish() == []
+
+
+def test_rtm_window_stores_are_exempt():
+    checker = TraceChecker(
+        None, log_range=LOG_RANGE, commit_word=COMMIT_WORD,
+        page_range=PAGE_RANGE,
+    )
+    checker.begin_txn([(0x100, 0x140)])
+    checker.feed([
+        (1, 0.0, ev.RTM_BEGIN, 1, 0),
+        (2, 0.0, ev.STORE, 0x100, 64),
+        (3, 0.0, ev.RTM_COMMIT, 0, 0),
+        (4, 0.0, ev.CLFLUSH, 0x100, 0),
+        (5, 0.0, ev.FENCE, 0, 0),
+    ])
+    assert checker.finish() == []
+
+
+def test_ring_drop_is_reported():
+    trace = TraceRecorder(capacity=4)
+    checker = TraceChecker(
+        trace, log_range=LOG_RANGE, commit_word=COMMIT_WORD,
+        page_range=PAGE_RANGE,
+    )
+    trace.record(ev.FENCE)
+    checker.advance()          # cursor at seq 1
+    for _ in range(8):         # seqs 2..9; ring keeps only 6..9
+        trace.record(ev.FENCE)
+    checker.advance()
+    findings = checker.finish()
+    assert [f.rule for f in findings] == ["TC000"]
+    assert "dropped 4 events" in findings[0].message
+
+
+def test_live_ranges_cover_roots_headers_and_cells():
+    config = SystemConfig(
+        npages=64, page_size=512, log_bytes=8192,
+        heap_bytes=1 << 18, dram_bytes=1 << 15,
+    )
+    engine = open_engine(config, scheme="fast")
+    payload = bytes(32)
+    for i in range(8):
+        engine.insert(b"lr%03d" % i, payload)
+    ranges = TraceChecker.live_ranges_of(engine)
+    assert ranges == sorted(ranges)
+    # The named-root pointer region is always live.
+    assert (engine.store.base + 16, engine.store.base + 64) in ranges
+    # Each reachable page contributes its header split around the
+    # reconstructible free-list head word (bytes 6-8 are exempt).
+    for page_no in engine.reachable_pages():
+        base = engine.store.page(page_no).base
+        assert (base, base + 6) in ranges
+        assert not any(
+            start <= base + 6 < stop for start, stop in ranges
+        )
+
+
+def test_checker_for_engine_scopes_to_arena_geometry():
+    config = SystemConfig(
+        npages=64, page_size=512, log_bytes=8192,
+        heap_bytes=1 << 18, dram_bytes=1 << 15,
+    )
+    engine = open_engine(config, scheme="fast")
+    checker = TraceChecker.for_engine(engine)
+    assert checker.log_range == (
+        config.log_base, config.log_base + config.log_bytes,
+    )
+    assert checker.commit_word == config.log_base + 8
+    assert checker.page_range == (0, 64 * 512)

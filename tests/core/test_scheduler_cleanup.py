@@ -1,0 +1,66 @@
+"""Regression: an exception escaping mid-operation must not leak held
+locks or open sessions (satellite of the analysis PR: the scheduler's
+error path used to leave every client's locks granted forever)."""
+
+import pytest
+
+from repro.core import SystemConfig, open_engine
+from repro.core.scheduler import Scheduler, SchedulerError
+
+_CONFIG = dict(
+    npages=128, page_size=512, log_bytes=16384,
+    heap_bytes=1 << 20, dram_bytes=64 * 512,
+)
+
+
+def _engine(scheme="fast"):
+    return open_engine(SystemConfig(**_CONFIG), scheme=scheme)
+
+
+def test_error_mid_transaction_releases_locks_and_closes_sessions():
+    engine = _engine()
+    scheduler = Scheduler(engine)
+    # The second op of the txn explodes after the first op acquired
+    # exclusive page locks.
+    scheduler.add_client([
+        ("txn", [("insert", b"k1", b"v1"), ("explode", b"k2", b"v2")]),
+    ])
+    scheduler.add_client([("insert", b"k3", b"v3")])
+    with pytest.raises(SchedulerError):
+        scheduler.run()
+    locks = engine.lock_manager
+    for client in scheduler.clients:
+        assert locks.locks_of(client.session.sid) == {}
+        assert client.txn is None
+        assert client.session.closed
+    # The engine is fully usable afterwards: no lock survives to block
+    # a fresh session.
+    with engine.session("after") as session:
+        with session.transaction() as txn:
+            txn.insert(b"post", b"recovered")
+    assert engine.search(b"post") == b"recovered"
+
+
+def test_cleanup_disabled_leaves_crash_state_untouched():
+    engine = _engine()
+    scheduler = Scheduler(engine, cleanup_on_error=False)
+    scheduler.add_client([
+        ("txn", [("insert", b"k1", b"v1"), ("explode", b"k2", b"v2")]),
+    ])
+    with pytest.raises(SchedulerError):
+        scheduler.run()
+    # No post-error rollback: the failing client's transaction is still
+    # open with its locks held, exactly as a simulated power cut needs.
+    client = scheduler.clients[0]
+    assert client.txn is not None
+    assert engine.lock_manager.locks_of(client.session.sid) != {}
+    assert not client.session.closed
+
+
+def test_successful_run_still_closes_sessions():
+    engine = _engine()
+    scheduler = Scheduler(engine)
+    scheduler.add_client([("insert", b"k1", b"v1")])
+    report = scheduler.run()
+    assert report["commits"] == 1
+    assert all(client.session.closed for client in scheduler.clients)
