@@ -3,8 +3,10 @@
 
 Runs the multi-client scheduler bench (``repro.bench.multiclient``)
 over a fixed grid — schemes x client counts at a 50/50 read/write mix,
-plus a read-ratio sweep at 4 clients — and compares the results
-against the committed baseline in ``BENCH_multiclient.json``.
+plus a read-ratio sweep at 4 clients, plus read-mostly cells pairing
+locked readers against lock-free MVCC snapshot readers — and compares
+the results against the committed baseline in
+``BENCH_multiclient.json``.
 
 Unlike ``bench_selfperf.py`` (host wall-clock, noisy, checked with a
 wide regression factor), everything here is *simulated* and the
@@ -38,6 +40,11 @@ CLIENT_COUNTS = (1, 2, 4, 8)
 READ_RATIOS = (0.0, 0.5, 0.9)
 ITEMS = 25
 SEED = 7
+#: Read-mostly MVCC cells: 1 writer + N-1 pure readers over a hot key
+#: space, run twice — readers as locked sessions, then as lock-free
+#: MVCC snapshots (identical workloads; the delta is locking cost).
+MVCC_CLIENT_COUNTS = (4, 8)
+MVCC_KEY_SPACE = 100
 
 
 def _summarize(result):
@@ -60,11 +67,19 @@ def _summarize(result):
     }
 
 
+def _summarize_mvcc(result):
+    summary = _summarize(result)
+    summary["clients"] = 1 + result["readers"]  # writer + readers
+    summary["mvcc"] = result["mvcc"]
+    summary["snapshot_reads"] = result["mvcc_counters"]["mvcc.snapshot_reads"]
+    return summary
+
+
 def run_grid():
-    from repro.bench.multiclient import run_multi_client
+    from repro.bench.multiclient import run_multi_client, run_read_mostly
 
     grid = {"workload": {"items_per_client": ITEMS, "seed": SEED},
-            "client_sweep": {}, "mix_sweep": {}}
+            "client_sweep": {}, "mix_sweep": {}, "mvcc_sweep": {}}
     for scheme in SCHEMES:
         grid["client_sweep"][scheme] = [
             _summarize(run_multi_client(
@@ -78,6 +93,14 @@ def run_grid():
             ))
             for ratio in READ_RATIOS
         ]
+        grid["mvcc_sweep"][scheme] = [
+            _summarize_mvcc(run_read_mostly(
+                scheme, clients=count, items=ITEMS, seed=SEED,
+                key_space=MVCC_KEY_SPACE, mvcc=mvcc,
+            ))
+            for count in MVCC_CLIENT_COUNTS
+            for mvcc in (False, True)
+        ]
     return grid
 
 
@@ -89,6 +112,17 @@ def _print_grid(grid):
         print("  %-9s " % scheme + "  ".join(
             "%dc %8.0f tps (%da/%dd)" % (
                 r["clients"], r["throughput_tps"], r["aborts"], r["deadlocks"],
+            )
+            for r in rows
+        ))
+    print("read-mostly (1 writer + N-1 readers, key space %d): "
+          "locked vs MVCC readers" % MVCC_KEY_SPACE)
+    for scheme in SCHEMES:
+        rows = grid["mvcc_sweep"][scheme]
+        print("  %-9s " % scheme + "  ".join(
+            "%dc %-4s %8.0f tps (%d cf)" % (
+                r["clients"], "mvcc" if r["mvcc"] else "lock",
+                r["throughput_tps"], r["lock_conflicts"],
             )
             for r in rows
         ))
@@ -133,7 +167,7 @@ def main(argv=None):
             print("multiclient MISMATCH: results differ from %s — "
                   "concurrency behavior changed (run --update if intended)"
                   % BASELINE_PATH.name, file=sys.stderr)
-            for section in ("client_sweep", "mix_sweep"):
+            for section in ("client_sweep", "mix_sweep", "mvcc_sweep"):
                 for scheme in SCHEMES:
                     got = grid[section].get(scheme)
                     want = (baseline.get(section) or {}).get(scheme)

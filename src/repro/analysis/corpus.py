@@ -1,7 +1,7 @@
 """Trace-checked corpora: curated runs with a :class:`TraceChecker`
 attached.
 
-Three harnesses, together covering every execution mode the dynamic
+Four harnesses, together covering every execution mode the dynamic
 invariants apply to:
 
 * :func:`run_single_client` — FAST / FAST⁺ single-session workloads
@@ -13,6 +13,10 @@ invariants apply to:
   lock/txn event stream (live ranges are per-transaction snapshots,
   which interleaving invalidates, so that invariant is out of scope
   here);
+* :func:`run_mvcc_scheduled` — writers plus read-only MVCC sessions,
+  adding the snapshot invariant (TC107): a read-only transaction must
+  acquire zero locks and only resolve versions with commit timestamp
+  ≤ its pinned snapshot timestamp;
 * :func:`run_crash_swept` — the crash-injection sweep with a checker
   riding along on every budgeted run: ordering violations surface even
   at executions that happen to recover correctly.
@@ -112,6 +116,35 @@ def run_scheduled(scheme, *, clients=4, items=12, config=None):
     return findings, _account(engine, checker)
 
 
+def run_mvcc_scheduled(scheme, *, writers=2, readers=2, items=12,
+                       config=None):
+    """Writers under 2PL plus lock-free MVCC reader sessions, with the
+    snapshot invariant armed: TC107 fires if any read-only session
+    acquires a lock or resolves a version younger than its snapshot."""
+    from repro.bench.multiclient import client_workload
+    from repro.core.scheduler import Scheduler
+
+    config = config or SystemConfig(**_SMALL_CONFIG)
+    engine = open_engine(config, scheme=scheme)
+    payload = bytes(48)
+    for i in range(0, 200, 4):
+        engine.insert(b"mk%05d" % i, payload, replace=True)
+    checker = TraceChecker.for_engine(
+        engine, invariants=("flush", "atomic", "twopl", "snapshot"),
+    )
+    scheduler = Scheduler(engine, on_step=lambda _client: checker.advance())
+    for index in range(writers):
+        scheduler.add_client(client_workload(index, items=items))
+    for index in range(writers, writers + readers):
+        scheduler.add_client(
+            client_workload(index, items=items, read_ratio=1.0),
+            read_only=True,
+        )
+    scheduler.run()
+    findings = checker.finish()
+    return findings, _account(engine, checker)
+
+
 def run_crash_swept(scheme, *, items=6, stride=7, max_points=40):
     """The crash-injection sweep with a checker on every budgeted run.
 
@@ -166,5 +199,6 @@ def run_all(schemes=SCHEMES):
     for scheme in schemes:
         merge(run_single_client(scheme))
         merge(run_scheduled(scheme))
+        merge(run_mvcc_scheduled(scheme))
         merge(run_crash_swept(scheme))
     return findings, totals

@@ -148,6 +148,26 @@ def _tc106():
     return checker.finish()
 
 
+def _tc107():
+    # A "read-only" snapshot session that acquires a lock anyway.
+    checker = _ordering_checker()
+    checker.feed([
+        (1, 0.0, ev.SNAPSHOT_BEGIN, 1, 100),
+        (2, 0.0, ev.LOCK_ACQUIRE, 1, _RES_A),
+    ])
+    return checker.finish()
+
+
+def _tc107_read():
+    # A snapshot read resolving a version younger than its pinned ts.
+    checker = _ordering_checker()
+    checker.feed([
+        (1, 0.0, ev.SNAPSHOT_BEGIN, 1, 100),
+        (2, 0.0, ev.SNAPSHOT_READ, 1, 200),
+    ])
+    return checker.finish()
+
+
 DYNAMIC_FIXTURES = {
     "TC101": _tc101,
     "TC102": _tc102,
@@ -156,6 +176,8 @@ DYNAMIC_FIXTURES = {
     "TC104": _tc104,
     "TC105": _tc105,
     "TC106": _tc106,
+    "TC107": _tc107,
+    "TC107-read": _tc107_read,
 }
 
 

@@ -27,6 +27,13 @@ ordering theorem *as it executes*:
     lock still held at transaction end (TC105), and the wait-for graph
     is acyclic at every granted acquire and commit (TC106) — a cycle
     must be resolved by victim abort before anyone else makes progress.
+``TC107`` (lock-free snapshot reads)
+    A read-only MVCC transaction (``snapshot_begin`` … ``snapshot_end``)
+    must acquire **zero** locks — that is the whole point of the
+    version chains — and every ``snapshot_read`` it performs must
+    resolve a version with commit timestamp ≤ its pinned snapshot
+    timestamp (reading a younger version would break snapshot
+    isolation).
 
 Harness protocol: call :meth:`begin_txn` (with fresh live ranges)
 before each transaction and :meth:`advance` after it; or just
@@ -42,7 +49,7 @@ from repro.obs import trace as ev
 _WORD = 8
 
 #: Everything the checker can assert; pick a subset per corpus.
-ALL_INVARIANTS = ("flush", "atomic", "live", "twopl")
+ALL_INVARIANTS = ("flush", "atomic", "live", "twopl", "snapshot")
 
 
 def _lines_of(addr, length):
@@ -87,6 +94,8 @@ class TraceChecker:
         # -- 2PL state ------------------------------------------------
         self._sessions = {}       # sid -> _SessionState
         self._waits = {}          # sid -> (resource, mode)
+        # -- MVCC snapshot state --------------------------------------
+        self._snapshot_ts = {}    # sid -> pinned snapshot timestamp
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -248,6 +257,12 @@ class TraceChecker:
             self._txns_seen += 1
         elif kind in (ev.TXN_COMMIT, ev.TXN_ABORT):
             self._on_txn_end(seq, a, committed=kind == ev.TXN_COMMIT)
+        elif kind == ev.SNAPSHOT_BEGIN:
+            self._snapshot_ts[a] = b
+        elif kind == ev.SNAPSHOT_READ:
+            self._on_snapshot_read(seq, a, b)
+        elif kind == ev.SNAPSHOT_END:
+            self._snapshot_ts.pop(a, None)
 
     # ------------------------------------------------------------------
     # TC101 / TC102 — flush coverage and mark atomicity
@@ -387,6 +402,16 @@ class TraceChecker:
     # ------------------------------------------------------------------
 
     def _on_lock_acquire(self, seq, sid, word, *, upgrade):
+        if "snapshot" in self.invariants and sid in self._snapshot_ts:
+            resource, mode = decode_lock(word)
+            self.findings.append(Finding(
+                "TC107",
+                "read-only snapshot session %d %s %s on %r (MVCC "
+                "readers must acquire zero locks)"
+                % (sid, "upgraded to" if upgrade else "acquired",
+                   mode, (resource,)[0]),
+                trace_seq=seq,
+            ))
         if "twopl" not in self.invariants:
             return
         resource, mode = decode_lock(word)
@@ -431,6 +456,23 @@ class TraceChecker:
         state.released = False
         state.open = False
         self._waits.pop(sid, None)
+
+    # ------------------------------------------------------------------
+    # TC107 — lock-free snapshot reads
+    # ------------------------------------------------------------------
+
+    def _on_snapshot_read(self, seq, sid, version_ts):
+        if "snapshot" not in self.invariants:
+            return
+        snapshot_ts = self._snapshot_ts.get(sid)
+        if snapshot_ts is not None and version_ts > snapshot_ts:
+            self.findings.append(Finding(
+                "TC107",
+                "snapshot session %d read a version committed at ts %d "
+                "> its snapshot ts %d (snapshot isolation violated)"
+                % (sid, version_ts, snapshot_ts),
+                trace_seq=seq,
+            ))
 
     def _blockers(self, sid, resource, mode):
         compatible = _COMPATIBLE[mode]

@@ -64,7 +64,7 @@ def client_workload(client_index, *, items=50, read_ratio=0.5,
 def run_multi_client(scheme, *, clients=4, items=50, read_ratio=0.5,
                      key_space=200, seed=7, read_ns=300.0, write_ns=300.0,
                      record_size=48, preload=64, config=None,
-                     checker_factory=None):
+                     checker_factory=None, readers=0, mvcc=False):
     """One contention run: N clients, shared engine, full report.
 
     ``checker_factory`` (optional) is called with the engine and must
@@ -72,10 +72,19 @@ def run_multi_client(scheme, *, clients=4, items=50, read_ratio=0.5,
     drained after every scheduler step and finished with the run, and
     the report gains a ``trace_check`` entry with its verdict — the
     bench itself asserting the ordering + 2PL discipline it exercises.
+
+    ``readers`` appends that many pure-read clients (``read_ratio=1.0``
+    workloads) after the ``clients`` mixed clients.  With ``mvcc=False``
+    they run as ordinary locked sessions (S-lock traffic, conflict with
+    writers); with ``mvcc=True`` they run as lock-free read-only MVCC
+    snapshot sessions over the version chains.  The reader workloads
+    are byte-identical across the two modes, so a locked-vs-MVCC pair
+    of runs isolates the cost of reader locking.
     """
     config = config or build_config(
         scheme, read_ns=read_ns, write_ns=write_ns,
-        ops=max(512, clients * items * 3), record_size=record_size,
+        ops=max(512, (clients + readers) * items * 3),
+        record_size=record_size,
     )
     engine = open_engine(config, scheme=scheme)
     # Preload part of the hot key space so reads hit and writes update
@@ -95,6 +104,14 @@ def run_multi_client(scheme, *, clients=4, items=50, read_ratio=0.5,
                 index, items=items, read_ratio=read_ratio,
                 key_space=key_space, seed=seed, record_size=record_size,
             )
+        )
+    for index in range(clients, clients + readers):
+        scheduler.add_client(
+            client_workload(
+                index, items=items, read_ratio=1.0,
+                key_space=key_space, seed=seed, record_size=record_size,
+            ),
+            read_only=mvcc,
         )
     snapshot = engine.obs.snapshot()
     report = scheduler.run()
@@ -121,6 +138,16 @@ def run_multi_client(scheme, *, clients=4, items=50, read_ratio=0.5,
         },
         "per_client": report["per_client"],
     }
+    if readers:
+        result["readers"] = readers
+        result["mvcc"] = mvcc
+        result["mvcc_counters"] = {
+            "mvcc.snapshot_reads": counters.get("mvcc.snapshot_reads", 0),
+            "mvcc.gc_reclaimed": counters.get("mvcc.gc_reclaimed", 0),
+        }
+        result["mvcc_versions_live"] = engine.obs.registry.value(
+            "mvcc.versions_live", 0,
+        )
     if checker is not None:
         findings = checker.finish()
         result["trace_check"] = {
@@ -143,4 +170,27 @@ def sweep_read_ratio(scheme, *, ratios=(0.0, 0.5, 0.9), **kwargs):
     return [
         run_multi_client(scheme, read_ratio=ratio, **kwargs)
         for ratio in ratios
+    ]
+
+
+def run_read_mostly(scheme, *, clients=4, mvcc=False, **kwargs):
+    """The read-mostly cell: 1 writer + ``clients - 1`` pure readers.
+
+    ``mvcc=False`` runs the readers as locked sessions (the baseline:
+    S locks on every page touched, conflicting with the writer);
+    ``mvcc=True`` runs them as lock-free snapshot sessions.  Workloads
+    are identical either way — the delta is pure locking cost.
+    """
+    if clients < 2:
+        raise ValueError("read-mostly needs at least 1 writer + 1 reader")
+    return run_multi_client(
+        scheme, clients=1, readers=clients - 1, mvcc=mvcc, **kwargs,
+    )
+
+
+def sweep_read_mostly(scheme, *, counts=(2, 4, 8), mvcc=False, **kwargs):
+    """Read-mostly throughput vs. total client count, locked or MVCC."""
+    return [
+        run_read_mostly(scheme, clients=count, mvcc=mvcc, **kwargs)
+        for count in counts
     ]

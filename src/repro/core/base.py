@@ -68,14 +68,24 @@ class Transaction:
     def __init__(self, engine, session=None):
         self.engine = engine
         self.session = session
-        ctx = engine._new_context(session=session)
-        if session is not None:
-            ctx = session._wrap_context(ctx)
+        if session is not None and session.read_only:
+            # Read-only snapshot transaction: the context is a
+            # SnapshotContext pinned at the current commit frontier —
+            # no scheme context, no locks, no IS/S traffic at all.
+            ctx = engine.version_manager.begin_snapshot(session)
             self._op_segment = session.op_segment
-            self._locked = session.locking
-        else:
-            self._op_segment = _null_segment
             self._locked = False
+            self._snapshot = True
+        else:
+            ctx = engine._new_context(session=session)
+            self._snapshot = False
+            if session is not None:
+                ctx = session._wrap_context(ctx)
+                self._op_segment = session.op_segment
+                self._locked = session.locking
+            else:
+                self._op_segment = _null_segment
+                self._locked = False
         self.ctx = ctx
         self._done = False
 
@@ -90,6 +100,7 @@ class Transaction:
 
     def insert(self, key, value, *, root_slot=0, replace=False):
         self._check_open()
+        self._check_writable()
         with self._op_segment():
             if self._locked:
                 self.ctx.begin_op()
@@ -100,6 +111,7 @@ class Transaction:
 
     def update(self, key, value, *, root_slot=0):
         self._check_open()
+        self._check_writable()
         with self._op_segment():
             if self._locked:
                 self.ctx.begin_op()
@@ -108,6 +120,7 @@ class Transaction:
 
     def delete(self, key, *, root_slot=0):
         self._check_open()
+        self._check_writable()
         with self._op_segment():
             if self._locked:
                 self.ctx.begin_op()
@@ -133,6 +146,7 @@ class Transaction:
     def create_tree(self, root_slot):
         """Allocate an empty tree at ``root_slot`` (commits with txn)."""
         self._check_open()
+        self._check_writable()
         with self._op_segment():
             if self._locked:
                 self.ctx.begin_op()
@@ -146,6 +160,7 @@ class Transaction:
         immediately (naive) cannot support this.
         """
         self._check_open()
+        self._check_writable()
         snapshot = getattr(self.ctx, "snapshot_state", None)
         if snapshot is None:
             raise TransactionError(
@@ -157,6 +172,7 @@ class Transaction:
         """Undo every change made after ``savepoint()`` returned
         ``token``; the transaction stays open."""
         self._check_open()
+        self._check_writable()
         self.ctx.restore_state(token)
 
     # -- lifecycle --------------------------------------------------------
@@ -164,6 +180,14 @@ class Transaction:
     def commit(self):
         self._check_open()
         self._done = True
+        if self._snapshot:
+            # Nothing to make durable: a snapshot read nothing but
+            # committed versions and wrote nothing.  Ending the
+            # transaction unpins the snapshot (advancing the GC
+            # watermark) via the session epilogue.
+            self.engine.obs.inc("engine.txn.commit")
+            self.session._txn_finished(self, committed=True)
+            return
         try:
             with self._op_segment():
                 self.engine._commit(self.inner_ctx)
@@ -177,6 +201,10 @@ class Transaction:
     def rollback(self):
         self._check_open()
         self._done = True
+        if self._snapshot:
+            self.engine.obs.inc("engine.txn.rollback")
+            self.session._txn_finished(self, committed=False)
+            return
         try:
             with self._op_segment():
                 if self._locked:
@@ -209,6 +237,12 @@ class Transaction:
         if self._done:
             raise TransactionError("transaction already finished")
 
+    def _check_writable(self):
+        if self._snapshot:
+            raise TransactionError(
+                "read-only snapshot transactions cannot write"
+            )
+
 
 class Engine:
     """Abstract storage engine over a simulated PM arena."""
@@ -233,6 +267,7 @@ class Engine:
         self._sessions = {}      # sid -> live Session
         self._next_sid = 1
         self._lock_manager = None
+        self._versions = None    # MVCC version manager (on first use)
         self._seq = 1
         # Per-commit dirty-page counts: recorded workload data (not a
         # metric) fed to the legacy block-device models that reproduce
@@ -362,12 +397,39 @@ class Engine:
             self._lock_manager = LockManager(obs=self.obs)
         return self._lock_manager
 
-    def session(self, name=None):
-        """Open a lock-managed session (one concurrent client).
+    @property
+    def version_manager(self):
+        """The engine-wide MVCC version manager (created on first use;
+        runs with no read-only session never touch it)."""
+        if self._versions is None:
+            from repro.storage.versions import VersionManager
+
+            self._versions = VersionManager(self)
+        return self._versions
+
+    #: Snapshots may reuse live-page views across reads: durable page
+    #: content only changes at a commit, which stamps the page and
+    #: shadows any cached view with a chain entry.  NVWAL sets this
+    #: False (open writers mutate shared DRAM frames without a stamp).
+    _snapshot_live_cacheable = True
+
+    def _snapshot_live_page(self, page_no):
+        """The live page as a snapshot read sees it.  For PM-resident
+        schemes the committed-state page object suffices: pre-commit
+        record writes sit in free space invisible to the durable
+        header.  NVWAL overrides this (its open writers apply headers
+        to shared DRAM frames before commit)."""
+        return self.store.page(page_no)
+
+    def session(self, name=None, read_only=False):
+        """Open a session (one concurrent client).
 
         Sessions own their transactions independently of the engine's
         implicit one: several sessions may hold open transactions at
-        the same time, serialized by the shared lock manager.
+        the same time, serialized by the shared lock manager.  A
+        ``read_only`` session carries no lock manager at all: its
+        transactions are MVCC snapshots that resolve every read
+        against the version chains and acquire zero locks.
         """
         if not self.supports_sessions:
             raise TransactionError(
@@ -379,7 +441,9 @@ class Engine:
         sid = self._next_sid
         self._next_sid += 1
         session = Session(
-            self, sid, name or ("s%d" % sid), lock_manager=self.lock_manager
+            self, sid, name or ("s%d" % sid),
+            lock_manager=None if read_only else self.lock_manager,
+            read_only=read_only,
         )
         self._sessions[sid] = session
         self.obs.inc("engine.session.open")
@@ -394,7 +458,9 @@ class Engine:
 
     def _protected_pages(self, exclude_ctx=None):
         """Pages owned by live sessions' uncommitted transactions —
-        unreachable from any committed structure, but *not* garbage."""
+        unreachable from any committed structure, but *not* garbage.
+        While MVCC snapshots are active, pages reachable through any
+        snapshot's pinned view are shielded too."""
         protected = set()
         for session in self._sessions.values():
             ctx = session.transaction_ctx
@@ -403,6 +469,8 @@ class Engine:
             owned = getattr(ctx, "uncommitted_pages", None)
             if owned is not None:
                 protected |= owned()
+        if self._versions is not None and self._versions.capture_active:
+            protected |= self._versions.pinned_pages()
         return protected
 
     def insert(self, key, value, *, root_slot=0, replace=False):

@@ -276,6 +276,14 @@ class FASTEngine(Engine):
         with self.obs.phase("commit"):
             if ctx.is_read_only:
                 return
+            # MVCC version publication must precede every header, log,
+            # and checkpoint store: at this instant the durable pages
+            # still hold the pre-transaction committed state (record
+            # bytes sit in unreachable free space; headers apply at
+            # checkpoint).  No-op unless a snapshot is active.
+            versions = self._versions
+            if versions is not None and versions.capture_active:
+                versions.publish_pm_commit(ctx)
             self.commit_page_counts.append(len(ctx.dirty) + len(ctx.new_pages))
             with self.obs.span("misc"):
                 self.clock.advance(self.pm.cost.pager_commit_ns)
@@ -455,6 +463,11 @@ class FASTPlusEngine(FASTEngine):
         with self.obs.phase("commit"):
             if ctx.is_read_only:
                 return
+            # Same publication point as FAST: before the RTM in-place
+            # header publish or any logged-commit store.
+            versions = self._versions
+            if versions is not None and versions.capture_active:
+                versions.publish_pm_commit(ctx)
             self.commit_page_counts.append(len(ctx.dirty) + len(ctx.new_pages))
             with self.obs.span("misc"):
                 self.clock.advance(self.pm.cost.pager_commit_ns)

@@ -21,6 +21,14 @@ session and ``PageStore``/``BTree``: it wraps an engine transaction
 context, acquires the right latch before delegating each view/mutation
 call, and forwards everything else untouched.  Single-session engines
 never construct one, so the default code path pays nothing.
+
+Read-only MVCC sessions (``engine.session(read_only=True)``) bypass
+this module entirely: their transactions resolve reads against the
+version chains (:mod:`repro.storage.versions`) with a pinned snapshot
+timestamp, take no IS/S locks, never appear in the wait-for graph, and
+can neither block nor be blocked by the lock-managed writers here.
+The dynamic trace checker's TC107 rule enforces that: a session that
+emitted ``snapshot_begin`` must emit zero ``lock_acquire`` events.
 """
 
 from repro.obs import trace as ev

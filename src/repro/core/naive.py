@@ -111,6 +111,9 @@ class NaiveEngine(Engine):
     scheme = "naive"
     #: Sessions need rollback (lock conflicts abort transactions); the
     #: naive scheme has none, so it stays single-session by design.
+    #: This also rules out MVCC snapshot reads (``read_only`` sessions):
+    #: in-place header overwrites destroy the committed pre-images the
+    #: version chains are built from.
     supports_sessions = False
 
     def _new_context(self, session=None):

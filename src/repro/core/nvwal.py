@@ -286,6 +286,9 @@ class NVWALEngine(Engine):
 
     scheme = "nvwal"
     leaf_capacity = None
+    #: Live DRAM frames mutate under open writers with no commit stamp;
+    #: snapshot reads must re-resolve on every call.
+    _snapshot_live_cacheable = False
 
     def __init__(self, config, pm, store):
         super().__init__(config, pm, store)
@@ -298,6 +301,11 @@ class NVWALEngine(Engine):
         )
         self.cache = BufferCache(self.dram, config.page_size)
         self.wal = None
+        # page_no -> (pre-image bytes, SlottedPage view) for snapshot
+        # reads of writer-held pages: the view (and its residency
+        # accounting) is reused for as long as the same pre-image is
+        # current, instead of re-reading it cold on every resolution.
+        self._snapshot_view_cache = {}
 
     @property
     def checkpoints(self):
@@ -326,6 +334,41 @@ class NVWALEngine(Engine):
             return self.wal.roots[slot]
         return self.store.root(slot)
 
+    def _snapshot_live_page(self, page_no):
+        """Snapshot reads cannot use a DRAM frame an open writer has
+        already applied uncommitted headers to (NVWAL mutates frames
+        immediately, pre-commit).  At most one writer holds a page (X
+        locks), and its first-touch snapshot is exactly the committed
+        content — serve that instead.  Clean pages go through the
+        normal fetch path (database page + committed WAL deltas)."""
+        from repro.storage.versions import _ImageMemory
+
+        for session in self._sessions.values():
+            ctx = session.transaction_ctx
+            if ctx is None:
+                continue
+            images = getattr(ctx, "snapshots", None)
+            if images is None:
+                continue
+            image = images.get(page_no)
+            if image is not None:
+                cached = self._snapshot_view_cache.get(page_no)
+                if cached is not None and cached[0] is image:
+                    return cached[1]
+                # The pre-image was copied out of a cache-resident DRAM
+                # frame at the writer's first touch; its lines are
+                # cache-warm, so reads charge the hit cost — the same
+                # cost a locked reader pays on the live frame.
+                page = SlottedPage(
+                    _ImageMemory(image, self.clock, self.dram._hit_ns,
+                                 self.dram._hit_ns),
+                    0, self.config.page_size,
+                )
+                page.page_no = page_no
+                self._snapshot_view_cache[page_no] = (image, page)
+                return page
+        return self._fetch_page(page_no)
+
     def _fetch_page(self, page_no):
         base = self.cache.lookup(page_no)
         if base is None:
@@ -349,6 +392,13 @@ class NVWALEngine(Engine):
         with self.obs.phase("commit"):
             if ctx.is_read_only:
                 return
+            # MVCC version publication before any WAL append or root
+            # overlay update: the context's first-touch snapshots are
+            # the committed pre-images.  No-op unless a snapshot is
+            # active.
+            versions = self._versions
+            if versions is not None and versions.capture_active:
+                versions.publish_wal_commit(ctx)
             self.commit_page_counts.append(len(ctx.dirty))
             with self.obs.span("misc"):
                 self.clock.advance(self.pm.cost.pager_commit_ns)

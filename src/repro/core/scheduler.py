@@ -161,11 +161,25 @@ class Scheduler:
         #: serialization order (strict 2PL commits in lock order).
         self.commit_order = []
 
-    def add_client(self, items, *, name=None):
-        """Register one client with its workload; returns the client."""
+    def add_client(self, items, *, name=None, read_only=False):
+        """Register one client with its workload; returns the client.
+
+        ``read_only`` clients run MVCC snapshot transactions: their
+        session carries no lock manager, so their workloads may contain
+        only ``search`` and ``think`` operations (validated here —
+        failing at add time beats a mid-run surprise).
+        """
+        if read_only:
+            for item in items:
+                for op in _ops_of(item):
+                    if op and op[0] not in ("search", "think"):
+                        raise SchedulerError(
+                            "read-only client workload contains %r "
+                            "(only search/think allowed)" % (op[0],)
+                        )
         index = len(self.clients)
         name = name or ("c%d" % index)
-        session = self.engine.session(name)
+        session = self.engine.session(name, read_only=read_only)
         client = _Client(index, name, session, items)
         client.ready_at_ns = self.clock.now_ns
         self.clients.append(client)
@@ -311,7 +325,11 @@ class Scheduler:
             if client.finished:
                 client.state = DONE
         client.ready_at_ns = self.clock.now_ns
-        self._wake_waiters()
+        # A snapshot client's commit releases no locks, so it can never
+        # unblock a waiter — and a pure-reader mix must not lazily
+        # instantiate the lock manager just to scan an empty table.
+        if client.session.locking:
+            self._wake_waiters()
 
     # -- conflicts, deadlock, timeout --------------------------------------
 

@@ -27,11 +27,16 @@ from repro.obs import trace as ev
 class Session:
     """One client's transaction scope on a shared engine."""
 
-    def __init__(self, engine, sid, name, *, lock_manager=None):
+    def __init__(self, engine, sid, name, *, lock_manager=None,
+                 read_only=False):
         self.engine = engine
         self.sid = sid
         self.name = name
         self.lock_manager = lock_manager
+        #: Read-only sessions run MVCC snapshot transactions: they
+        #: carry no lock manager and acquire zero locks (no IS/S
+        #: traffic at all) — reads resolve against version chains.
+        self.read_only = read_only
         self.segment_name = "session.%s" % name
         #: Per-session obs labels ("session.<name>.commit" ...).
         self.obs = engine.obs.labeled("session.%s" % name)
@@ -97,6 +102,11 @@ class Session:
             self._txn = None
         if self.lock_manager is not None:
             self.lock_manager.release_all(self.sid)
+        if self.read_only and getattr(txn, "_snapshot", False):
+            # Unpin the snapshot (emits SNAPSHOT_END before the
+            # TXN_COMMIT/TXN_ABORT event, mirroring the lock-release
+            # ordering) and let the watermark GC reclaim versions.
+            self.engine.version_manager.end_snapshot(txn.ctx)
         self.obs.inc("commit" if committed else "abort")
         self.engine.obs.event(
             ev.TXN_COMMIT if committed else ev.TXN_ABORT, self.sid

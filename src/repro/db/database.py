@@ -55,7 +55,7 @@ class Database:
         engine = open_engine(config or SystemConfig(), scheme=scheme, pm=pm)
         return cls(engine, cache_statements=cache_statements)
 
-    def connect(self, name=None):
+    def connect(self, name=None, read_only=False):
         """A new connection: same engine and catalog, its own session.
 
         Connections are the SQL face of :meth:`repro.core.base.Engine.session` —
@@ -63,11 +63,17 @@ class Database:
         the other connections by the engine's lock manager.  Close the
         connection (or use it as a context manager) to release its
         session.
+
+        With ``read_only=True`` the connection's transactions are MVCC
+        snapshots: each pins a snapshot timestamp at begin, resolves
+        every page read against the latest version ≤ that timestamp,
+        and acquires zero locks — writers never block it and it never
+        blocks writers.  Write statements raise.
         """
         return Database(
             self.engine,
             cache_statements=self.cache_statements,
-            session=self.engine.session(name),
+            session=self.engine.session(name, read_only=read_only),
             catalog=self.catalog,
         )
 

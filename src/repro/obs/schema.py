@@ -40,6 +40,8 @@ COUNTERS = frozenset({
     "sched.step", "sched.wait", "sched.wake", "sched.abort",
     "sched.abort.mutated", "sched.abort.deadlock", "sched.abort.timeout",
     "sched.retry", "sched.deadlock", "sched.timeout",
+    # storage/versions.py — MVCC snapshot reads over version chains
+    "mvcc.snapshot_reads", "mvcc.gc_reclaimed",
     # analysis/corpus.py — trace-checker harness bookkeeping
     "analysis.trace.txns", "analysis.trace.events",
     "analysis.trace.findings",
@@ -48,6 +50,7 @@ COUNTERS = frozenset({
 #: Exact gauge names.
 GAUGES = frozenset({
     "wal.bytes_used",
+    "mvcc.versions_live",
 })
 
 #: Name prefixes under which arbitrary suffixes are legal.

@@ -66,6 +66,13 @@ TXN_BEGIN = "txn_begin"              # a=sid
 TXN_COMMIT = "txn_commit"            # a=sid
 TXN_ABORT = "txn_abort"              # a=sid
 
+# MVCC snapshot-read events (emitted by the version manager only —
+# runs with no read-only session open record none of these).
+SNAPSHOT_BEGIN = "snapshot_begin"    # a=sid, b=snapshot timestamp
+SNAPSHOT_READ = "snapshot_read"      # a=sid, b=version commit timestamp
+SNAPSHOT_END = "snapshot_end"        # a=sid
+MVCC_GC = "mvcc_gc"                  # a=versions reclaimed, b=watermark
+
 KINDS = (
     STORE, CLFLUSH, CLWB, FENCE,
     RTM_BEGIN, RTM_COMMIT, RTM_ABORT,
@@ -73,6 +80,7 @@ KINDS = (
     CHECKPOINT, RECOVERY_REPLAY, CRASH,
     LOCK_ACQUIRE, LOCK_UPGRADE, LOCK_RELEASE, LOCK_WAIT, LOCK_WAKE,
     TXN_BEGIN, TXN_COMMIT, TXN_ABORT,
+    SNAPSHOT_BEGIN, SNAPSHOT_READ, SNAPSHOT_END, MVCC_GC,
 )
 
 ABORT_TRANSIENT = 0

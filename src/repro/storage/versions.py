@@ -1,0 +1,475 @@
+"""MVCC version chains: lock-free snapshot reads over pre-images.
+
+The FAST/FAST⁺ commit protocol (and the NVWAL baseline's differential
+logging) never update committed page content in place: records land in
+free space, headers publish atomically, structural changes go through
+copy-on-write plus an 8-byte pointer swap.  Every committed page
+version therefore has a stable pre-image the instant a transaction
+commits over it — the substrate this module turns into multi-version
+concurrency control for readers.
+
+The pieces:
+
+``VersionManager``
+    Owns the commit-timestamp domain (monotonic, drawn from the shared
+    ``SimClock``), the per-page and per-root-slot version chains, the
+    active snapshot registry, and the watermark garbage collector.
+    Timestamping is *lazy*: commits are stamped, and pre-images
+    retained, only while at least one snapshot is active — the default
+    (no read-only session) path does zero extra work and stays
+    byte-identical.
+
+``SnapshotContext``
+    The read-only transaction context: it implements the B-tree view
+    protocol (``segment`` / ``root_page_no`` / ``page``) by resolving
+    every read against the latest version with commit timestamp ≤ its
+    pinned snapshot timestamp.  It acquires **no** locks — no IS/S
+    traffic at all — and never writes.
+
+``_ImageMemory``
+    A read-only memory adapter serving a retained pre-image with the
+    same cache/latency accounting as reading the underlying PM page.
+
+Version chains are *volatile* metadata over *persistent* pre-images:
+a crash discards them (recovery starts with empty chains), and readers
+never flush anything — there is nothing of theirs to make durable.
+"""
+
+from repro.obs import trace as ev
+from repro.storage.pagestore import N_ROOT_SLOTS
+from repro.storage.slotted_page import SlottedPage
+
+
+def _visible_bytes(pm, base, length):
+    """The CPU-visible content of ``[base, base+length)`` — durable
+    bytes overlaid with dirty/in-flight cache lines — read host-side
+    (no simulated cost: version capture is bookkeeping, not I/O)."""
+    end = base + length
+    out = bytearray(pm._durable[base:end])
+    vget = pm._vis.get
+    for line in range(base >> 6, ((end - 1) >> 6) + 1):
+        entry = vget(line)
+        if entry is not None:
+            line_base = line << 6
+            lo = line_base if line_base > base else base
+            hi = line_base + 64 if line_base + 64 < end else end
+            out[lo - base:hi - base] = entry.data[lo - line_base:hi - line_base]
+    return bytes(out)
+
+
+class _ImageMemory:
+    """Read-only memory over one retained pre-image.
+
+    Reads charge the shared clock like PM loads: the first touch of
+    each 64-byte line pays the PM read latency, later touches the
+    cache-hit cost.  Stores are impossible by construction — snapshot
+    transactions have no mutation path — and raise if attempted.
+    """
+
+    __slots__ = ("clock", "_image", "_hit_ns", "_miss_ns", "_resident")
+
+    def __init__(self, image, clock, hit_ns, miss_ns):
+        self._image = image
+        self.clock = clock
+        self._hit_ns = hit_ns
+        self._miss_ns = miss_ns
+        self._resident = set()
+
+    def read(self, addr, length):
+        end = addr + length
+        if addr < 0 or end > len(self._image):
+            raise IndexError(
+                "access [%d, %d) outside version image of %d bytes"
+                % (addr, end, len(self._image))
+            )
+        if length <= 0:
+            return b""
+        clock = self.clock
+        resident = self._resident
+        for line in range(addr >> 6, ((end - 1) >> 6) + 1):
+            if line in resident:
+                ns = self._hit_ns
+            else:
+                resident.add(line)
+                ns = self._miss_ns
+            if ns > 0:
+                clock.now_ns += ns
+                clock.pending_ns += ns
+        return self._image[addr:end]
+
+    def read_u16(self, addr):
+        return int.from_bytes(self.read(addr, 2), "little")
+
+    def read_u32(self, addr):
+        return int.from_bytes(self.read(addr, 4), "little")
+
+    def read_u64(self, addr):
+        return int.from_bytes(self.read(addr, 8), "little")
+
+    def _no_write(self, *args, **kwargs):
+        raise TypeError("version images are immutable")
+
+    write = write_u16 = write_u32 = write_u64 = _no_write
+    clflush = clwb = flush_range = persist = _no_write
+
+    def sfence(self):
+        raise TypeError("version images are immutable")
+
+
+class SnapshotContext:
+    """A read-only transaction's view: every read resolves against the
+    latest version with commit timestamp ≤ ``snapshot_ts``.
+
+    Implements exactly the view protocol the B-tree and hash-index
+    read paths consume.  There is deliberately no ``uncommitted_pages``
+    and no mutation protocol: a snapshot owns no pages and acquires no
+    locks.
+    """
+
+    is_read_only = True
+
+    def __init__(self, versions, session, snapshot_ts):
+        self.versions = versions
+        self.session = session
+        self.snapshot_ts = snapshot_ts
+        self.obs = versions.obs
+        self.segment = versions.clock.segment  # hot-path alias
+        self.closed = False
+        # Version-image pages are immutable forever, so resolved views
+        # are cached per page; live pages are re-resolved every call
+        # (a later commit may supersede them mid-snapshot).
+        self._image_pages = {}
+        # Live-page views, keyed by the page's commit stamp at caching
+        # time (only when the engine allows it — see ``live_cacheable``):
+        # a superseding commit stamps the page AND retains a pre-image,
+        # so the chain shadows a stale entry before it can be served.
+        self._live_pages = {}
+
+    def root_page_no(self, slot):
+        return self.versions.resolve_root(slot, self.snapshot_ts)
+
+    def page(self, page_no):
+        versions = self.versions
+        versions.obs.inc("mvcc.snapshot_reads")
+        cached = self._image_pages.get(page_no)
+        if cached is not None:
+            versions.obs.event(ev.SNAPSHOT_READ, self.session.sid, cached[0])
+            return cached[1]
+        resolved = versions.resolve_page(page_no, self.snapshot_ts)
+        if resolved is None:
+            # The live page is the visible version (its last stamped
+            # commit is ≤ the snapshot timestamp by construction: any
+            # newer commit would have retained a pre-image for us).
+            version_ts = versions.page_ts(page_no)
+            live = self._live_pages.get(page_no)
+            if live is not None and live[0] == version_ts:
+                page = live[1]
+            else:
+                page = versions.live_page(page_no)
+                if versions.live_cacheable:
+                    self._live_pages[page_no] = (version_ts, page)
+        else:
+            version_ts, page = resolved
+            self._image_pages[page_no] = (version_ts, page)
+        versions.obs.event(ev.SNAPSHOT_READ, self.session.sid, version_ts)
+        return page
+
+    def reachable_pages(self):
+        """Page numbers this snapshot's trees reference (the GC
+        protection set while the snapshot is active)."""
+        from repro.hashindex.index import HashIndex
+        from repro.storage.slotted_page import PAGE_META
+
+        engine = self.versions.engine
+        pages = set()
+        for slot in range(N_ROOT_SLOTS):
+            root_no = self.root_page_no(slot)
+            if not root_no:
+                continue
+            if self.page(root_no).page_type == PAGE_META:
+                pages |= HashIndex.reachable_from_directory(self, root_no)
+            else:
+                pages |= engine.tree(slot).reachable_pages(self)
+        return pages
+
+
+class VersionManager:
+    """Commit timestamps, version chains, snapshots, and the watermark
+    garbage collector for one engine."""
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.obs = engine.obs
+        self.clock = engine.clock
+        #: Highest commit timestamp handed out (0 = none yet).
+        self.last_commit_ts = 0
+        # page_no/slot -> commit ts of the currently-live value (only
+        # stamped while snapshots are active; see class docstring).
+        self._page_ts = {}
+        self._root_ts = {}
+        # page_no -> [(birth_ts, superseded_ts, SlottedPage image view)]
+        # ascending by superseded_ts; likewise slot -> old root page_no.
+        self._page_chains = {}
+        self._root_chains = {}
+        self._snapshots = {}  # sid -> active SnapshotContext
+
+    # -- snapshots ---------------------------------------------------------
+
+    @property
+    def capture_active(self):
+        """True while at least one snapshot is pinned — the only state
+        in which commits are stamped and pre-images retained."""
+        return bool(self._snapshots)
+
+    def begin_snapshot(self, session):
+        """Pin a snapshot at the current commit frontier and return the
+        read-only transaction context."""
+        ts = self.last_commit_ts
+        ctx = SnapshotContext(self, session, ts)
+        self._snapshots[session.sid] = ctx
+        self.obs.event(ev.SNAPSHOT_BEGIN, session.sid, ts)
+        return ctx
+
+    def end_snapshot(self, ctx):
+        """Unpin ``ctx`` and advance the GC watermark."""
+        if ctx.closed:
+            return
+        ctx.closed = True
+        self._snapshots.pop(ctx.session.sid, None)
+        self.obs.event(ev.SNAPSHOT_END, ctx.session.sid)
+        self.collect()
+
+    def active_snapshots(self):
+        return list(self._snapshots.values())
+
+    # -- commit-time version publication -----------------------------------
+
+    def _next_ts(self):
+        """A fresh monotonic commit timestamp in the SimClock domain."""
+        ts = int(self.clock.now_ns)
+        if ts <= self.last_commit_ts:
+            ts = self.last_commit_ts + 1
+        self.last_commit_ts = ts
+        return ts
+
+    def publish_pm_commit(self, ctx):
+        """FAST/FAST⁺ version publication, called at the very top of
+        ``_commit`` (before any header, log, or checkpoint work): at
+        that instant every dirty/freed page's durable content is still
+        the pre-transaction committed state — record bytes sit in free
+        space unreachable from the committed header, and headers apply
+        only later at checkpoint.  Pages the transaction itself created
+        are skipped: no snapshot can reach them (the pointers leading
+        to them live in pre-images captured here).
+        """
+        if not self._snapshots:
+            return
+        ts = self._next_ts()
+        engine = self.engine
+        store = engine.store
+        page_size = engine.config.page_size
+        touched = set(ctx.dirty)
+        touched.update(ctx.freed)
+        new = ctx.new_pages
+        for page_no in sorted(touched):
+            if page_no in new:
+                continue
+            image = _visible_bytes(
+                engine.pm, store.page_base(page_no), page_size
+            )
+            # FAST pre-images are physically the same PM bytes the live
+            # page occupies (records sit in free space, old headers
+            # persist until checkpoint — nothing is overwritten in
+            # place), so version reads share the live page's cache
+            # lines.  A private cold-miss set would double-charge that
+            # traffic; the committing writer just touched every one of
+            # these lines, so they are accounted as cache-resident.
+            self._retain_page(page_no, ts, image,
+                              engine.pm._hit_ns, engine.pm._hit_ns)
+        for page_no in sorted(touched):
+            self._page_ts[page_no] = ts
+        for page_no in sorted(new):
+            self._page_ts[page_no] = ts
+        for slot in sorted(ctx.root_updates):
+            self._retain_root(slot, ts, store.root(slot))
+            self._root_ts[slot] = ts
+        self._update_gauge()
+
+    def publish_wal_commit(self, ctx):
+        """NVWAL version publication, called at the top of ``_commit``
+        before the WAL append: the context's first-touch snapshots ARE
+        the committed pre-images (the DRAM frames were committed state
+        when the transaction first touched them)."""
+        if not self._snapshots:
+            return
+        ts = self._next_ts()
+        engine = self.engine
+        dram = engine.dram
+        touched = set(ctx.dirty)
+        touched.update(ctx.freed)
+        new = ctx.new_pages
+        for page_no in sorted(touched):
+            if page_no in new:
+                continue
+            image = ctx.snapshots.get(page_no)
+            if image is None:
+                image = self._committed_wal_image(page_no)
+            # NVWAL pre-images are copies of cache-resident DRAM frames
+            # (made at the writer's first touch); version reads charge
+            # the cache-hit cost, like reads of the live frame itself.
+            self._retain_page(page_no, ts, bytes(image),
+                              dram._hit_ns, dram._hit_ns)
+        for page_no in sorted(touched):
+            self._page_ts[page_no] = ts
+        for page_no in sorted(new):
+            self._page_ts[page_no] = ts
+        for slot in sorted(ctx.root_updates):
+            self._retain_root(slot, ts, engine._root(slot))
+            self._root_ts[slot] = ts
+        self._update_gauge()
+
+    def _committed_wal_image(self, page_no):
+        """Committed content of an NVWAL page the committing context
+        never snapshotted (e.g. freed without modification): the
+        resident DRAM frame if any — clean committed content, because
+        a page freed-but-unmodified was never written by this or (X
+        locks) any other open transaction — else database page plus
+        WAL deltas."""
+        engine = self.engine
+        page_size = engine.config.page_size
+        frame = engine.cache._frame_of.get(page_no)
+        if frame is not None:
+            base = frame * page_size
+            return bytes(engine.dram._data[base:base + page_size])
+        image = bytearray(
+            _visible_bytes(engine.pm, engine.store.page_base(page_no),
+                           page_size)
+        )
+        for offset, data in engine.wal.deltas_for(page_no):
+            image[offset:offset + len(data)] = data
+        return bytes(image)
+
+    def _retain_page(self, page_no, superseded_ts, image,
+                     hit_ns=None, miss_ns=None):
+        """Retain one pre-image; reads of the version view charge
+        ``hit_ns``/``miss_ns`` per line (defaults: the engine PM's
+        latencies — right for FAST, whose pre-images live in PM free
+        space; NVWAL passes its DRAM latencies, because its pre-images
+        are buffered version copies in DRAM)."""
+        birth_ts = self._page_ts.get(page_no, 0)
+        engine = self.engine
+        pm = engine.pm
+        if hit_ns is None:
+            hit_ns, miss_ns = pm._hit_ns, pm._read_miss_ns
+        page = SlottedPage(
+            _ImageMemory(image, self.clock, hit_ns, miss_ns),
+            0, engine.config.page_size,
+        )
+        page.page_no = page_no
+        self._page_chains.setdefault(page_no, []).append(
+            (birth_ts, superseded_ts, page)
+        )
+
+    def _retain_root(self, slot, superseded_ts, old_root_no):
+        birth_ts = self._root_ts.get(slot, 0)
+        self._root_chains.setdefault(slot, []).append(
+            (birth_ts, superseded_ts, old_root_no)
+        )
+
+    # -- read resolution ---------------------------------------------------
+
+    def page_ts(self, page_no):
+        """Commit timestamp of the live version (0 = never stamped)."""
+        return self._page_ts.get(page_no, 0)
+
+    def resolve_page(self, page_no, ts):
+        """The retained ``(version_ts, page view)`` visible at snapshot
+        ``ts``, or None when the live page is the visible version."""
+        chain = self._page_chains.get(page_no)
+        if chain:
+            for birth_ts, superseded_ts, page in chain:
+                if birth_ts <= ts < superseded_ts:
+                    return birth_ts, page
+        return None
+
+    def resolve_root(self, slot, ts):
+        """Root page number of ``slot`` as of snapshot ``ts``."""
+        chain = self._root_chains.get(slot)
+        if chain:
+            for birth_ts, superseded_ts, root_no in chain:
+                if birth_ts <= ts < superseded_ts:
+                    return root_no
+        engine = self.engine
+        if hasattr(engine, "_root"):
+            return engine._root(slot)
+        return engine.store.root(slot)
+
+    def live_page(self, page_no):
+        return self.engine._snapshot_live_page(page_no)
+
+    @property
+    def live_cacheable(self):
+        """True when a snapshot may reuse a live-page view across reads
+        (FAST: durable page content only changes at a commit, which
+        stamps the page and shadows the cache with a chain entry).
+        NVWAL says no — an open writer applies uncommitted headers to
+        the shared DRAM frame without any commit stamp."""
+        return self.engine._snapshot_live_cacheable
+
+    def live_versions(self, page_no):
+        """Live version count for a page: the current page plus every
+        retained pre-image (1 = no history retained)."""
+        return 1 + len(self._page_chains.get(page_no, ()))
+
+    def pinned_pages(self):
+        """Pages reachable through any active snapshot's view — the
+        extra protection set for ``garbage_collect(protected=)``."""
+        pinned = set()
+        for ctx in self._snapshots.values():
+            pinned |= ctx.reachable_pages()
+        return pinned
+
+    # -- garbage collection ------------------------------------------------
+
+    def watermark(self):
+        """Versions with ``superseded_ts`` ≤ the watermark are invisible
+        to every present and future snapshot (future snapshots pin at
+        ``last_commit_ts`` ≥ every superseded timestamp)."""
+        ts = self.last_commit_ts
+        for ctx in self._snapshots.values():
+            if ctx.snapshot_ts < ts:
+                ts = ctx.snapshot_ts
+        return ts
+
+    def collect(self):
+        """Reclaim every version no snapshot can see; returns the count."""
+        watermark = self.watermark()
+        reclaimed = 0
+        for chains in (self._page_chains, self._root_chains):
+            for key in sorted(chains):
+                chain = chains[key]
+                kept = [
+                    entry for entry in chain if entry[1] > watermark
+                ]
+                reclaimed += len(chain) - len(kept)
+                if kept:
+                    chains[key] = kept
+                else:
+                    del chains[key]
+        if reclaimed:
+            self.obs.inc("mvcc.gc_reclaimed", reclaimed)
+            self.obs.event(ev.MVCC_GC, reclaimed, watermark)
+        self._update_gauge()
+        return reclaimed
+
+    def versions_live(self):
+        """Total retained chain entries (pages + roots)."""
+        live = 0
+        for chain in self._page_chains.values():
+            live += len(chain)
+        for chain in self._root_chains.values():
+            live += len(chain)
+        return live
+
+    def _update_gauge(self):
+        self.obs.registry.set_gauge("mvcc.versions_live", self.versions_live())

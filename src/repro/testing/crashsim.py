@@ -313,6 +313,18 @@ def _writes_of(item):
     ]
 
 
+def _client_spec(workload):
+    """One scheduler-client workload entry: a plain item list, or
+    ``{"items": [...], "read_only": True}`` for a lock-free MVCC
+    snapshot reader client (pure ``search``/``think`` items).  Readers
+    change no durable state, so the committed-prefix model is untouched
+    by them — but their presence at the crash exercises recovery with
+    version chains live (all volatile: recovery starts with none)."""
+    if isinstance(workload, dict):
+        return workload["items"], bool(workload.get("read_only"))
+    return workload, False
+
+
 def _scheduled_model(clients, commit_order):
     """Replay the committed transactions in commit order — strict 2PL
     makes the interleaving serializable in exactly that order, so this
@@ -330,9 +342,11 @@ def run_scheduler_to_crash_point(scheme, workloads, budget, *, config=None,
     """Crash an N-client scheduled run after ``budget`` armed memory
     events, recover, and validate the serializable committed prefix.
 
-    ``workloads`` is one item list per client (items as in
+    ``workloads`` is one entry per client: an item list (items as in
     ``run_to_crash_point``: bare ``(op, key, value)`` tuples or
-    ``("txn", [ops])``, plus ``("search", key, None)`` reads).  The
+    ``("txn", [ops])``, plus ``("search", key, None)`` reads), or
+    ``{"items": [...], "read_only": True}`` for a lock-free MVCC
+    snapshot reader client.  The
     recovered database must equal the committed transactions replayed
     in the scheduler's commit order, optionally plus the whole item
     that was in flight on the one client executing at the crash — any
@@ -348,8 +362,9 @@ def run_scheduler_to_crash_point(scheme, workloads, budget, *, config=None,
     # rolling the running transaction back would write *after* the
     # power was cut.
     scheduler = Scheduler(engine, cleanup_on_error=False)
-    for items in workloads:
-        scheduler.add_client(items)
+    for workload in workloads:
+        items, read_only = _client_spec(workload)
+        scheduler.add_client(items, read_only=read_only)
     crashed = False
     pm.budget = budget
     pm.events = 0
@@ -417,8 +432,9 @@ def scheduler_crash_points_in(scheme, workloads, *, config=None):
     config = config or SystemConfig(**_SMALL_CONFIG)
     engine, pm = _build_engine(config, scheme)
     scheduler = Scheduler(engine, cleanup_on_error=False)
-    for items in workloads:
-        scheduler.add_client(items)
+    for workload in workloads:
+        items, read_only = _client_spec(workload)
+        scheduler.add_client(items, read_only=read_only)
     pm.budget = None
     pm.events = 0
     pm.armed = True

@@ -67,6 +67,47 @@ def test_tc106_persistent_waitfor_cycle():
     assert got == expect
 
 
+def test_tc107_snapshot_session_acquires_lock():
+    got, expect = _run_fixture("tc107_snapshot_lock.json")
+    assert got == expect
+
+
+def test_tc107_snapshot_reads_younger_version():
+    got, expect = _run_fixture("tc107_stale_snapshot_read.json")
+    assert got == expect
+
+
+def test_tc107_clean_snapshot_produces_no_findings():
+    checker = TraceChecker(
+        None, log_range=LOG_RANGE, commit_word=COMMIT_WORD,
+        page_range=PAGE_RANGE,
+    )
+    checker.feed([
+        (1, 0.0, ev.SNAPSHOT_BEGIN, 1, 100),
+        (2, 0.0, ev.SNAPSHOT_READ, 1, 100),
+        (3, 0.0, ev.SNAPSHOT_READ, 1, 40),
+        (4, 0.0, ev.SNAPSHOT_END, 1, 0),
+        # The same session may lock freely once its snapshot is closed.
+        (5, 0.0, ev.TXN_BEGIN, 1, 0),
+        (6, 0.0, ev.LOCK_ACQUIRE, 1, 2199023255811),
+        (7, 0.0, ev.LOCK_RELEASE, 1, 2199023255811),
+        (8, 0.0, ev.TXN_COMMIT, 1, 0),
+    ])
+    assert checker.finish() == []
+
+
+def test_tc107_gated_on_snapshot_invariant():
+    checker = TraceChecker(
+        None, log_range=LOG_RANGE, commit_word=COMMIT_WORD,
+        page_range=PAGE_RANGE, invariants=("twopl",),
+    )
+    checker.feed([
+        (1, 0.0, ev.SNAPSHOT_BEGIN, 1, 100),
+        (2, 0.0, ev.SNAPSHOT_READ, 1, 200),
+    ])
+    assert checker.finish() == []
+
+
 def test_disciplined_commit_produces_no_findings():
     got, expect = _run_fixture("tc_good_commit.json")
     assert got == expect == []

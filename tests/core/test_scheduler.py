@@ -197,3 +197,79 @@ class TestSerializability:
                 elif kind == "delete":
                     model.pop(key, None)
         assert dict(engine.scan()) == model
+
+
+def _reader_workloads(nclients, items=6, keys=8):
+    """Per-client pure-read items over a shared preloaded key space."""
+    out = []
+    for cid in range(nclients):
+        out.append([
+            ("search", b"seed%02d" % ((cid + i) % keys), None)
+            for i in range(items)
+        ])
+    return out
+
+
+class TestReadOnlyClients:
+    def test_write_ops_rejected_at_add_time(self):
+        engine = _engine()
+        scheduler = Scheduler(engine)
+        with pytest.raises(SchedulerError):
+            scheduler.add_client([("insert", b"k", b"v")], read_only=True)
+
+    def test_pure_reader_mix_round_robins(self):
+        # Zero-length think items commit without advancing the clock,
+        # so every client ties on ready_at and the fairness key
+        # (ready_at, least-recently-run, index) must rotate — a client
+        # that never blocks still round-robins instead of letting the
+        # lowest index streak.
+        engine = _engine()
+        order = []
+        scheduler = Scheduler(
+            engine, on_step=lambda client: order.append(client.index)
+        )
+        for _ in range(3):
+            scheduler.add_client([("think", 0.0, None)] * 4, read_only=True)
+        scheduler.run()
+        assert order == [0, 1, 2] * 4
+
+    def test_pure_reader_mix_byte_identical_reruns(self):
+        def run():
+            engine = _engine()
+            for i in range(8):
+                engine.insert(b"seed%02d" % i, b"x" * 24)
+            scheduler = Scheduler(engine)
+            for items in _reader_workloads(4, items=6):
+                scheduler.add_client(items, read_only=True)
+            report = scheduler.run()
+            return report, engine.registry.snapshot(), engine.clock.now_ns
+
+        assert run() == run()
+
+    def test_pure_reader_mix_takes_no_locks(self):
+        engine = _engine()
+        for i in range(8):
+            engine.insert(b"seed%02d" % i, b"x" * 24)
+        scheduler = Scheduler(engine)
+        for items in _reader_workloads(3, items=5):
+            scheduler.add_client(items, read_only=True)
+        report = scheduler.run()
+        assert report["commits"] == 15
+        assert report["aborts"] == 0
+        # The run never even instantiated the lock manager.
+        assert engine._lock_manager is None
+
+    def test_mixed_readers_and_writers_deterministic(self):
+        def run():
+            engine = _engine()
+            for i in range(8):
+                engine.insert(b"seed%02d" % i, b"x" * 24)
+            scheduler = Scheduler(engine)
+            for items in _hot_workloads(2, items=4):
+                scheduler.add_client(items)
+            for items in _reader_workloads(2, items=5):
+                scheduler.add_client(items, read_only=True)
+            report = scheduler.run()
+            return report, engine.registry.snapshot(), engine.clock.now_ns
+
+        assert run() == run()

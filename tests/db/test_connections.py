@@ -93,3 +93,50 @@ class TestConcurrentConnections:
             conn.execute("BEGIN")  # still one txn per connection
         conn.execute("ROLLBACK")
         conn.close()
+
+
+class TestReadOnlyConnections:
+    def test_read_only_connection_reads_committed_data(self, db):
+        db.execute("INSERT INTO t VALUES (1, 'one')")
+        with db.connect("snap", read_only=True) as conn:
+            assert conn.execute("SELECT v FROM t WHERE id = 1").rows == \
+                [("one",)]
+
+    def test_read_only_connection_rejects_writes(self, db):
+        from repro.core import TransactionError
+
+        with db.connect("snap", read_only=True) as conn:
+            with pytest.raises(TransactionError):
+                conn.execute("INSERT INTO t VALUES (2, 'nope')")
+
+    def test_read_only_connection_never_blocks_on_writer(self, db):
+        # A writer holding an X lock on the row's page cannot stall a
+        # snapshot connection — it reads the committed version instead.
+        db.execute("INSERT INTO t VALUES (1, 'orig')")
+        writer = db.connect("writer")
+        writer.execute("BEGIN")
+        writer.execute("UPDATE t SET v = 'dirty' WHERE id = 1")
+        with db.connect("snap", read_only=True) as conn:
+            assert conn.execute("SELECT v FROM t WHERE id = 1").rows == \
+                [("orig",)]
+            writer.execute("COMMIT")
+            # Autocommit snapshots pin per statement: the next SELECT
+            # begins a fresh snapshot at the new commit frontier.
+            assert conn.execute("SELECT v FROM t WHERE id = 1").rows == \
+                [("dirty",)]
+        writer.close()
+
+    def test_read_only_transaction_pins_one_snapshot(self, db):
+        db.execute("INSERT INTO t VALUES (1, 'orig')")
+        conn = db.connect("snap", read_only=True)
+        conn.execute("BEGIN")
+        assert conn.execute("SELECT v FROM t WHERE id = 1").rows == \
+            [("orig",)]
+        db.execute("UPDATE t SET v = 'newer' WHERE id = 1")
+        # Same BEGIN … COMMIT scope: still the pinned snapshot.
+        assert conn.execute("SELECT v FROM t WHERE id = 1").rows == \
+            [("orig",)]
+        conn.execute("COMMIT")
+        assert conn.execute("SELECT v FROM t WHERE id = 1").rows == \
+            [("newer",)]
+        conn.close()
