@@ -45,6 +45,11 @@ SEED = 7
 #: MVCC snapshots (identical workloads; the delta is locking cost).
 MVCC_CLIENT_COUNTS = (4, 8)
 MVCC_KEY_SPACE = 100
+#: Shard sweep: 8 clients on disjoint per-shard key pools over 1/2/4
+#: independent pagestores (only the commit-mark schemes shard).
+SHARD_SCHEMES = ("fast", "fastplus")
+SHARD_COUNTS = (1, 2, 4)
+SHARD_CLIENTS = 8
 
 
 def _summarize(result):
@@ -75,11 +80,34 @@ def _summarize_mvcc(result):
     return summary
 
 
+def _summarize_sharded(result):
+    """The comparable (and committed) slice of one sharded run."""
+    return {
+        "shards": result["shards"],
+        "clients": result["clients"],
+        "commits": result["commits"],
+        "aborts": result["aborts"],
+        "retries": result["retries"],
+        "steps": result["steps"],
+        "elapsed_ns": result["elapsed_ns"],
+        "busy_ns": [round(b, 3) for b in result["busy_ns"]],
+        "parallel_elapsed_ns": round(result["parallel_elapsed_ns"], 3),
+        "throughput_tps": round(result["throughput_tps"], 3),
+        "serial_throughput_tps": round(result["serial_throughput_tps"], 3),
+        "speedup_vs_one_shard": round(result["speedup_vs_one_shard"], 3),
+        "records": result["records"],
+        "twopc_commits": result["counters"]["twopc.commit"],
+    }
+
+
 def run_grid():
-    from repro.bench.multiclient import run_multi_client, run_read_mostly
+    from repro.bench.multiclient import (
+        run_multi_client, run_read_mostly, sweep_shards,
+    )
 
     grid = {"workload": {"items_per_client": ITEMS, "seed": SEED},
-            "client_sweep": {}, "mix_sweep": {}, "mvcc_sweep": {}}
+            "client_sweep": {}, "mix_sweep": {}, "mvcc_sweep": {},
+            "shard_sweep": {}}
     for scheme in SCHEMES:
         grid["client_sweep"][scheme] = [
             _summarize(run_multi_client(
@@ -100,6 +128,14 @@ def run_grid():
             ))
             for count in MVCC_CLIENT_COUNTS
             for mvcc in (False, True)
+        ]
+    for scheme in SHARD_SCHEMES:
+        grid["shard_sweep"][scheme] = [
+            _summarize_sharded(row)
+            for row in sweep_shards(
+                scheme, shard_counts=SHARD_COUNTS,
+                clients=SHARD_CLIENTS, items=ITEMS, seed=SEED,
+            )
         ]
     return grid
 
@@ -126,6 +162,16 @@ def _print_grid(grid):
             )
             for r in rows
         ))
+    print("shard sweep (%d clients, disjoint per-shard pools): modeled "
+          "parallel throughput" % SHARD_CLIENTS)
+    for scheme in SHARD_SCHEMES:
+        rows = grid["shard_sweep"][scheme]
+        print("  %-9s " % scheme + "  ".join(
+            "%ds %8.0f tps (%.2fx)" % (
+                r["shards"], r["throughput_tps"], r["speedup_vs_one_shard"],
+            )
+            for r in rows
+        ))
 
 
 def main(argv=None):
@@ -139,7 +185,32 @@ def main(argv=None):
                         help="rewrite %s" % BASELINE_PATH.name)
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="also dump the results ('-' = stdout)")
+    parser.add_argument("--shards", metavar="N", type=int, default=None,
+                        help="skip the grid: one sharded run over N "
+                             "pagestores (8 clients, disjoint pools)")
     args = parser.parse_args(argv)
+
+    if args.shards is not None:
+        from repro.bench.multiclient import run_sharded_multi_client
+
+        result = run_sharded_multi_client(
+            "fastplus", shards=args.shards, clients=SHARD_CLIENTS,
+            items=ITEMS, seed=SEED,
+        )
+        summary = _summarize_sharded(dict(result, speedup_vs_one_shard=0.0))
+        del summary["speedup_vs_one_shard"]
+        print("fastplus over %d shard(s): %d commits, %8.0f modeled tps "
+              "(serial %8.0f)" % (
+                  result["shards"], result["commits"],
+                  result["throughput_tps"], result["serial_throughput_tps"],
+              ))
+        if args.json == "-":
+            print(json.dumps(summary, indent=2, sort_keys=True))
+        elif args.json:
+            pathlib.Path(args.json).write_text(
+                json.dumps(summary, indent=2, sort_keys=True) + "\n"
+            )
+        return 0
 
     grid = run_grid()
     _print_grid(grid)
@@ -167,7 +238,8 @@ def main(argv=None):
             print("multiclient MISMATCH: results differ from %s — "
                   "concurrency behavior changed (run --update if intended)"
                   % BASELINE_PATH.name, file=sys.stderr)
-            for section in ("client_sweep", "mix_sweep", "mvcc_sweep"):
+            for section in ("client_sweep", "mix_sweep", "mvcc_sweep",
+                            "shard_sweep"):
                 for scheme in SCHEMES:
                     got = grid[section].get(scheme)
                     want = (baseline.get(section) or {}).get(scheme)

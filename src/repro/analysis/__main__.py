@@ -31,7 +31,7 @@ def main(argv=None):
     parser.add_argument("--lint", action="store_true",
                         help="run the static rules (PM001-PM005)")
     parser.add_argument("--trace-check", action="store_true",
-                        help="run the dynamic corpora (TC101-TC106)")
+                        help="run the dynamic corpora (TC101-TC108)")
     parser.add_argument("--self-test", action="store_true",
                         help="verify every rule fires on its known-bad "
                              "fixture")

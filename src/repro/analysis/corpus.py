@@ -19,9 +19,16 @@ invariants apply to:
   ≤ its pinned snapshot timestamp;
 * :func:`run_crash_swept` — the crash-injection sweep with a checker
   riding along on every budgeted run: ordering violations surface even
-  at executions that happen to recover correctly.
+  at executions that happen to recover correctly;
+* :func:`run_sharded_scheduled` — clients over a sharded router with
+  single- and cross-shard transactions, adding the 2PC invariant
+  (TC108: no shard commit mark before its prepare record and the
+  coordinator decision) plus per-shard flush/atomic checkers scoped to
+  each shard's own log and commit word;
+* :func:`run_sharded_crash_swept` — the cross-shard crash sweep with a
+  TC108-armed checker on every budgeted run.
 
-``python -m repro.analysis --trace-check`` runs all three and merges
+``python -m repro.analysis --trace-check`` runs all of them and merges
 the findings.
 """
 
@@ -183,6 +190,98 @@ def run_crash_swept(scheme, *, items=6, stride=7, max_points=40):
     return findings, stats
 
 
+def run_sharded_scheduled(scheme, *, shards=2, clients=4, items=10,
+                          cross_ratio=0.25, config=None):
+    """Clients over a sharded router, mixing single-shard and 2PC
+    cross-shard transactions, with TC108 armed.
+
+    One global checker reads the merged trace for the 2PL + 2PC
+    invariants; additionally each shard gets a checker scoped to *its*
+    log range and commit word for the flush/atomic ordering rules —
+    other shards' stores fall outside its geometry and are ignored, so
+    per-shard commit discipline is checked shard by shard off one
+    interleaved event stream.
+    """
+    from repro.bench.multiclient import sharded_client_workload
+    from repro.core.scheduler import Scheduler
+    from repro.storage.sharding import ShardRouter
+
+    config = config or SystemConfig(**_SMALL_CONFIG)
+    router = ShardRouter.create(config, shards, scheme=scheme)
+    checkers = [TraceChecker(router.trace, invariants=("twopl", "twopc"))]
+    for shard in router.shards:
+        checkers.append(TraceChecker.for_engine(
+            shard, invariants=("flush", "atomic"), shared_trace=True,
+        ))
+
+    def drain(_client):
+        for checker in checkers:
+            checker.advance()
+
+    scheduler = Scheduler(router, on_step=drain)
+    for index in range(clients):
+        scheduler.add_client(sharded_client_workload(
+            index, items=items, cross_ratio=cross_ratio,
+            key_space=20, read_ratio=0.2,
+        ))
+    scheduler.run()
+    findings = []
+    for checker in checkers:
+        findings.extend(checker.finish())
+    stats = {
+        "txns": 0,
+        "events": checkers[0].stats["events"],
+        "findings": len(findings),
+    }
+    router.obs.inc("analysis.trace.events", stats["events"])
+    router.obs.inc("analysis.trace.findings", stats["findings"])
+    return findings, stats
+
+
+def run_sharded_crash_swept(scheme, *, shards=2, stride=9, max_points=30):
+    """The cross-shard crash sweep with a TC108-armed checker on every
+    budgeted run (same shape as :func:`run_crash_swept`: each checker
+    observes its run up to the crash, recovery itself is unchecked, and
+    sweep failures surface as TC000 so a broken execution can never
+    report a clean trace)."""
+    from repro.analysis.findings import Finding
+    from repro.bench.multiclient import sharded_client_workload
+    from repro.testing.crashsim import run_sharded_crash_sweep
+
+    checkers = []
+
+    def factory(router):
+        checker = TraceChecker(
+            router.obs.trace, invariants=("twopl", "twopc"),
+        )
+        checkers.append(checker)
+        return checker
+
+    workloads = [
+        sharded_client_workload(
+            index, items=3, cross_ratio=0.5, key_space=8, read_ratio=0.2,
+        )
+        for index in range(2)
+    ]
+    failures = run_sharded_crash_sweep(
+        scheme, workloads, shards=shards, stride=stride, seeds=(0,),
+        max_points=max_points, checker_factory=factory,
+    )
+    findings = []
+    stats = {"txns": 0, "events": 0, "findings": 0}
+    for checker in checkers:
+        findings.extend(checker.finish())
+        for key in stats:
+            stats[key] += checker.stats[key]
+    for budget, result in failures:
+        findings.append(Finding(
+            "TC000",
+            "sharded crash sweep violation at budget %d: %s"
+            % (budget, "; ".join(result.violations)),
+        ))
+    return findings, stats
+
+
 def run_all(schemes=SCHEMES):
     """Every corpus over every scheme; returns ``(findings, stats)``."""
     findings = []
@@ -201,4 +300,6 @@ def run_all(schemes=SCHEMES):
         merge(run_scheduled(scheme))
         merge(run_mvcc_scheduled(scheme))
         merge(run_crash_swept(scheme))
+        merge(run_sharded_scheduled(scheme))
+        merge(run_sharded_crash_swept(scheme))
     return findings, totals

@@ -168,6 +168,39 @@ def _tc107_read():
     return checker.finish()
 
 
+def _tc108():
+    # A shard commit mark with no prepare record behind it.
+    checker = _ordering_checker()
+    checker.feed([
+        (1, 0.0, ev.TWOPC_PREPARE, 7, 0),
+        (2, 0.0, ev.TWOPC_DECISION, 7, (2 << 1) | 1),
+        (3, 0.0, ev.TWOPC_COMMIT, 7, 0),
+        (4, 0.0, ev.TWOPC_COMMIT, 7, 1),  # shard 1 never prepared
+    ])
+    return checker.finish()
+
+
+def _tc108_decision():
+    # A shard commit mark before any coordinator decision persisted.
+    checker = _ordering_checker()
+    checker.feed([
+        (1, 0.0, ev.TWOPC_PREPARE, 7, 0),
+        (2, 0.0, ev.TWOPC_COMMIT, 7, 0),
+    ])
+    return checker.finish()
+
+
+def _tc108_abort():
+    # A shard commit mark against an abort decision.
+    checker = _ordering_checker()
+    checker.feed([
+        (1, 0.0, ev.TWOPC_PREPARE, 7, 0),
+        (2, 0.0, ev.TWOPC_DECISION, 7, (1 << 1) | 0),
+        (3, 0.0, ev.TWOPC_COMMIT, 7, 0),
+    ])
+    return checker.finish()
+
+
 DYNAMIC_FIXTURES = {
     "TC101": _tc101,
     "TC102": _tc102,
@@ -178,6 +211,9 @@ DYNAMIC_FIXTURES = {
     "TC106": _tc106,
     "TC107": _tc107,
     "TC107-read": _tc107_read,
+    "TC108": _tc108,
+    "TC108-decision": _tc108_decision,
+    "TC108-abort": _tc108_abort,
 }
 
 

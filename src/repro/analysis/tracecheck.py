@@ -33,7 +33,16 @@ ordering theorem *as it executes*:
     version chains — and every ``snapshot_read`` it performs must
     resolve a version with commit timestamp ≤ its pinned snapshot
     timestamp (reading a younger version would break snapshot
-    isolation).
+    isolation).  A sharded reader pins one snapshot per shard touched
+    (several ``snapshot_begin`` events per sid); the checker keeps the
+    newest pin.
+``TC108`` (two-phase commit ordering)
+    A shard's 2PC commit mark (``twopc_commit``) must be preceded by
+    that shard's prepare record (``twopc_prepare``) AND the
+    coordinator's *commit* decision (``twopc_decision``) for the same
+    global transaction; a commit mark against an abort decision, or a
+    commit decision recorded before every participant prepared, is a
+    half-committed transaction waiting for a crash.
 
 Harness protocol: call :meth:`begin_txn` (with fresh live ranges)
 before each transaction and :meth:`advance` after it; or just
@@ -49,7 +58,7 @@ from repro.obs import trace as ev
 _WORD = 8
 
 #: Everything the checker can assert; pick a subset per corpus.
-ALL_INVARIANTS = ("flush", "atomic", "live", "twopl", "snapshot")
+ALL_INVARIANTS = ("flush", "atomic", "live", "twopl", "snapshot", "twopc")
 
 
 def _lines_of(addr, length):
@@ -69,7 +78,8 @@ class TraceChecker:
     """Streaming checker over a trace event sequence."""
 
     def __init__(self, trace=None, *, log_range=None, commit_word=None,
-                 page_range=None, invariants=ALL_INVARIANTS):
+                 page_range=None, invariants=ALL_INVARIANTS,
+                 shared_trace=False):
         self.trace = trace
         self.findings = []
         self.invariants = frozenset(invariants)
@@ -77,6 +87,13 @@ class TraceChecker:
         self.log_range = log_range
         #: Address of the 8-byte commit word (TC102).
         self.commit_word = commit_word
+        #: The trace interleaves several engines (a sharded router's
+        #: merged stream) and this checker is scoped to one of them: a
+        #: COMMIT_MARK with no in-scope commit-word store belongs to
+        #: another shard and is skipped, not a TC102 finding.  Safe
+        #: because a shard's word store and its mark are adjacent in
+        #: the stream (both happen inside one cooperative commit step).
+        self.shared_trace = shared_trace
         #: [base, end) of the page arena incl. the store header
         #: (TC103 scope).
         self.page_range = page_range
@@ -96,13 +113,16 @@ class TraceChecker:
         self._waits = {}          # sid -> (resource, mode)
         # -- MVCC snapshot state --------------------------------------
         self._snapshot_ts = {}    # sid -> pinned snapshot timestamp
+        # -- 2PC state ------------------------------------------------
+        self._twopc = {}          # gtid -> {prepared, decision, committed}
 
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
 
     @classmethod
-    def for_engine(cls, engine, *, invariants=ALL_INVARIANTS):
+    def for_engine(cls, engine, *, invariants=ALL_INVARIANTS,
+                   shared_trace=False):
         """A checker scoped to ``engine``'s arena geometry."""
         config = engine.config
         log_range = None
@@ -120,6 +140,7 @@ class TraceChecker:
             commit_word=commit_word,
             page_range=page_range,
             invariants=invariants,
+            shared_trace=shared_trace,
         )
 
     @staticmethod
@@ -258,11 +279,19 @@ class TraceChecker:
         elif kind in (ev.TXN_COMMIT, ev.TXN_ABORT):
             self._on_txn_end(seq, a, committed=kind == ev.TXN_COMMIT)
         elif kind == ev.SNAPSHOT_BEGIN:
-            self._snapshot_ts[a] = b
+            # A sharded reader pins per shard (max: the newest pin).
+            previous = self._snapshot_ts.get(a)
+            self._snapshot_ts[a] = b if previous is None else max(previous, b)
         elif kind == ev.SNAPSHOT_READ:
             self._on_snapshot_read(seq, a, b)
         elif kind == ev.SNAPSHOT_END:
             self._snapshot_ts.pop(a, None)
+        elif kind == ev.TWOPC_PREPARE:
+            self._twopc_state(a)["prepared"].add(b)
+        elif kind == ev.TWOPC_DECISION:
+            self._on_twopc_decision(seq, a, b)
+        elif kind == ev.TWOPC_COMMIT:
+            self._on_twopc_commit(seq, a, b)
 
     # ------------------------------------------------------------------
     # TC101 / TC102 — flush coverage and mark atomicity
@@ -302,6 +331,8 @@ class TraceChecker:
             self._pending_swap = None  # flushed + fenced: sanctioned
 
     def _on_commit_mark(self, seq):
+        if self.shared_trace and self._word_store is None:
+            return  # another shard's mark: out of scope
         if "flush" in self.invariants and self.log_range is not None:
             bad = sorted(
                 line for line, state in self._line_state.items()
@@ -471,6 +502,62 @@ class TraceChecker:
                 "snapshot session %d read a version committed at ts %d "
                 "> its snapshot ts %d (snapshot isolation violated)"
                 % (sid, version_ts, snapshot_ts),
+                trace_seq=seq,
+            ))
+
+    # ------------------------------------------------------------------
+    # TC108 — two-phase commit ordering
+    # ------------------------------------------------------------------
+
+    def _twopc_state(self, gtid):
+        state = self._twopc.get(gtid)
+        if state is None:
+            state = self._twopc[gtid] = {
+                "prepared": set(),     # shard indexes with a prepare record
+                "decision": None,      # (participants, commit?) once decided
+                "committed": set(),    # shard indexes with a commit mark
+            }
+        return state
+
+    def _on_twopc_decision(self, seq, gtid, word):
+        state = self._twopc_state(gtid)
+        participants, commit = word >> 1, bool(word & 1)
+        state["decision"] = (participants, commit)
+        if "twopc" not in self.invariants:
+            return
+        if commit and len(state["prepared"]) < participants:
+            self.findings.append(Finding(
+                "TC108",
+                "commit decision for gtid %d with %d/%d participants "
+                "prepared" % (gtid, len(state["prepared"]), participants),
+                trace_seq=seq,
+            ))
+
+    def _on_twopc_commit(self, seq, gtid, shard):
+        state = self._twopc_state(gtid)
+        state["committed"].add(shard)
+        if "twopc" not in self.invariants:
+            return
+        if shard not in state["prepared"]:
+            self.findings.append(Finding(
+                "TC108",
+                "shard %d commit mark for gtid %d with no prepare record"
+                % (shard, gtid),
+                trace_seq=seq,
+            ))
+        decision = state["decision"]
+        if decision is None:
+            self.findings.append(Finding(
+                "TC108",
+                "shard %d commit mark for gtid %d before the coordinator "
+                "decision" % (shard, gtid),
+                trace_seq=seq,
+            ))
+        elif not decision[1]:
+            self.findings.append(Finding(
+                "TC108",
+                "shard %d commit mark for gtid %d against an abort "
+                "decision" % (shard, gtid),
                 trace_seq=seq,
             ))
 

@@ -16,6 +16,7 @@ invocations).
 """
 
 import random
+from zlib import crc32
 
 from repro.bench.harness import build_config
 from repro.core import open_engine
@@ -194,3 +195,188 @@ def sweep_read_mostly(scheme, *, counts=(2, 4, 8), mvcc=False, **kwargs):
         run_read_mostly(scheme, clients=count, mvcc=mvcc, **kwargs)
         for count in counts
     ]
+
+
+# ----------------------------------------------------------------------
+# Sharded scaling: disjoint workloads over N independent pagestores
+# ----------------------------------------------------------------------
+
+#: Key pools per workload — the lcm of the swept shard counts (1, 2, 4),
+#: so each pool maps to exactly one shard at *every* swept count.
+_POOL_COUNT = 4
+
+
+def _pool_keys(pool, count):
+    """The first ``count`` keys of key pool ``pool``.
+
+    Keys are pool-*prefixed* (``s<pool>k...``), so the pools occupy
+    lexically disjoint ranges and never share tree pages within a
+    shard, and pool-*hashed* (only candidates with ``crc32 % 4 ==
+    pool`` are kept — the same hash the router shards by), so all of
+    pool ``p``'s keys land on shard ``p % shards`` at every swept shard
+    count (1, 2, 4 all divide 4).  The workload bytes stay identical
+    across a shard sweep; only the placement changes.
+    """
+    keys = []
+    i = 0
+    while len(keys) < count:
+        key = b"s%dk%05d" % (pool, i)
+        if crc32(key) % _POOL_COUNT == pool:
+            keys.append(key)
+        i += 1
+    return keys
+
+
+def shard_pool_keys(key_space):
+    """``_POOL_COUNT`` disjoint key pools of ``key_space`` keys each."""
+    return [_pool_keys(pool, key_space) for pool in range(_POOL_COUNT)]
+
+
+def sharded_client_workload(client_index, *, items=50, read_ratio=0.5,
+                            key_space=50, seed=7, record_size=48,
+                            cross_ratio=0.0):
+    """Workload for one client of a sharded run: the client's home key
+    pool is ``client_index % 4``, so at ``clients >= shards`` every
+    shard stays busy and (with ``cross_ratio=0``) no transaction ever
+    crosses shards — the near-linear-scaling regime.  Clients sharing a
+    pool work disjoint ``key_space``-sized slices of it, so the sweep
+    measures placement, not lock luck.
+
+    ``cross_ratio`` is the probability a write item instead becomes a
+    two-pool transaction (home pool + the next pool over, which lives
+    on a *different* shard at every swept shard count > 1) — the 2PC
+    regime.
+    """
+    slice_index = client_index // _POOL_COUNT
+    lo = slice_index * key_space
+    home = _pool_keys(client_index % _POOL_COUNT, lo + key_space)[lo:]
+    away = _pool_keys((client_index + 1) % _POOL_COUNT, lo + key_space)[lo:]
+    rng = random.Random(seed * 1000 + client_index)
+    payload = bytes(
+        (client_index * 31 + i) % 256 for i in range(record_size)
+    )
+    workload = []
+    for item_no in range(items):
+        key = home[rng.randrange(key_space)]
+        if rng.random() < read_ratio:
+            workload.append(("search", key, None))
+            continue
+        if rng.random() < cross_ratio:
+            workload.append(("txn", [
+                ("insert", key, payload),
+                ("insert", away[rng.randrange(key_space)], payload),
+            ]))
+            continue
+        ops = [("insert", key, payload)]
+        for _ in range(rng.randrange(3)):
+            extra = home[rng.randrange(key_space)]
+            if rng.random() < 0.25:
+                ops.append(("delete", extra, None))
+            else:
+                ops.append(("insert", extra, payload))
+        workload.append(("txn", ops))
+    return workload
+
+
+def run_sharded_multi_client(scheme, *, shards=1, clients=8, items=50,
+                             read_ratio=0.5, key_space=50, seed=7,
+                             read_ns=300.0, write_ns=300.0, record_size=48,
+                             preload=16, cross_ratio=0.0, config=None):
+    """One sharded contention run: N clients over a ``shards``-way
+    :class:`~repro.storage.sharding.ShardRouter`.
+
+    The cooperative scheduler serializes host execution, so the raw
+    ``elapsed_ns`` never shrinks with more shards.  What sharding buys
+    is *independence*: disjoint-shard work could run on parallel
+    hardware.  The run therefore attributes every simulated step's
+    clock advance to the stepped client's home shard (``busy_ns``) and
+    models parallel wall time as the *busiest single shard* —
+    ``throughput_tps`` is commits over that modeled span, while
+    ``serial_throughput_tps`` keeps the unmodeled single-thread figure
+    (identical to ``throughput_tps`` at one shard).  Cross-shard items
+    (``cross_ratio > 0``) are attributed to the home shard, consistent
+    with the coordinator running there.
+    """
+    from repro.storage.sharding import ShardRouter
+
+    config = config or build_config(
+        scheme, read_ns=read_ns, write_ns=write_ns,
+        ops=max(512, clients * items * 3), record_size=record_size,
+    )
+    router = ShardRouter.create(config, shards, scheme=scheme)
+    payload = bytes(record_size)
+    for pool in shard_pool_keys(key_space):
+        for key in pool[:preload]:
+            router.insert(key, payload, replace=True)
+
+    home = [(index % _POOL_COUNT) % shards for index in range(clients)]
+    busy = [0.0] * shards
+    clock = router.clock
+    last = [0.0]
+
+    def on_step(client):
+        now = clock.now_ns
+        busy[home[client.index]] += now - last[0]
+        last[0] = now
+
+    scheduler = Scheduler(router, on_step=on_step)
+    for index in range(clients):
+        scheduler.add_client(
+            sharded_client_workload(
+                index, items=items, read_ratio=read_ratio,
+                key_space=key_space, seed=seed, record_size=record_size,
+                cross_ratio=cross_ratio,
+            )
+        )
+    snapshot = router.obs.snapshot()
+    last[0] = clock.now_ns
+    report = scheduler.run()
+    delta = router.obs.since(snapshot)
+    counters = delta["registry"]["counters"]
+    parallel_ns = max(busy) if max(busy) > 0 else report["elapsed_ns"]
+    return {
+        "scheme": scheme,
+        "shards": shards,
+        "clients": clients,
+        "items_per_client": items,
+        "read_ratio": read_ratio,
+        "cross_ratio": cross_ratio,
+        "seed": seed,
+        "commits": report["commits"],
+        "aborts": report["aborts"],
+        "deadlocks": report["deadlocks"],
+        "timeouts": report["timeouts"],
+        "retries": report["retries"],
+        "steps": report["steps"],
+        "elapsed_ns": report["elapsed_ns"],
+        "busy_ns": busy,
+        "parallel_elapsed_ns": parallel_ns,
+        "throughput_tps": (
+            report["commits"] / parallel_ns * 1e9 if parallel_ns else 0.0
+        ),
+        "serial_throughput_tps": report["throughput_tps"],
+        "records": router.verify(),
+        "counters": {
+            name: counters.get(name, 0)
+            for name in _COUNTERS + (
+                "twopc.prepare", "twopc.decision", "twopc.commit",
+            )
+        },
+        "per_client": report["per_client"],
+    }
+
+
+def sweep_shards(scheme, *, shard_counts=(1, 2, 4), **kwargs):
+    """Modeled-parallel throughput vs. shard count on the *same*
+    workload bytes (see :func:`shard_pool_keys`).  Each row gains
+    ``speedup_vs_one_shard`` relative to the first count swept."""
+    runs = [
+        run_sharded_multi_client(scheme, shards=count, **kwargs)
+        for count in shard_counts
+    ]
+    base = runs[0]["throughput_tps"]
+    for run in runs:
+        run["speedup_vs_one_shard"] = (
+            run["throughput_tps"] / base if base else 0.0
+        )
+    return runs

@@ -64,14 +64,22 @@ class SystemConfig:
     lock_timeout_ns: float = 2_000_000.0
     lock_retry_backoff_ns: float = 50_000.0
     max_txn_retries: int = 64
+    #: Shard support: a sharded deployment carves one PM arena into N
+    #: per-shard sub-arenas, each described by a copy of this config
+    #: with ``base_offset`` pointing at its slice.  The default (0)
+    #: keeps every existing single-engine layout byte-identical.
+    base_offset: int = 0
+    #: Size of the per-shard two-phase-commit prepare region appended
+    #: after the heap (0 = absent; only sharded engines allocate one).
+    twopc_bytes: int = 0
 
     # ------------------------------------------------------------------
-    # Arena layout: [page store | slot-header log | NVWAL heap]
+    # Arena layout: [page store | slot-header log | NVWAL heap | 2PC]
     # ------------------------------------------------------------------
 
     @property
     def store_base(self):
-        return 0
+        return self.base_offset
 
     @property
     def store_bytes(self):
@@ -79,15 +87,22 @@ class SystemConfig:
 
     @property
     def log_base(self):
-        return self.store_bytes
+        return self.base_offset + self.store_bytes
 
     @property
     def heap_base(self):
-        return self.store_bytes + self.log_bytes
+        return self.base_offset + self.store_bytes + self.log_bytes
+
+    @property
+    def twopc_base(self):
+        return self.heap_base + self.heap_bytes
 
     @property
     def arena_bytes(self):
-        return self.store_bytes + self.log_bytes + self.heap_bytes
+        return (
+            self.store_bytes + self.log_bytes + self.heap_bytes
+            + self.twopc_bytes
+        )
 
     def with_latency(self, read_ns=None, write_ns=None):
         """A copy with overridden PM latencies (sweep helper)."""

@@ -34,6 +34,7 @@ from repro.obs import trace as ev
 from repro.pm.memory import CACHE_LINE
 from repro.storage.defrag import defragment_into
 from repro.wal.slot_header_log import SlotHeaderLog
+from repro.wal.twopc import PrepareRegion
 
 
 class FASTContext:
@@ -258,14 +259,21 @@ class FASTEngine(Engine):
     def __init__(self, config, pm, store):
         super().__init__(config, pm, store)
         self.log = None
+        #: 2PC prepare region (sharded deployments only; see
+        #: ``repro.wal.twopc`` / ``repro.storage.sharding``).
+        self.twopc = None
 
     def _format(self):
         self.log = SlotHeaderLog.format(self.pm, self.config.log_base,
                                         self.config.log_bytes)
+        if self.config.twopc_bytes:
+            self.twopc = PrepareRegion.format(self.pm, self.config.twopc_base)
 
     def _attach_regions(self):
         self.log = SlotHeaderLog.attach(self.pm, self.config.log_base,
                                         self.config.log_bytes)
+        if self.config.twopc_bytes:
+            self.twopc = PrepareRegion.attach(self.pm, self.config.twopc_base)
 
     def _new_context(self, session=None):
         return FASTContext(self, session=session)
@@ -291,6 +299,18 @@ class FASTEngine(Engine):
 
     def _commit_logged(self, ctx):
         """The slot-header logging commit (paper Figures 3-5)."""
+        self._stage_and_flush(ctx)
+        with self.obs.span("atomic_commit"):
+            self.log.commit(self.next_seq())
+        # Eager checkpoint: apply the logged headers to the pages right
+        # away so other transactions never read the log (Section 3.3).
+        with self.obs.span("checkpoint"):
+            self._checkpoint(ctx)
+        self._finish(ctx)
+
+    def _stage_and_flush(self, ctx):
+        """Front half shared by the logged commit and the 2PC prepare:
+        everything a commit mark would depend on becomes durable."""
         # New pages are unreachable until the commit mark, so their
         # headers are applied directly (Figure 4 step 3: the sibling is
         # fully built in place, never logged).
@@ -307,17 +327,51 @@ class FASTEngine(Engine):
             for slot, page_no in ctx.root_updates.items():
                 self.log.stage_root_update(slot, page_no)
             self.log.write_frames()
-        # Everything the commit mark depends on becomes durable here.
         with self.obs.span("log_flush"):
             self.log.flush_frames()
             self.pm.sfence()
-        with self.obs.span("atomic_commit"):
-            self.log.commit(self.next_seq())
-        # Eager checkpoint: apply the logged headers to the pages right
-        # away so other transactions never read the log (Section 3.3).
-        with self.obs.span("checkpoint"):
-            self._checkpoint(ctx)
-        self._finish(ctx)
+
+    # -- two-phase commit (sharded deployments only) -----------------------
+
+    def prepare_commit(self, ctx, gtid, shard_index):
+        """2PC phase one: persist this shard's redo frames and the
+        prepare record, but *not* the commit word — the frames stay
+        invisible until :meth:`commit_prepared` publishes them.
+        Returns the log sequence number the commit will use."""
+        with self.obs.phase("commit"):
+            versions = self._versions
+            if versions is not None and versions.capture_active:
+                versions.publish_pm_commit(ctx)
+            self.commit_page_counts.append(len(ctx.dirty) + len(ctx.new_pages))
+            with self.obs.span("misc"):
+                self.clock.advance(self.pm.cost.pager_commit_ns)
+            self._stage_and_flush(ctx)
+            seq = self.next_seq()
+            self.twopc.prepare(gtid, seq, self.log.staged_bytes)
+            self.obs.event(ev.TWOPC_PREPARE, gtid, shard_index)
+            return seq
+
+    def commit_prepared(self, ctx, gtid, seq, shard_index):
+        """2PC phase two on one shard: publish the commit mark the
+        prepare withheld, clear the prepare record, checkpoint."""
+        with self.obs.phase("commit"):
+            with self.obs.span("atomic_commit"):
+                self.log.commit(seq)
+            self.obs.inc("twopc.commit")
+            self.obs.event(ev.TWOPC_COMMIT, gtid, shard_index)
+            # From the mark on, plain single-shard recovery suffices:
+            # the prepare record has done its job.
+            self.twopc.clear()
+            with self.obs.span("checkpoint"):
+                self._checkpoint(ctx)
+            self._finish(ctx)
+
+    def abort_prepared(self, ctx):
+        """Back out of a prepare that will not commit (another shard
+        failed to prepare): the frames are durable but unpublished, so
+        dropping the staged state and clearing the record aborts."""
+        self.log.discard()
+        self.twopc.clear()
 
     def _checkpoint(self, ctx):
         applied = 0

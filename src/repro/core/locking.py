@@ -288,29 +288,36 @@ class LockManager:
         Deterministic: edges are expanded in grant-insertion order, so
         identical histories find identical cycles.
         """
-        edges = self.wait_edges()
-        path = [owner]
-        on_path = {owner}
-        visited = set()
+        return find_cycle(self.wait_edges(), owner)
 
-        def visit(node):
-            for blocker in edges.get(node, ()):
-                if blocker == owner:
+
+def find_cycle(edges, owner):
+    """The cycle through ``owner`` in the wait-for graph ``edges``
+    ({waiter: (blockers...)}), as an owner list, or None.  Shared by
+    :meth:`LockManager.find_deadlock` and the sharded lock facade
+    (which merges per-shard edges before searching)."""
+    path = [owner]
+    on_path = {owner}
+    visited = set()
+
+    def visit(node):
+        for blocker in edges.get(node, ()):
+            if blocker == owner:
+                return True
+            if blocker in on_path or blocker in visited:
+                continue
+            if blocker in edges:
+                path.append(blocker)
+                on_path.add(blocker)
+                if visit(blocker):
                     return True
-                if blocker in on_path or blocker in visited:
-                    continue
-                if blocker in edges:
-                    path.append(blocker)
-                    on_path.add(blocker)
-                    if visit(blocker):
-                        return True
-                    on_path.discard(path.pop())
-                visited.add(blocker)
-            return False
+                on_path.discard(path.pop())
+            visited.add(blocker)
+        return False
 
-        if visit(owner):
-            return list(path)
-        return None
+    if visit(owner):
+        return list(path)
+    return None
 
 
 class LockingContext:
@@ -337,6 +344,9 @@ class LockingContext:
         self.__dict__["_locks"] = session.lock_manager
         self.__dict__["_owner"] = session.sid
         self.__dict__["_store"] = session.engine.store
+        # Sharded sessions namespace their resource ids (shard << 24)
+        # so per-shard locks stay distinct in a merged wait-for graph.
+        self.__dict__["_ns"] = session.resource_namespace
         self.__dict__["op_mutated"] = False
 
     # -- lock plumbing ----------------------------------------------------
@@ -350,7 +360,9 @@ class LockingContext:
 
     def lock_root(self, slot, mode):
         """Intent lock on a tree's root slot (taken per operation)."""
-        self._locks.acquire(self._owner, root_resource(slot), mode)
+        self._locks.acquire(
+            self._owner, root_resource(self._ns | slot), mode
+        )
 
     def _page_no(self, page):
         page_no = getattr(page, "page_no", None)
@@ -360,7 +372,7 @@ class LockingContext:
 
     def _xlock_page(self, page):
         self._locks.acquire(
-            self._owner, page_resource(self._page_no(page)), LOCK_X
+            self._owner, page_resource(self._ns | self._page_no(page)), LOCK_X
         )
 
     # -- view protocol -----------------------------------------------------
@@ -372,7 +384,7 @@ class LockingContext:
         return self._inner.root_page_no(slot)
 
     def page(self, page_no):
-        self._lock(page_resource(page_no), LOCK_S)
+        self._lock(page_resource(self._ns | page_no), LOCK_S)
         return self._inner.page(page_no)
 
     # -- mutation protocol -------------------------------------------------
@@ -397,17 +409,17 @@ class LockingContext:
     def allocate_page(self, page_type):
         page_no, page = self._inner.allocate_page(page_type)
         # A fresh page is uncontended: the grant cannot conflict.
-        self._lock(page_resource(page_no), LOCK_X)
+        self._lock(page_resource(self._ns | page_no), LOCK_X)
         self.__dict__["op_mutated"] = True
         return page_no, page
 
     def free_page(self, page_no):
-        self._lock(page_resource(page_no), LOCK_X)
+        self._lock(page_resource(self._ns | page_no), LOCK_X)
         self._inner.free_page(page_no)
         self.__dict__["op_mutated"] = True
 
     def set_root(self, slot, page_no):
-        self._lock(root_resource(slot), LOCK_X)
+        self._lock(root_resource(self._ns | slot), LOCK_X)
         self._inner.set_root(slot, page_no)
         self.__dict__["op_mutated"] = True
 
@@ -417,9 +429,9 @@ class LockingContext:
         self.__dict__["op_mutated"] = True
 
     def defragment(self, page_no):
-        self._lock(page_resource(page_no), LOCK_X)
+        self._lock(page_resource(self._ns | page_no), LOCK_X)
         fresh_no, fresh = self._inner.defragment(page_no)
-        self._lock(page_resource(fresh_no), LOCK_X)
+        self._lock(page_resource(self._ns | fresh_no), LOCK_X)
         self.__dict__["op_mutated"] = True
         return fresh_no, fresh
 

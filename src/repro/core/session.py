@@ -28,7 +28,7 @@ class Session:
     """One client's transaction scope on a shared engine."""
 
     def __init__(self, engine, sid, name, *, lock_manager=None,
-                 read_only=False):
+                 read_only=False, quiet=False, resource_namespace=0):
         self.engine = engine
         self.sid = sid
         self.name = name
@@ -37,6 +37,15 @@ class Session:
         #: carry no lock manager and acquire zero locks (no IS/S
         #: traffic at all) — reads resolve against version chains.
         self.read_only = read_only
+        #: Quiet sessions are inner per-shard legs of a sharded
+        #: transaction: the router emits one *global* TXN event and
+        #: outcome counter per transaction, so the legs suppress
+        #: theirs (lock events still flow — they are per shard).
+        self.quiet = quiet
+        #: OR-ed into every lock resource id this session constructs,
+        #: so per-shard resources stay distinct in the global
+        #: wait-for graph (0 = unsharded, ids unchanged).
+        self.resource_namespace = resource_namespace
         self.segment_name = "session.%s" % name
         #: Per-session obs labels ("session.<name>.commit" ...).
         self.obs = engine.obs.labeled("session.%s" % name)
@@ -75,8 +84,9 @@ class Session:
             )
         txn = Transaction(self.engine, session=self)
         self._txn = txn
-        self.engine.obs.inc("engine.txn.begin")
-        self.engine.obs.event(ev.TXN_BEGIN, self.sid)
+        if not self.quiet:
+            self.engine.obs.inc("engine.txn.begin")
+            self.engine.obs.event(ev.TXN_BEGIN, self.sid)
         return txn
 
     def _wrap_context(self, ctx):
@@ -107,6 +117,8 @@ class Session:
             # TXN_COMMIT/TXN_ABORT event, mirroring the lock-release
             # ordering) and let the watermark GC reclaim versions.
             self.engine.version_manager.end_snapshot(txn.ctx)
+        if self.quiet:
+            return
         self.obs.inc("commit" if committed else "abort")
         self.engine.obs.event(
             ev.TXN_COMMIT if committed else ev.TXN_ABORT, self.sid

@@ -42,6 +42,9 @@ COUNTERS = frozenset({
     "sched.retry", "sched.deadlock", "sched.timeout",
     # storage/versions.py — MVCC snapshot reads over version chains
     "mvcc.snapshot_reads", "mvcc.gc_reclaimed",
+    # wal/twopc.py + storage/sharding.py — cross-shard two-phase commit
+    "twopc.prepare", "twopc.decision", "twopc.commit",
+    "twopc.resolve.commit", "twopc.resolve.abort",
     # analysis/corpus.py — trace-checker harness bookkeeping
     "analysis.trace.txns", "analysis.trace.events",
     "analysis.trace.findings",
@@ -57,9 +60,12 @@ GAUGES = frozenset({
 #: ``session.`` covers the per-session labeled counters
 #: (``session.<name>.commit`` / ``.abort``); ``phase.`` covers the
 #: per-segment histograms the clock observer files automatically.
+#: ``shard.`` covers the per-shard labeled counters the shard router
+#: files (``shard.<index>.commit`` / ``.abort``).
 PREFIXES = (
     "session.",
     "phase.",
+    "shard.",
 )
 
 #: Short names passed to labeled obs handles (``obs.labeled(prefix)``)

@@ -73,6 +73,15 @@ SNAPSHOT_READ = "snapshot_read"      # a=sid, b=version commit timestamp
 SNAPSHOT_END = "snapshot_end"        # a=sid
 MVCC_GC = "mvcc_gc"                  # a=versions reclaimed, b=watermark
 
+# Cross-shard two-phase-commit events (emitted by the shard router
+# only — unsharded engines record none of these).  ``a`` is always the
+# global transaction id (gtid).  For the decision event ``b`` packs
+# (participant count << 1) | commit bit; for prepare/commit marks
+# ``b`` is the shard index.
+TWOPC_PREPARE = "twopc_prepare"      # a=gtid, b=shard index
+TWOPC_DECISION = "twopc_decision"    # a=gtid, b=(participants<<1)|commit
+TWOPC_COMMIT = "twopc_commit"        # a=gtid, b=shard index
+
 KINDS = (
     STORE, CLFLUSH, CLWB, FENCE,
     RTM_BEGIN, RTM_COMMIT, RTM_ABORT,
@@ -81,6 +90,7 @@ KINDS = (
     LOCK_ACQUIRE, LOCK_UPGRADE, LOCK_RELEASE, LOCK_WAIT, LOCK_WAKE,
     TXN_BEGIN, TXN_COMMIT, TXN_ABORT,
     SNAPSHOT_BEGIN, SNAPSHOT_READ, SNAPSHOT_END, MVCC_GC,
+    TWOPC_PREPARE, TWOPC_DECISION, TWOPC_COMMIT,
 )
 
 ABORT_TRANSIENT = 0

@@ -14,7 +14,10 @@ from repro.testing.crashsim import (
     CrashTestResult,
     crash_points_in,
     run_crash_sweep,
+    run_sharded_crash_sweep,
+    run_sharded_to_crash_point,
     run_to_crash_point,
+    sharded_crash_points_in,
 )
 
 __all__ = [
@@ -24,5 +27,8 @@ __all__ = [
     "CrashablePM",
     "crash_points_in",
     "run_crash_sweep",
+    "run_sharded_crash_sweep",
+    "run_sharded_to_crash_point",
     "run_to_crash_point",
+    "sharded_crash_points_in",
 ]

@@ -469,6 +469,153 @@ def run_scheduler_crash_sweep(scheme, workloads, *, config=None, stride=1,
     return failures
 
 
+# ----------------------------------------------------------------------
+# Crash injection through the sharded router (cross-shard 2PC)
+# ----------------------------------------------------------------------
+
+
+def _build_sharded(config, scheme, nshards):
+    from repro.storage.sharding import ShardRouter, total_arena_bytes
+
+    pm = CrashablePM(
+        total_arena_bytes(config, nshards),
+        latency=config.latency,
+        cost=config.cost,
+        atomic_granularity=config.atomic_granularity,
+        cache_lines=config.cache_lines,
+    )
+    return ShardRouter.create(config, nshards, scheme=scheme, pm=pm), pm
+
+
+def run_sharded_to_crash_point(scheme, workloads, budget, *, shards=2,
+                               config=None, policy=None, seed=0,
+                               checker_factory=None):
+    """Crash an N-client run over a sharded router after ``budget``
+    armed memory events, recover (resolving in-doubt 2PC participants
+    from the prepare/decision records), and validate.
+
+    The validation is the same exact-state comparison as the unsharded
+    scheduler harness — which is precisely what makes it a 2PC
+    conformance check: a transaction whose commit marks landed on some
+    shards but not others recovers to a state that is neither the
+    committed prefix nor prefix-plus-whole-in-flight-item, and fails
+    as an atomicity blend.
+    """
+    from repro.core.scheduler import Scheduler
+    from repro.storage.sharding import ShardRouter
+
+    config = config or SystemConfig(**_SMALL_CONFIG)
+    router, pm = _build_sharded(config, scheme, shards)
+    checker = checker_factory(router) if checker_factory is not None else None
+    scheduler = Scheduler(
+        router, cleanup_on_error=False,
+        on_step=None if checker is None else lambda _client: checker.advance(),
+    )
+    for workload in workloads:
+        items, read_only = _client_spec(workload)
+        scheduler.add_client(items, read_only=read_only)
+    crashed = False
+    pm.budget = budget
+    pm.events = 0
+    pm.armed = True
+    try:
+        scheduler.run()
+    except CrashPoint:
+        crashed = True
+    finally:
+        pm.armed = False
+        if checker is not None:
+            checker.close()  # seal at the crash; recovery is unchecked
+
+    committed = _scheduled_model(scheduler.clients, scheduler.commit_order)
+
+    if not crashed:
+        recovered = {k: v for k, v in router.scan()}
+        result = CrashTestResult(False, committed, (), recovered)
+        _validate(router, result, strict_inflight=False)
+        return result
+
+    inflight = ()
+    running = scheduler.running_client
+    if running is not None and not running.finished:
+        writes = _writes_of(running.items[running.item_idx])
+        if writes:
+            inflight = ("txn", writes)
+
+    pm.crash(policy or RandomPersist(rng=random.Random(seed)))
+    try:
+        router = ShardRouter.attach(config, shards, pm, scheme=scheme)
+        recovered = {k: v for k, v in router.scan()}
+    except Exception as err:  # corruption can crash recovery itself
+        result = CrashTestResult(True, committed, inflight, {})
+        result.violations.append(
+            "recovery crashed: %s: %s" % (type(err).__name__, err)
+        )
+        return result
+    result = CrashTestResult(True, committed, inflight, recovered)
+    # All-or-nothing across shards: after attach, no shard may carry a
+    # leftover prepare record and the coordinator must be clear.
+    for shard in router.shards:
+        if shard.twopc.prepared() is not None:
+            result.violations.append(
+                "2PC: prepare record survived recovery on a shard"
+            )
+    if router.coordinator.decided_commit() is not None:
+        result.violations.append("2PC: decision record survived recovery")
+    _validate(router, result, strict_inflight=True)
+    return result
+
+
+def sharded_crash_points_in(scheme, workloads, *, shards=2, config=None):
+    """Armed memory events in a full sharded run (the sweep range)."""
+    from repro.core.scheduler import Scheduler
+
+    config = config or SystemConfig(**_SMALL_CONFIG)
+    router, pm = _build_sharded(config, scheme, shards)
+    scheduler = Scheduler(router, cleanup_on_error=False)
+    for workload in workloads:
+        items, read_only = _client_spec(workload)
+        scheduler.add_client(items, read_only=read_only)
+    pm.budget = None
+    pm.events = 0
+    pm.armed = True
+    scheduler.run()
+    pm.armed = False
+    return pm.events
+
+
+def run_sharded_crash_sweep(scheme, workloads, *, shards=2, config=None,
+                            stride=1, seeds=(0, 1), policies=None,
+                            max_points=None, checker_factory=None):
+    """Crash the sharded multi-client run at every ``stride``-th memory
+    event — which enumerates every instant between redo-frame writes,
+    prepare records, the coordinator decision, and the per-shard commit
+    marks — and validate all-shards-or-none recovery at each.  Returns
+    the failing ``CrashTestResult`` list (empty = conformant)."""
+    total = sharded_crash_points_in(
+        scheme, workloads, shards=shards, config=config,
+    )
+    budgets = list(range(1, total + 1, stride))
+    if max_points is not None and len(budgets) > max_points:
+        step = max(1, len(budgets) // max_points)
+        budgets = budgets[::step]
+    failures = []
+    for budget in budgets:
+        if policies is not None:
+            runs = [(None, policy) for policy in policies]
+        else:
+            runs = [(seed, None) for seed in seeds]
+        for seed, policy in runs:
+            result = run_sharded_to_crash_point(
+                scheme, workloads, budget, shards=shards,
+                config=config, policy=policy, seed=seed or budget,
+                checker_factory=checker_factory,
+            )
+            if not result.ok:
+                failures.append((budget, result))
+    return failures
+
+
 def run_crash_sweep(scheme, workload, *, config=None, stride=1, seeds=(0, 1),
                     policies=None, max_points=None, checker_factory=None):
     """Crash the workload at every ``stride``-th memory event under

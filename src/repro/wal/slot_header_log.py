@@ -107,6 +107,11 @@ class SlotHeaderLog:
     def staged_frames(self):
         return len(self._staged)
 
+    @property
+    def staged_bytes(self):
+        """Bytes the staged frames occupy (the commit word's tail)."""
+        return self._staged_bytes
+
     def write_frames(self):
         """Store all staged frames into the log region (no flushes —
         the paper's "update slot header" step happens without cache
@@ -149,6 +154,20 @@ class SlotHeaderLog:
     # ------------------------------------------------------------------
     # Recovery
     # ------------------------------------------------------------------
+
+    def restore_commit(self, seq, tail):
+        """Re-publish the commit word from a saved (seq, tail) pair.
+
+        The in-doubt-commit path of 2PC recovery: the shard's frames
+        are already durable (its prepare persisted them) but the crash
+        hit before this shard's commit mark; the coordinator's
+        decision says commit, so the mark is re-issued here and the
+        normal recovery replay takes over."""
+        word = (seq << 32) | tail
+        self.pm.write_u64(self.base + _OFF_COMMIT, word)
+        self.pm.persist(self.base + _OFF_COMMIT, 8)
+        self.pm.obs.inc("log.commit_mark")
+        self.pm.obs.event(ev.COMMIT_MARK, seq, tail)
 
     def committed_seq(self):
         """Sequence number of the committed-but-unapplied txn (0 if none)."""

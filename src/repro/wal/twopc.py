@@ -1,0 +1,143 @@
+"""Two-phase-commit durability records for sharded deployments.
+
+A cross-shard transaction cannot use the single-shard commit protocol:
+each shard's 8-byte commit word *is* that shard's commit mark, so
+publishing it on one shard before the global outcome is decided would
+let a crash commit half a transaction.  Instead the shard router runs
+classic presumed-abort 2PC over two tiny PM records:
+
+:class:`PrepareRegion` (one per shard, after the shard's heap)::
+
+    +0   u32  magic
+    +8   u64  prepare word:  low 32 bits = staged frame bytes ("tail"),
+              high 32 bits = global transaction id (gtid)
+    +16  u64  log sequence number the prepared txn will commit with
+
+A shard *prepares* by writing + flushing + fencing its redo frames
+exactly as a normal commit would, then — instead of the commit word —
+publishing the prepare word with one 8-byte-atomic store (the seq word
+is persisted first, so a valid prepare word always finds a valid seq).
+The frames are durable but *invisible*: the shard's log still carries
+commit word 0, so a crash before the global decision recovers the
+shard to its pre-transaction state for free.
+
+:class:`CoordinatorLog` (one per arena, after the last shard)::
+
+    +0   u32  magic
+    +8   u64  decision word:  (gtid << 8) | 1  — commit decision
+              (0 = no decision on record)
+
+Presumed abort: only *commit* decisions are ever persisted.  Recovery
+finding a prepared shard with no matching decision word aborts it by
+clearing the prepare word — the frames become garbage exactly like an
+uncommitted single-shard crash.  A prepared shard whose gtid matches
+the decision word is in doubt the other way: the coordinator decided
+commit, so recovery re-publishes the shard's commit word from the
+saved (seq, tail) pair and replays the frames.
+
+The decision word is cleared only after every participant's commit
+mark is durable, and recovery always ends with a clear decision word
+and clear prepare words — so a single word per region suffices (at
+most one cross-shard transaction is ever between decision and
+completion, a property the cooperative scheduler guarantees).
+"""
+
+_MAGIC_PREPARE = 0x57A6_20C0
+_MAGIC_DECISION = 0x57A6_20C1
+
+_OFF_MAGIC = 0
+_OFF_WORD = 8
+_OFF_SEQ = 16
+
+#: Bytes each region needs (rounded up to a cache line by callers).
+PREPARE_REGION_BYTES = 24
+COORDINATOR_BYTES = 16
+
+
+class PrepareRegion:
+    """One shard's prepare record at ``base`` of a PM arena."""
+
+    def __init__(self, pm, base):
+        self.pm = pm
+        self.base = base
+
+    @classmethod
+    def format(cls, pm, base):
+        region = cls(pm, base)
+        pm.write_u32(base + _OFF_MAGIC, _MAGIC_PREPARE)
+        pm.write_u64(base + _OFF_WORD, 0)
+        pm.write_u64(base + _OFF_SEQ, 0)
+        pm.persist(base, PREPARE_REGION_BYTES)
+        return region
+
+    @classmethod
+    def attach(cls, pm, base):
+        if pm.read_u32(base + _OFF_MAGIC) != _MAGIC_PREPARE:
+            raise ValueError("no 2PC prepare region at %#x" % base)
+        return cls(pm, base)
+
+    def prepare(self, gtid, seq, tail):
+        """Durably record that this shard is prepared for ``gtid``:
+        its frames (``tail`` bytes) are persisted and would commit
+        with sequence number ``seq``.  The seq word is persisted
+        *before* the atomic prepare word — a valid word always finds
+        a valid seq."""
+        self.pm.write_u64(self.base + _OFF_SEQ, seq)
+        self.pm.persist(self.base + _OFF_SEQ, 8)
+        self.pm.write_u64(self.base + _OFF_WORD, (gtid << 32) | tail)
+        self.pm.persist(self.base + _OFF_WORD, 8)
+        self.pm.obs.inc("twopc.prepare")
+
+    def clear(self):
+        """Erase the prepare record (after commit, or to abort)."""
+        self.pm.write_u64(self.base + _OFF_WORD, 0)
+        self.pm.persist(self.base + _OFF_WORD, 8)
+
+    def prepared(self):
+        """``(gtid, seq, tail)`` of the on-record prepare, or None."""
+        word = self.pm.read_u64(self.base + _OFF_WORD)
+        if word == 0:
+            return None
+        return word >> 32, self.pm.read_u64(self.base + _OFF_SEQ), word & 0xFFFF_FFFF
+
+
+class CoordinatorLog:
+    """The arena-wide commit-decision record at ``base``."""
+
+    def __init__(self, pm, base):
+        self.pm = pm
+        self.base = base
+
+    @classmethod
+    def format(cls, pm, base):
+        log = cls(pm, base)
+        pm.write_u32(base + _OFF_MAGIC, _MAGIC_DECISION)
+        pm.write_u64(base + _OFF_WORD, 0)
+        pm.persist(base, COORDINATOR_BYTES)
+        return log
+
+    @classmethod
+    def attach(cls, pm, base):
+        if pm.read_u32(base + _OFF_MAGIC) != _MAGIC_DECISION:
+            raise ValueError("no 2PC coordinator log at %#x" % base)
+        return cls(pm, base)
+
+    def decide_commit(self, gtid):
+        """Durably publish the commit decision for ``gtid`` (the
+        transaction's global commit point): one 8-byte-atomic store,
+        flushed and fenced before any shard's commit mark."""
+        self.pm.write_u64(self.base + _OFF_WORD, (gtid << 8) | 1)
+        self.pm.persist(self.base + _OFF_WORD, 8)
+        self.pm.obs.inc("twopc.decision")
+
+    def clear(self):
+        """Erase the decision (after every participant committed)."""
+        self.pm.write_u64(self.base + _OFF_WORD, 0)
+        self.pm.persist(self.base + _OFF_WORD, 8)
+
+    def decided_commit(self):
+        """The gtid with a commit decision on record, or None."""
+        word = self.pm.read_u64(self.base + _OFF_WORD)
+        if word & 1:
+            return word >> 8
+        return None

@@ -37,6 +37,30 @@ def test_crash_swept_corpus_is_clean():
     assert stats["events"] > 0
 
 
+def test_sharded_scheduled_corpus_is_clean_fast():
+    findings, stats = corpus.run_sharded_scheduled(
+        "fast", shards=2, clients=3, items=6,
+    )
+    assert findings == [], "\n".join(f.render() for f in findings)
+    assert stats["events"] > 0
+
+
+def test_sharded_scheduled_corpus_is_clean_fastplus():
+    findings, stats = corpus.run_sharded_scheduled(
+        "fastplus", shards=2, clients=3, items=6,
+    )
+    assert findings == [], "\n".join(f.render() for f in findings)
+    assert stats["events"] > 0
+
+
+def test_sharded_crash_swept_corpus_is_clean():
+    findings, stats = corpus.run_sharded_crash_swept(
+        "fast", shards=2, stride=13, max_points=10,
+    )
+    assert findings == [], "\n".join(f.render() for f in findings)
+    assert stats["events"] > 0
+
+
 def test_crash_sweep_checker_factory_hook():
     checkers = []
 

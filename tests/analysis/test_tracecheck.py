@@ -108,6 +108,90 @@ def test_tc107_gated_on_snapshot_invariant():
     assert checker.finish() == []
 
 
+def test_tc108_commit_mark_without_prepare():
+    got, expect = _run_fixture("tc108_commit_before_prepare.json")
+    assert got == expect
+
+
+def test_tc108_commit_mark_against_abort_decision():
+    got, expect = _run_fixture("tc108_commit_against_abort.json")
+    assert got == expect
+
+
+def test_tc108_commit_before_decision():
+    checker = TraceChecker(
+        None, log_range=LOG_RANGE, commit_word=COMMIT_WORD,
+        page_range=PAGE_RANGE,
+    )
+    checker.feed([
+        (1, 0.0, ev.TWOPC_PREPARE, 5, 0),
+        (2, 0.0, ev.TWOPC_COMMIT, 5, 0),
+    ])
+    assert [f.render() for f in checker.finish()] == [
+        "trace@2: TC108: shard 0 commit mark for gtid 5 before the "
+        "coordinator decision"
+    ]
+
+
+def test_tc108_premature_commit_decision():
+    checker = TraceChecker(
+        None, log_range=LOG_RANGE, commit_word=COMMIT_WORD,
+        page_range=PAGE_RANGE,
+    )
+    checker.feed([
+        (1, 0.0, ev.TWOPC_PREPARE, 5, 0),
+        (2, 0.0, ev.TWOPC_DECISION, 5, (2 << 1) | 1),  # 2 participants
+    ])
+    assert [f.render() for f in checker.finish()] == [
+        "trace@2: TC108: commit decision for gtid 5 with 1/2 "
+        "participants prepared"
+    ]
+
+
+def test_tc108_clean_two_phase_exchange():
+    checker = TraceChecker(
+        None, log_range=LOG_RANGE, commit_word=COMMIT_WORD,
+        page_range=PAGE_RANGE,
+    )
+    checker.feed([
+        (1, 0.0, ev.TWOPC_PREPARE, 5, 0),
+        (2, 0.0, ev.TWOPC_PREPARE, 5, 1),
+        (3, 0.0, ev.TWOPC_DECISION, 5, (2 << 1) | 1),
+        (4, 0.0, ev.TWOPC_COMMIT, 5, 0),
+        (5, 0.0, ev.TWOPC_COMMIT, 5, 1),
+    ])
+    assert checker.finish() == []
+
+
+def test_tc108_gated_on_twopc_invariant():
+    checker = TraceChecker(
+        None, log_range=LOG_RANGE, commit_word=COMMIT_WORD,
+        page_range=PAGE_RANGE, invariants=("twopl",),
+    )
+    checker.feed([
+        (1, 0.0, ev.TWOPC_COMMIT, 5, 0),
+    ])
+    assert checker.finish() == []
+
+
+def test_shared_trace_skips_foreign_commit_marks():
+    # Scoped to shard 0's geometry: shard 1's mark (no in-scope store
+    # to the commit word) is out of scope, shard 0's own unflushed-line
+    # violation still fires.
+    checker = TraceChecker(
+        None, log_range=LOG_RANGE, commit_word=COMMIT_WORD,
+        page_range=PAGE_RANGE, shared_trace=True,
+    )
+    checker.feed([
+        (1, 0.0, ev.COMMIT_MARK, 1, 0),      # another shard's mark
+        (2, 0.0, ev.STORE, 0x10040, 16),     # our log line, never flushed
+        (3, 0.0, ev.STORE, COMMIT_WORD, 8),
+        (4, 0.0, ev.COMMIT_MARK, 2, 0),      # ours: TC101 fires
+    ])
+    findings = [f.render() for f in checker.finish()]
+    assert len(findings) == 1 and "TC101" in findings[0]
+
+
 def test_disciplined_commit_produces_no_findings():
     got, expect = _run_fixture("tc_good_commit.json")
     assert got == expect == []

@@ -1,10 +1,17 @@
 """The multi-client contention benchmark driver."""
 
+import json
+import pathlib
+
 from repro.bench.multiclient import (
     client_workload,
     run_multi_client,
+    run_sharded_multi_client,
+    shard_pool_keys,
+    sharded_client_workload,
     sweep_clients,
     sweep_read_ratio,
+    sweep_shards,
 )
 
 
@@ -52,6 +59,101 @@ class TestRunMultiClient:
         result = run_multi_client("fastplus", clients=2, items=8)
         assert result["simulated_ns"] > 0
         assert result["throughput_tps"] > 0
+
+
+class TestShardedWorkload:
+    def test_deterministic_per_client(self):
+        assert sharded_client_workload(2, items=20) == \
+            sharded_client_workload(2, items=20)
+
+    def test_pools_are_router_hash_disjoint(self):
+        from zlib import crc32
+
+        pools = shard_pool_keys(30)
+        for pool, keys in enumerate(pools):
+            assert len(keys) == 30
+            assert all(crc32(key) % 4 == pool for key in keys)
+
+    def test_home_pool_only_without_cross_traffic(self):
+        from zlib import crc32
+
+        workload = sharded_client_workload(1, items=30, cross_ratio=0.0)
+        pools = set()
+        for item in workload:
+            if item[0] == "txn":
+                pools.update(crc32(key) % 4 for _, key, _ in item[1])
+            else:
+                pools.add(crc32(item[1]) % 4)
+        assert pools == {1}  # client 1's home pool, nothing else
+
+    def test_cross_traffic_reaches_second_pool(self):
+        from zlib import crc32
+
+        workload = sharded_client_workload(1, items=40, cross_ratio=1.0)
+        pools = set()
+        for item in workload:
+            if item[0] == "txn":
+                pools.update(crc32(key) % 4 for _, key, _ in item[1])
+        assert pools == {1, 2}
+
+
+class TestRunSharded:
+    def test_byte_identical_reruns(self):
+        a = run_sharded_multi_client("fast", shards=2, clients=4, items=8)
+        b = run_sharded_multi_client("fast", shards=2, clients=4, items=8)
+        assert a == b
+
+    def test_commits_invariant_across_shard_counts(self):
+        commits = {
+            shards: run_sharded_multi_client(
+                "fast", shards=shards, clients=4, items=8,
+            )["commits"]
+            for shards in (1, 2, 4)
+        }
+        assert commits[1] == commits[2] == commits[4] > 0
+
+    def test_cross_shard_txns_drive_twopc(self):
+        result = run_sharded_multi_client(
+            "fastplus", shards=2, clients=4, items=10, cross_ratio=1.0,
+        )
+        assert result["counters"]["twopc.decision"] > 0
+        assert result["counters"]["twopc.commit"] == \
+            result["counters"]["twopc.prepare"]
+
+    def test_disjoint_pools_skip_twopc(self):
+        result = run_sharded_multi_client(
+            "fast", shards=4, clients=4, items=10, cross_ratio=0.0,
+        )
+        assert result["counters"]["twopc.prepare"] == 0
+        assert all(b > 0 for b in result["busy_ns"])
+
+    def test_sweep_shards_shape(self):
+        rows = sweep_shards("fast", shard_counts=(1, 2), clients=4, items=6)
+        assert [r["shards"] for r in rows] == [1, 2]
+        assert rows[0]["speedup_vs_one_shard"] == 1.0
+        assert rows[1]["speedup_vs_one_shard"] > 0
+
+
+class TestCommittedShardBaseline:
+    """The acceptance floor rides on the committed baseline: 8 clients
+    on disjoint pools must scale >=1.7x at 2 shards and >=3x at 4."""
+
+    def _rows(self, scheme):
+        baseline = json.loads(
+            (pathlib.Path(__file__).resolve().parents[2] /
+             "BENCH_multiclient.json").read_text()
+        )
+        return baseline["shard_sweep"][scheme]
+
+    def test_fast_meets_scaling_floor(self):
+        rows = {r["shards"]: r for r in self._rows("fast")}
+        assert rows[2]["speedup_vs_one_shard"] >= 1.7
+        assert rows[4]["speedup_vs_one_shard"] >= 3.0
+
+    def test_fastplus_meets_scaling_floor(self):
+        rows = {r["shards"]: r for r in self._rows("fastplus")}
+        assert rows[2]["speedup_vs_one_shard"] >= 1.7
+        assert rows[4]["speedup_vs_one_shard"] >= 3.0
 
 
 class TestSweeps:

@@ -1,0 +1,95 @@
+"""2PC crash-sweep conformance: enumerate every crash point through
+cross-shard commits — including the windows between prepare records,
+the coordinator decision, and the per-shard commit marks — and require
+all-shards-or-none recovery at each."""
+
+import pytest
+
+from repro.testing.crashsim import (
+    run_sharded_crash_sweep,
+    run_sharded_to_crash_point,
+    sharded_crash_points_in,
+)
+
+#: One client whose middle item is a cross-shard transaction — by
+#: crc32, keys b"c00"/b"c04"/b"c01"/b"c05" land on shards 0/1/2/3 of 4
+#: (and alternate 0/1 at 2 shards) — so a stride-1 sweep walks
+#: straight through every 2PC window: each prepare record, the
+#: coordinator decision, and each per-shard commit mark.
+_CROSS_WORKLOAD = [[
+    ("insert", b"c02", b"p"),
+    ("txn", [
+        ("insert", b"c00", b"a"),
+        ("insert", b"c04", b"b"),
+        ("insert", b"c01", b"c"),
+        ("insert", b"c05", b"d"),
+    ]),
+    ("insert", b"c06", b"q"),
+]]
+
+_MIXED_WORKLOADS = [
+    [
+        ("txn", [("insert", b"w0a", b"1"), ("insert", b"w0b", b"2")]),
+        ("insert", b"w0c", b"3"),
+        ("txn", [("insert", b"w0d", b"4"), ("delete", b"w0a", None)]),
+    ],
+    [
+        ("insert", b"w1a", b"5"),
+        ("txn", [("insert", b"w1b", b"6"), ("insert", b"w1c", b"7")]),
+        ("search", b"w0c", None),
+    ],
+]
+
+
+class TestSweepMechanics:
+    def test_crash_points_enumerable(self):
+        total = sharded_crash_points_in("fast", _CROSS_WORKLOAD, shards=2)
+        assert total > 20  # prepare/decide/commit all emit memory events
+
+    def test_uncrashed_run_validates_clean(self):
+        total = sharded_crash_points_in("fast", _CROSS_WORKLOAD, shards=2)
+        result = run_sharded_to_crash_point(
+            "fast", _CROSS_WORKLOAD, total + 100, shards=2,
+        )
+        assert not result.crashed
+        assert result.ok, result.violations
+
+    def test_crashed_run_reports_committed_prefix(self):
+        result = run_sharded_to_crash_point(
+            "fast", _CROSS_WORKLOAD, 5, shards=2,
+        )
+        assert result.crashed
+        assert result.ok, result.violations
+
+
+@pytest.mark.parametrize("scheme", ("fast", "fastplus"))
+class TestTwoPhaseConformance:
+    def test_every_crash_point_recovers_all_or_nothing(self, scheme):
+        """The exhaustive enumeration (stride 1): no instant between
+        the first prepare store and the final commit-mark clear may
+        recover to a half-committed cross-shard transaction."""
+        failures = run_sharded_crash_sweep(
+            scheme, _CROSS_WORKLOAD, shards=2, stride=1, seeds=(0,),
+        )
+        assert failures == [], [
+            (budget, result.violations) for budget, result in failures[:5]
+        ]
+
+    def test_mixed_clients_survive_thinned_sweep(self, scheme):
+        failures = run_sharded_crash_sweep(
+            scheme, _MIXED_WORKLOADS, shards=2, stride=5, seeds=(0, 1),
+            max_points=40,
+        )
+        assert failures == [], [
+            (budget, result.violations) for budget, result in failures[:5]
+        ]
+
+
+def test_four_shard_sweep_with_adversarial_policy():
+    from repro.pm.crash import DropAll, PersistAll
+
+    failures = run_sharded_crash_sweep(
+        "fast", _CROSS_WORKLOAD, shards=4, stride=3,
+        policies=(PersistAll(), DropAll()), max_points=30,
+    )
+    assert failures == []
