@@ -50,6 +50,10 @@ MVCC_KEY_SPACE = 100
 SHARD_SCHEMES = ("fast", "fastplus")
 SHARD_COUNTS = (1, 2, 4)
 SHARD_CLIENTS = 8
+#: Group-commit sweep: per-txn durability cost (fences / commit marks /
+#: flushes) over group size x client count, size 0 = grouping off.
+GROUP_SIZES = (0, 2, 4)
+GROUP_CLIENTS = (2, 8)
 
 
 def _summarize(result):
@@ -80,6 +84,20 @@ def _summarize_mvcc(result):
     return summary
 
 
+def _summarize_group(result):
+    """The comparable (and committed) slice of one group-commit run."""
+    summary = _summarize(result)
+    summary["group_size"] = result["group_size"]
+    summary["fences_per_txn"] = round(result["fences_per_txn"], 3)
+    summary["marks_per_txn"] = round(result["marks_per_txn"], 3)
+    summary["flushes_per_txn"] = round(result["flushes_per_txn"], 3)
+    summary["group_closes"] = result["counters"]["group.close"]
+    summary["fence_reduction_vs_ungrouped"] = round(
+        result["fence_reduction_vs_ungrouped"], 3,
+    )
+    return summary
+
+
 def _summarize_sharded(result):
     """The comparable (and committed) slice of one sharded run."""
     return {
@@ -102,12 +120,13 @@ def _summarize_sharded(result):
 
 def run_grid():
     from repro.bench.multiclient import (
-        run_multi_client, run_read_mostly, sweep_shards,
+        run_multi_client, run_read_mostly, sweep_group_commit,
+        sweep_shards,
     )
 
     grid = {"workload": {"items_per_client": ITEMS, "seed": SEED},
             "client_sweep": {}, "mix_sweep": {}, "mvcc_sweep": {},
-            "shard_sweep": {}}
+            "shard_sweep": {}, "group_sweep": {}}
     for scheme in SCHEMES:
         grid["client_sweep"][scheme] = [
             _summarize(run_multi_client(
@@ -128,6 +147,13 @@ def run_grid():
             ))
             for count in MVCC_CLIENT_COUNTS
             for mvcc in (False, True)
+        ]
+        grid["group_sweep"][scheme] = [
+            _summarize_group(row)
+            for row in sweep_group_commit(
+                scheme, group_sizes=GROUP_SIZES, counts=GROUP_CLIENTS,
+                items=ITEMS, seed=SEED,
+            )
         ]
     for scheme in SHARD_SCHEMES:
         grid["shard_sweep"][scheme] = [
@@ -159,6 +185,16 @@ def _print_grid(grid):
             "%dc %-4s %8.0f tps (%d cf)" % (
                 r["clients"], "mvcc" if r["mvcc"] else "lock",
                 r["throughput_tps"], r["lock_conflicts"],
+            )
+            for r in rows
+        ))
+    print("group commit (size 0 = off): marginal fences per committed txn")
+    for scheme in SCHEMES:
+        rows = grid["group_sweep"][scheme]
+        print("  %-9s " % scheme + "  ".join(
+            "%dc/g%d %5.2f f/txn (%.2fx)" % (
+                r["clients"], r["group_size"], r["fences_per_txn"],
+                r["fence_reduction_vs_ungrouped"],
             )
             for r in rows
         ))
@@ -239,7 +275,7 @@ def main(argv=None):
                   "concurrency behavior changed (run --update if intended)"
                   % BASELINE_PATH.name, file=sys.stderr)
             for section in ("client_sweep", "mix_sweep", "mvcc_sweep",
-                            "shard_sweep"):
+                            "shard_sweep", "group_sweep"):
                 for scheme in SCHEMES:
                     got = grid[section].get(scheme)
                     want = (baseline.get(section) or {}).get(scheme)

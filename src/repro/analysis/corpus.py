@@ -8,11 +8,15 @@ invariants apply to:
   with full checking (flush coverage, mark atomicity, live-range
   protection refreshed from the committed state before every
   transaction);
+* :func:`run_group_commit` — the single-client workload with
+  epoch-pipelined group commit on: each group mark is checked exactly
+  like a transaction mark (every member's log lines flushed + fenced
+  before the one shared fence, the mark a single ≤8-byte store);
 * :func:`run_scheduled` — the multi-client contention bench under the
   deterministic scheduler, checking ordering plus strict 2PL off the
   lock/txn event stream (live ranges are per-transaction snapshots,
   which interleaving invalidates, so that invariant is out of scope
-  here);
+  here); ``run_all`` drives it both grouped and ungrouped;
 * :func:`run_mvcc_scheduled` — writers plus read-only MVCC sessions,
   adding the snapshot invariant (TC107): a read-only transaction must
   acquire zero locks and only resolve versions with commit timestamp
@@ -96,6 +100,27 @@ def run_single_client(scheme, *, items=30, config=None):
         txn = engine.transaction()
         _execute(txn, item)
         txn.commit()
+    findings = checker.finish()
+    return findings, _account(engine, checker)
+
+
+def run_group_commit(scheme, *, items=30, config=None):
+    """Full-invariant checked run with epoch-pipelined group commit on:
+    the single-client workload committing through shared fences and
+    ≤8-byte group marks.  TC101/TC102 validate every group mark — one
+    mark, every member's log lines flushed and fenced before it — and
+    the end-of-run drain closes the last epoch under the checker."""
+    config = config or SystemConfig(
+        group_commit=True, group_commit_size=4, **_SMALL_CONFIG
+    )
+    engine = open_engine(config, scheme=scheme)
+    checker = TraceChecker.for_engine(engine)
+    for item in _workload(items):
+        checker.begin_txn(TraceChecker.live_ranges_of(engine))
+        txn = engine.transaction()
+        _execute(txn, item)
+        txn.commit()
+    engine.drain_group_commit()
     findings = checker.finish()
     return findings, _account(engine, checker)
 
@@ -295,9 +320,14 @@ def run_all(schemes=SCHEMES):
         totals["findings"] += len(run_findings)
         totals["runs"] += 1
 
+    grouped = SystemConfig(
+        group_commit=True, group_commit_size=4, **_SMALL_CONFIG
+    )
     for scheme in schemes:
         merge(run_single_client(scheme))
+        merge(run_group_commit(scheme))
         merge(run_scheduled(scheme))
+        merge(run_scheduled(scheme, config=grouped))
         merge(run_mvcc_scheduled(scheme))
         merge(run_crash_swept(scheme))
         merge(run_sharded_scheduled(scheme))

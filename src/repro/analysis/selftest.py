@@ -94,6 +94,61 @@ def _tc102():
     return checker.finish()
 
 
+def _tc101_group():
+    # Group commit: two members share one epoch, but the second
+    # member's frames miss the shared fence (its flush would arrive
+    # only after the group mark) — dirty log lines at the mark.
+    checker = _ordering_checker()
+    checker.feed([
+        (1, 0.0, ev.STORE, 0x10040, 16),   # member 1 frames
+        (2, 0.0, ev.STORE, 0x10080, 16),   # member 2 frames
+        (3, 0.0, ev.CLFLUSH, 0x10040, 0),  # only member 1 flushed
+        (4, 0.0, ev.FENCE, 0, 0),          # the epoch's shared fence
+        (5, 0.0, ev.STORE, _WORD, 8),      # group mark word
+        (6, 0.0, ev.CLFLUSH, 0x10000, 0),
+        (7, 0.0, ev.FENCE, 0, 0),
+        (8, 0.0, ev.COMMIT_MARK, 2, 0),    # member 2 still dirty here
+    ])
+    return checker.finish()
+
+
+def _tc102_group():
+    # Group commit: a 16-byte group mark — the whole point of the
+    # shared mark is that it still fits one ≤8-byte atomic store.
+    checker = _ordering_checker()
+    checker.feed([
+        (1, 0.0, ev.STORE, 0x10040, 16),   # member 1 frames
+        (2, 0.0, ev.CLFLUSH, 0x10040, 0),
+        (3, 0.0, ev.STORE, 0x10080, 16),   # member 2 frames
+        (4, 0.0, ev.CLFLUSH, 0x10080, 0),
+        (5, 0.0, ev.FENCE, 0, 0),          # shared fence, both flushed
+        (6, 0.0, ev.STORE, _WORD, 16),     # 16-byte mark: not atomic
+        (7, 0.0, ev.CLFLUSH, 0x10000, 0),
+        (8, 0.0, ev.FENCE, 0, 0),
+        (9, 0.0, ev.COMMIT_MARK, 2, 0),
+    ])
+    return checker.finish()
+
+
+def _group_good():
+    # A well-formed epoch close: every member's frames flushed before
+    # the ONE shared fence, then a single ≤8-byte group mark.  Must
+    # produce zero findings — the checkers accept group marks.
+    checker = _ordering_checker()
+    checker.feed([
+        (1, 0.0, ev.STORE, 0x10040, 16),   # member 1 frames
+        (2, 0.0, ev.CLFLUSH, 0x10040, 0),
+        (3, 0.0, ev.STORE, 0x10080, 16),   # member 2 frames
+        (4, 0.0, ev.CLFLUSH, 0x10080, 0),
+        (5, 0.0, ev.FENCE, 0, 0),          # one fence for the group
+        (6, 0.0, ev.STORE, _WORD, 8),      # one 8-byte group mark
+        (7, 0.0, ev.CLFLUSH, 0x10000, 0),
+        (8, 0.0, ev.FENCE, 0, 0),
+        (9, 0.0, ev.COMMIT_MARK, 2, 0),
+    ])
+    return checker.finish()
+
+
 def _tc103():
     # A 32-byte pre-commit store straight onto live bytes.
     checker = _ordering_checker()
@@ -203,7 +258,9 @@ def _tc108_abort():
 
 DYNAMIC_FIXTURES = {
     "TC101": _tc101,
+    "TC101-group": _tc101_group,
     "TC102": _tc102,
+    "TC102-group": _tc102_group,
     "TC103": _tc103,
     "TC103-swap": _tc103_swap,
     "TC104": _tc104,
@@ -216,10 +273,16 @@ DYNAMIC_FIXTURES = {
     "TC108-abort": _tc108_abort,
 }
 
+#: Known-good traces that must produce ZERO findings — guards against
+#: a checker growing a false positive (e.g. rejecting group marks).
+GOOD_FIXTURES = {
+    "group-mark": _group_good,
+}
+
 
 def run():
     """Run every fixture; returns a list of failure strings (empty =
-    every rule still fires)."""
+    every rule still fires and no known-good trace is flagged)."""
     failures = []
     for rule, (module, source) in sorted(STATIC_FIXTURES.items()):
         findings = lint_source(source, file=module, module=module)
@@ -237,5 +300,12 @@ def run():
             failures.append(
                 "%s: expected exactly {%s} from its fixture, got %s"
                 % (name, rule, sorted(fired) or "nothing")
+            )
+    for name, fixture in sorted(GOOD_FIXTURES.items()):
+        findings = fixture()
+        if findings:
+            failures.append(
+                "%s: known-good trace produced findings: %s"
+                % (name, sorted({f.rule for f in findings}))
             )
     return failures

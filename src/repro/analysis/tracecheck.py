@@ -10,10 +10,20 @@ ordering theorem *as it executes*:
     since the last truncate must be flushed AND fenced — a dirty or
     in-flight log line at the mark means the mark could become durable
     before the frames it validates (paper Section 3.3's ordering).
+    This accepts *group* commit marks unchanged: with
+    ``SystemConfig.group_commit`` on, several transactions' frames
+    accumulate (written + flushed, unfenced) and one shared fence +
+    one mark covers them all — the invariant is exactly that every
+    member line reached the fence before the mark, however many
+    transactions the mark covers.
 ``TC102`` (atomic commit mark)
     The commit mark must be published by a single ≤8-byte store that
     does not cross an 8-byte-atomic word boundary (the hardware's
-    failure-atomic unit, Section 3.1).
+    failure-atomic unit, Section 3.1).  A group commit mark is the
+    same 8-byte (tail, seq) word with the tail spanning the members'
+    prefix — growing the mark beyond 8 bytes to describe the group
+    would break failure atomicity, and is exactly what this rule
+    rejects.
 ``TC103`` (no live overwrite)
     Before its commit mark, a transaction must never store into a live
     (committed-reachable) byte range of the FAST/FAST⁺ page space —

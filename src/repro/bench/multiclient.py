@@ -65,7 +65,8 @@ def client_workload(client_index, *, items=50, read_ratio=0.5,
 def run_multi_client(scheme, *, clients=4, items=50, read_ratio=0.5,
                      key_space=200, seed=7, read_ns=300.0, write_ns=300.0,
                      record_size=48, preload=64, config=None,
-                     checker_factory=None, readers=0, mvcc=False):
+                     checker_factory=None, readers=0, mvcc=False,
+                     extra_counters=()):
     """One contention run: N clients, shared engine, full report.
 
     ``checker_factory`` (optional) is called with the engine and must
@@ -135,7 +136,8 @@ def run_multi_client(scheme, *, clients=4, items=50, read_ratio=0.5,
         "throughput_tps": report["throughput_tps"],
         "records": engine.verify(),
         "counters": {
-            name: counters.get(name, 0) for name in _COUNTERS
+            name: counters.get(name, 0)
+            for name in _COUNTERS + tuple(extra_counters)
         },
         "per_client": report["per_client"],
     }
@@ -195,6 +197,87 @@ def sweep_read_mostly(scheme, *, counts=(2, 4, 8), mvcc=False, **kwargs):
         run_read_mostly(scheme, clients=count, mvcc=mvcc, **kwargs)
         for count in counts
     ]
+
+
+# ----------------------------------------------------------------------
+# Group commit: per-transaction durability cost vs. epoch size
+# ----------------------------------------------------------------------
+
+#: Durability counters reported by the group-commit sweep.  The obs
+#: snapshot in :func:`run_multi_client` is taken after create +
+#: preload, so these are *marginal* costs of the measured window —
+#: format-time fences do not dilute the per-transaction figures.
+_DURABILITY_COUNTERS = (
+    "pm.fence", "pm.flush", "log.commit_mark", "wal.commit_mark",
+    "group.join", "group.close",
+)
+
+
+def run_group_commit(scheme, *, group_size=0, clients=8, items=50,
+                     read_ratio=0.5, key_space=200, seed=7,
+                     read_ns=300.0, write_ns=300.0, record_size=48,
+                     **kwargs):
+    """One contention run with epoch-pipelined group commit on.
+
+    ``group_size=0`` runs with grouping off — the ungrouped baseline on
+    the *same* workload bytes.  The report gains the per-transaction
+    durability costs (``fences_per_txn``, ``marks_per_txn``,
+    ``flushes_per_txn``) derived from the marginal counter deltas over
+    the scheduled window; the scheduler drains the final epoch before
+    reporting, so deferred group work is fully accounted.
+    """
+    from dataclasses import replace
+
+    config = build_config(
+        scheme, read_ns=read_ns, write_ns=write_ns,
+        ops=max(512, clients * items * 3), record_size=record_size,
+    )
+    if group_size:
+        config = replace(
+            config, group_commit=True, group_commit_size=group_size,
+        )
+    result = run_multi_client(
+        scheme, clients=clients, items=items, read_ratio=read_ratio,
+        key_space=key_space, seed=seed, record_size=record_size,
+        config=config, extra_counters=_DURABILITY_COUNTERS, **kwargs,
+    )
+    counters = result["counters"]
+    commits = result["commits"]
+    marks = counters["log.commit_mark"] + counters["wal.commit_mark"]
+    result["group_size"] = group_size
+    result["fences_per_txn"] = (
+        counters["pm.fence"] / commits if commits else 0.0
+    )
+    result["marks_per_txn"] = marks / commits if commits else 0.0
+    result["flushes_per_txn"] = (
+        counters["pm.flush"] / commits if commits else 0.0
+    )
+    return result
+
+
+def sweep_group_commit(scheme, *, group_sizes=(0, 2, 4), counts=(2, 8),
+                       **kwargs):
+    """Per-txn durability cost over group size x client count.
+
+    ``group_sizes`` must start with 0 (or whatever row should serve as
+    the baseline): within each client count, every row gains
+    ``fence_reduction_vs_ungrouped`` relative to the first size swept.
+    """
+    rows = []
+    for count in counts:
+        base = None
+        for size in group_sizes:
+            row = run_group_commit(
+                scheme, group_size=size, clients=count, **kwargs,
+            )
+            if base is None:
+                base = row["fences_per_txn"]
+            row["fence_reduction_vs_ungrouped"] = (
+                base / row["fences_per_txn"] if row["fences_per_txn"]
+                else 0.0
+            )
+            rows.append(row)
+    return rows
 
 
 # ----------------------------------------------------------------------

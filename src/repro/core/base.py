@@ -50,6 +50,23 @@ class ReadView:
         return self.store.page(page_no)
 
 
+class GroupReadView(ReadView):
+    """Committed-state view while a group-commit epoch is open: epoch
+    members are committed (their headers are redo-logged, awaiting the
+    shared mark) but not yet checkpointed into the pages, so page and
+    root fetches go through the engine's overlay-aware fetch path."""
+
+    def __init__(self, engine):
+        super().__init__(engine.store)
+        self.engine = engine
+
+    def root_page_no(self, slot):
+        return self.engine._root(slot)
+
+    def page(self, page_no):
+        return self.engine._fetch_page(page_no)
+
+
 class Transaction:
     """A database transaction: a scheme context plus B-tree bindings.
 
@@ -254,6 +271,10 @@ class Engine:
     #: Concurrent sessions need transaction rollback; the naive
     #: in-place scheme cannot provide it and opts out.
     supports_sessions = True
+    #: The open group-commit epoch pipeline (``repro.core.epoch``);
+    #: ``None`` = grouping off, every commit fences for itself.
+    #: Schemes that support grouping construct one from the config.
+    group = None
 
     def __init__(self, config, pm, store):
         self.config = config
@@ -301,6 +322,9 @@ class Engine:
         engine._format()
         with engine.transaction() as txn:
             txn.create_tree(0)
+        # A fresh database is durable on return: the bootstrap commit
+        # must not sit in an open group-commit epoch (no-op otherwise).
+        engine.drain_group_commit()
         return engine
 
     @classmethod
@@ -343,7 +367,40 @@ class Engine:
 
     def read_view(self):
         """A view of committed state for searches/scans."""
+        if self.group is not None:
+            return GroupReadView(self)
         return ReadView(self.store)
+
+    def _fetch_page(self, page_no):
+        """The committed page, with any open-epoch member overlay
+        applied (grouping off: exactly the store fetch).  NVWAL
+        overrides this — its pages come from the DRAM buffer cache."""
+        page = self.store.page(page_no)
+        group = self.group
+        if group is not None:
+            image = group.pending_headers.get(page_no)
+            if image is not None:
+                page.overlay_header(image)
+        return page
+
+    def _root(self, slot):
+        """The committed root pointer, with any open-epoch member
+        overlay applied.  NVWAL overrides this (its WAL root table
+        overlays first)."""
+        group = self.group
+        if group is not None:
+            page_no = group.pending_roots.get(slot)
+            if page_no is not None:
+                return page_no
+        return self.store.root(slot)
+
+    def drain_group_commit(self):
+        """Close any open group-commit epoch: issue the shared fence
+        and publish the group mark covering every pending member.
+        No-op when grouping is off or the epoch is empty."""
+        if self.group is not None and self.group.member_count:
+            with self.obs.phase("commit"):
+                self.group.close()
 
     # ------------------------------------------------------------------
     # Public API
@@ -417,9 +474,10 @@ class Engine:
         """The live page as a snapshot read sees it.  For PM-resident
         schemes the committed-state page object suffices: pre-commit
         record writes sit in free space invisible to the durable
-        header.  NVWAL overrides this (its open writers apply headers
-        to shared DRAM frames before commit)."""
-        return self.store.page(page_no)
+        header (epoch-member overlays are committed state and apply).
+        NVWAL overrides this (its open writers apply headers to shared
+        DRAM frames before commit)."""
+        return self._fetch_page(page_no)
 
     def session(self, name=None, read_only=False):
         """Open a session (one concurrent client).
@@ -471,6 +529,12 @@ class Engine:
                 protected |= owned()
         if self._versions is not None and self._versions.capture_active:
             protected |= self._versions.pinned_pages()
+        if self.group is not None:
+            # Pages freed by epoch members: committed-free, but the
+            # pre-epoch durable tree still references them until the
+            # group mark — reclaiming them now would let a crash
+            # resurrect a reused page.
+            protected |= self.group.deferred_pages()
         return protected
 
     def insert(self, key, value, *, root_slot=0, replace=False):

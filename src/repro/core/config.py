@@ -72,6 +72,20 @@ class SystemConfig:
     #: Size of the per-shard two-phase-commit prepare region appended
     #: after the heap (0 = absent; only sharded engines allocate one).
     twopc_bytes: int = 0
+    #: Group commit (epoch-pipelined durability): committing sessions
+    #: stage + flush their frames, then *join* the current epoch
+    #: instead of fencing individually; the epoch closes with ONE
+    #: sfence and ONE ≤8B group commit mark covering every member.
+    #: Off by default — grouping-off runs are byte-identical to the
+    #: per-txn commit path.
+    group_commit: bool = False
+    #: Members that force an epoch close at the join that reaches it.
+    group_commit_size: int = 4
+    #: Simulated-ns age at which a joining commit closes the epoch
+    #: even below ``group_commit_size`` (0 = size-threshold only).
+    #: Evaluated at commit boundaries only, so scheduling stays
+    #: deterministic under the cooperative scheduler.
+    group_commit_window_ns: float = 0.0
 
     # ------------------------------------------------------------------
     # Arena layout: [page store | slot-header log | NVWAL heap | 2PC]

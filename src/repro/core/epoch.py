@@ -1,0 +1,143 @@
+"""Group commit: the per-engine epoch pipeline.
+
+Every committing transaction historically paid its own sfence + 8-byte
+commit mark.  With ``SystemConfig.group_commit`` on, a committing
+transaction instead *stages* its durable stores (record writes and log
+frames, written and flushed but **not fenced**) and then joins the
+engine's open *epoch*.  The epoch closes — at the join that reaches
+``group_commit_size`` members, at the first join after
+``group_commit_window_ns`` simulated nanoseconds, or at an explicit
+drain — with exactly ONE sfence covering every member's in-flight
+lines and ONE ≤8-byte group commit mark whose (seq, tail) covers the
+whole member prefix.  Recovery therefore sees the group atomically: a
+crash before the mark loses every open member, a crash after it
+replays all of them.  This is the amortization of "Persistent Memory
+Transactions" (Marathe et al.) and "Hardware Transactional Persistent
+Memory" (Giles et al.): fence and mark cost per transaction drops
+roughly with the group size.
+
+The pipeline itself is scheme-agnostic bookkeeping.  It holds:
+
+* ``members`` — one record per joined commit ({"seq", "reclaims",
+  "freed", ...}), whose post-mark housekeeping the engine defers to
+  the close;
+* ``pending_headers`` / ``pending_roots`` — the *visibility overlay*:
+  slot-header images and root pointers that are redo-logged (and will
+  be covered by the shared mark) but not yet applied to the pages.
+  Fresh page fetches between join and close install these so every
+  later transaction sees the members' committed state.
+
+The engine supplies the actual close sequence (fence, mark, coalesced
+checkpoint, deferred housekeeping) as the ``close`` callable; the
+pipeline only decides *when* and guards against re-entry (a close that
+triggers a checkpoint that would drain again).
+
+Everything here runs under the cooperative scheduler: thresholds are
+evaluated only at commit boundaries, so grouping is deterministic and
+byte-identical across reruns.
+"""
+
+
+class EpochPipeline:
+    """The open epoch of one engine (or of one shard's engine)."""
+
+    def __init__(self, clock, size, window_ns, close):
+        self.clock = clock
+        #: Member count that forces a close at the join reaching it.
+        self.size = max(1, size)
+        #: Simulated-ns age forcing a close at the next join (0 = off).
+        self.window_ns = window_ns
+        self._close_fn = close
+        self.members = []
+        #: page_no -> latest member slot-header image (overlay).
+        self.pending_headers = {}
+        #: root slot -> latest member root pointer (overlay).
+        self.pending_roots = {}
+        self._opened_ns = None
+        self._closing = False
+
+    # ------------------------------------------------------------------
+    # Joining
+    # ------------------------------------------------------------------
+
+    def join(self, member, headers=(), roots=()):
+        """Enqueue one committed transaction onto the open epoch.
+
+        ``member`` is the engine's deferred-housekeeping record (it
+        must at least carry ``"seq"``); ``headers`` and ``roots`` are
+        the member's visibility overlay entries — latest join wins, so
+        two members touching the same page leave the second's image.
+        """
+        if self._opened_ns is None:
+            self._opened_ns = self.clock.now_ns
+        self.members.append(member)
+        for page_no, image in headers:
+            self.pending_headers[page_no] = image
+        for slot, page_no in roots:
+            self.pending_roots[slot] = page_no
+
+    @property
+    def member_count(self):
+        return len(self.members)
+
+    def contains_seq(self, seq):
+        """Is the commit with sequence ``seq`` still awaiting its
+        shared mark (i.e. not yet durable)?"""
+        return any(member["seq"] == seq for member in self.members)
+
+    def deferred_pages(self):
+        """Pages whose frees are deferred to the close — committed-free
+        but still referenced by the pre-epoch durable tree, so neither
+        allocation nor GC may hand them out before the mark."""
+        pages = set()
+        for member in self.members:
+            pages.update(member.get("freed", ()))
+        return pages
+
+    # ------------------------------------------------------------------
+    # Closing
+    # ------------------------------------------------------------------
+
+    def should_close(self):
+        """Threshold check, evaluated at commit boundaries only."""
+        if not self.members:
+            return False
+        if len(self.members) >= self.size:
+            return True
+        return bool(
+            self.window_ns
+            and self.clock.now_ns - self._opened_ns >= self.window_ns
+        )
+
+    def maybe_close(self):
+        if self.should_close():
+            self.close()
+
+    def drain(self):
+        """Force-close the open epoch (end of run, explicit barrier)."""
+        if self.members:
+            self.close()
+
+    def close(self):
+        """Run the engine's close sequence once (re-entrancy guarded:
+        a close whose checkpoint would drain again is a no-op)."""
+        if self._closing or not self.members:
+            return
+        self._closing = True
+        try:
+            self._close_fn()
+        finally:
+            self._closing = False
+
+    def take(self):
+        """Hand the members over to the closing engine and reset.
+
+        Called by the engine's close *after* the shared mark and the
+        coalesced checkpoint have retired the overlay (the checkpoint
+        itself still reads ``pending_headers`` while applying)."""
+        members = self.members
+        self.members = []
+        self.pending_headers = {}
+        self.pending_roots = {}
+        self._opened_ns = None
+        return members

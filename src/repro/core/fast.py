@@ -29,6 +29,7 @@ Clock segments produced per transaction (mapped to the paper's bars):
 
 from repro.core.base import Engine
 from repro.core.config import FASTPLUS_LEAF_CAPACITY
+from repro.core.epoch import EpochPipeline
 from repro.htm.rtm import RTM
 from repro.obs import trace as ev
 from repro.pm.memory import CACHE_LINE
@@ -73,12 +74,12 @@ class FASTContext:
     def root_page_no(self, slot):
         if slot in self.root_updates:
             return self.root_updates[slot]
-        return self.store.root(slot)
+        return self.engine._root(slot)
 
     def page(self, page_no):
         page = self._pages.get(page_no)
         if page is None:
-            page = self.store.page(page_no)
+            page = self.engine._fetch_page(page_no)
             self._pages[page_no] = page
         return page
 
@@ -209,7 +210,7 @@ class FASTContext:
         for page_no, page in list(self._pages.items()):
             if page_no not in snapshot["pending"]:
                 if page.has_pending:
-                    page.discard_pending()
+                    self.engine._discard_page_pending(page_no, page)
                 self._pages.pop(page_no)
                 continue
             page.restore_pending(snapshot["pending"][page_no])
@@ -262,6 +263,11 @@ class FASTEngine(Engine):
         #: 2PC prepare region (sharded deployments only; see
         #: ``repro.wal.twopc`` / ``repro.storage.sharding``).
         self.twopc = None
+        if config.group_commit:
+            self.group = EpochPipeline(
+                pm.clock, config.group_commit_size,
+                config.group_commit_window_ns, self._close_epoch,
+            )
 
     def _format(self):
         self.log = SlotHeaderLog.format(self.pm, self.config.log_base,
@@ -295,7 +301,10 @@ class FASTEngine(Engine):
             self.commit_page_counts.append(len(ctx.dirty) + len(ctx.new_pages))
             with self.obs.span("misc"):
                 self.clock.advance(self.pm.cost.pager_commit_ns)
-            self._commit_logged(ctx)
+            if self.group is not None:
+                self._commit_grouped(ctx)
+            else:
+                self._commit_logged(ctx)
 
     def _commit_logged(self, ctx):
         """The slot-header logging commit (paper Figures 3-5)."""
@@ -308,9 +317,78 @@ class FASTEngine(Engine):
             self._checkpoint(ctx)
         self._finish(ctx)
 
-    def _stage_and_flush(self, ctx):
-        """Front half shared by the logged commit and the 2PC prepare:
-        everything a commit mark would depend on becomes durable."""
+    def _commit_grouped(self, ctx):
+        """Group commit: stage + flush this transaction's frames
+        *without* the fence, join the open epoch, and let the size /
+        window threshold decide when the shared fence and group mark
+        retire the whole member prefix (``_close_epoch``)."""
+        self._stage_and_flush(ctx, fence=False)
+        self._join_epoch(ctx, self.next_seq())
+        self.group.maybe_close()
+
+    def _join_epoch(self, ctx, seq, **extra):
+        """Enqueue a staged commit onto the open epoch: move its
+        frames under the future group mark, record the deferred
+        post-mark housekeeping, and install the visibility overlay so
+        every later fetch sees this member's committed state."""
+        member = {
+            "seq": seq,
+            "reclaims": [
+                (self.store.page_no_of(page), offset)
+                for page, offset in ctx.reclaims
+            ],
+            "freed": list(ctx.freed),
+        }
+        member.update(extra)
+        headers = [
+            (page_no, page.pending_header_image())
+            for page_no, page in ctx.dirty.items()
+        ]
+        self.log.join_group()
+        self.group.join(member, headers, ctx.root_updates.items())
+        #: Surfaced to sessions: ``Session.commit_durable`` reports
+        #: False until this seq's epoch closes.
+        ctx.commit_seq = seq
+        self.obs.inc("group.join")
+
+    def _close_epoch(self):
+        """Close the open epoch: ONE sfence makes every member's
+        staged lines durable at once, ONE ≤8-byte group mark — the
+        last member's seq, tail covering the whole prefix — commits
+        them all, then the coalesced checkpoint and the members'
+        deferred housekeeping (cell reclaims, page frees, 2PC record
+        clears) run."""
+        group = self.group
+        with self.obs.span("log_flush"):
+            self.pm.sfence()
+        with self.obs.span("atomic_commit"):
+            self.log.commit(group.members[-1]["seq"])
+        with self.obs.span("checkpoint"):
+            applied = self._apply_replay(self.log.replay(), self.store.page)
+            self.pm.sfence()
+            self.log.truncate()
+            self.obs.inc("engine.checkpoint")
+            self.obs.event(ev.CHECKPOINT, applied)
+        members = group.take()
+        for member in members:
+            # Reclaims go through fresh page objects: the members' own
+            # page handles still hold pre-close pending headers whose
+            # free-list heads may be stale against the checkpointed
+            # state when several members touched one page.
+            for page_no, offset in member["reclaims"]:
+                self.store.page(page_no).reclaim_cell(offset)
+            for page_no in member["freed"]:
+                self.store.free_page(page_no)
+            if member.get("twopc_clear"):
+                self.twopc.clear()
+        self.obs.inc("group.close")
+
+    def _stage_and_flush(self, ctx, fence=True):
+        """Front half shared by the logged commit, the 2PC prepare,
+        and the grouped commit: everything the commit mark will depend
+        on is written and flushed.  With ``fence`` the lines are also
+        fenced (a grouped member defers that to the epoch's shared
+        fence)."""
         # New pages are unreachable until the commit mark, so their
         # headers are applied directly (Figure 4 step 3: the sibling is
         # fully built in place, never logged).
@@ -329,7 +407,8 @@ class FASTEngine(Engine):
             self.log.write_frames()
         with self.obs.span("log_flush"):
             self.log.flush_frames()
-            self.pm.sfence()
+            if fence:
+                self.pm.sfence()
 
     # -- two-phase commit (sharded deployments only) -----------------------
 
@@ -353,7 +432,20 @@ class FASTEngine(Engine):
 
     def commit_prepared(self, ctx, gtid, seq, shard_index):
         """2PC phase two on one shard: publish the commit mark the
-        prepare withheld, clear the prepare record, checkpoint."""
+        prepare withheld, clear the prepare record, checkpoint.
+
+        Under grouping the participant instead *joins* its shard's
+        open epoch — the frames are already durable (the prepare
+        fenced them), so the epoch's shared mark will publish them,
+        and the prepare-record clear is deferred to the close (until
+        then the record + coordinator decision are what recovery
+        resolves an unmarked participant from)."""
+        if self.group is not None:
+            with self.obs.phase("commit"):
+                self.obs.inc("twopc.commit")
+                self.obs.event(ev.TWOPC_COMMIT, gtid, shard_index)
+                self._join_epoch(ctx, seq, twopc_clear=True)
+            return
         with self.obs.phase("commit"):
             with self.obs.span("atomic_commit"):
                 self.log.commit(seq)
@@ -374,22 +466,46 @@ class FASTEngine(Engine):
         self.twopc.clear()
 
     def _checkpoint(self, ctx):
-        applied = 0
-        for entry in self.log.replay():
-            applied += 1
-            if entry[0] == "page":
-                _, page_no, image = entry
-                page = ctx.page(page_no)
-                page.apply_header(image)
-                self.pm.flush_range(page.base, len(image))
-            else:
-                _, slot, page_no = entry
-                self.store.set_root(slot, page_no, persist=False)
-                self.pm.flush_range(self.store.base, 64)
+        applied = self._apply_replay(self.log.replay(), ctx.page)
         self.pm.sfence()
         self.log.truncate()
         self.obs.inc("engine.checkpoint")
         self.obs.event(ev.CHECKPOINT, applied)
+
+    def _apply_replay(self, entries, fetch):
+        """Apply committed log frames to the pages, coalescing the
+        flushes: when several frames target the same page (epoch
+        members) or the root-directory line (multi-root transactions),
+        every store is applied in log order but only the *last* store
+        of each target flushes its lines — one durable line set per
+        target per checkpoint, all fenced by the caller.  A superseded
+        frame longer than the final one still has its extra lines
+        flushed (the final flush covers the widest image seen)."""
+        entries = list(entries)
+        last_flush = {}
+        flush_len = {}
+        for index, entry in enumerate(entries):
+            if entry[0] == "page":
+                key = entry[1]
+                flush_len[key] = max(flush_len.get(key, 0), len(entry[2]))
+            else:
+                key = "roots"
+            last_flush[key] = index
+        applied = 0
+        for index, entry in enumerate(entries):
+            applied += 1
+            if entry[0] == "page":
+                _, page_no, image = entry
+                page = fetch(page_no)
+                page.apply_header(image)
+                if last_flush[page_no] == index:
+                    self.pm.flush_range(page.base, flush_len[page_no])
+            else:
+                _, slot, page_no = entry
+                self.store.set_root(slot, page_no, persist=False)
+                if last_flush["roots"] == index:
+                    self.pm.flush_range(self.store.base, 64)
+        return applied
 
     def _finish(self, ctx):
         """Post-commit housekeeping: reclaim dead cells, free pages.
@@ -404,8 +520,26 @@ class FASTEngine(Engine):
 
     # -- rollback / recovery -------------------------------------------------
 
+    def _discard_page_pending(self, page_no, page):
+        """Drop a context's pending header on ``page``, returning it
+        to *committed* state — which, while a group-commit epoch is
+        open, is the member overlay rather than the durable header.
+        The free list is rebuilt from the overlay's offsets so cells
+        the rolled-back transaction wrote return to free space without
+        handing back the member's live cells."""
+        if self.group is not None:
+            image = self.group.pending_headers.get(page_no)
+            if image is not None:
+                page.overlay_header(image)
+                page.rebuild_free_list()
+                return
+        page.discard_pending()
+
     def _rollback(self, ctx):
-        for page in list(ctx.dirty.values()) + list(ctx.new_pages.values()):
+        for page_no, page in list(ctx.dirty.items()):
+            if page.has_pending:
+                self._discard_page_pending(page_no, page)
+        for page in list(ctx.new_pages.values()):
             if page.has_pending:
                 page.discard_pending()
         self.log.discard()
@@ -433,7 +567,10 @@ class FASTEngine(Engine):
             # repro: allow[PM001] precise rollback reverses a pointer swap the same atomic way
             self.pm.write_u32(position, old_child)
             self.pm.persist(position, 4)
-        for page in list(ctx.dirty.values()) + list(ctx.new_pages.values()):
+        for page_no, page in list(ctx.dirty.items()):
+            if page.has_pending:
+                self._discard_page_pending(page_no, page)
+        for page in list(ctx.new_pages.values()):
             if page.has_pending:
                 page.discard_pending()
         self.log.discard()
@@ -525,7 +662,11 @@ class FASTPlusEngine(FASTEngine):
             self.commit_page_counts.append(len(ctx.dirty) + len(ctx.new_pages))
             with self.obs.span("misc"):
                 self.clock.advance(self.pm.cost.pager_commit_ns)
-            if ctx.is_single_page:
+            # Grouping bypasses the in-place path entirely: an RTM
+            # header publish is its own per-page commit mark and would
+            # fence for itself, so grouped transactions always take
+            # the logged path where the epoch can absorb them.
+            if self.group is None and ctx.is_single_page:
                 (page,) = ctx.dirty.values()
                 image = page.pending_header_image()
                 line_start = page.base - page.base % CACHE_LINE
@@ -536,7 +677,10 @@ class FASTPlusEngine(FASTEngine):
                     self._commit_inplace(ctx, page)
                     return
             self.obs.inc("engine.commit.logged")
-            self._commit_logged(ctx)
+            if self.group is not None:
+                self._commit_grouped(ctx)
+            else:
+                self._commit_logged(ctx)
 
     def _commit_inplace(self, ctx, page):
         """One RTM store of the header + one flush: optimal commit.

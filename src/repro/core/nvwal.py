@@ -292,6 +292,13 @@ class NVWALEngine(Engine):
 
     def __init__(self, config, pm, store):
         super().__init__(config, pm, store)
+        if config.group_commit:
+            from repro.core.epoch import EpochPipeline
+
+            self.group = EpochPipeline(
+                pm.clock, config.group_commit_size,
+                config.group_commit_window_ns, self._close_epoch,
+            )
         self.dram = VolatileMemory(
             config.dram_bytes,
             latency=config.latency,
@@ -431,6 +438,27 @@ class NVWALEngine(Engine):
                 frames.append(
                     self._append(encode_frame(seq, FRAME_ROOT, slot, payload))
                 )
+            if self.group is not None:
+                # Grouped: the frames are installed (each chain link
+                # fences itself) but the commit mark waits for the
+                # epoch's shared fence.  The volatile WAL index and
+                # root table publish now — the member is committed and
+                # visible to every later fetch — while page frees are
+                # deferred to the mark (a freed page is still
+                # referenced by the pre-epoch durable tree).
+                with self.obs.span("wal_index"):
+                    self.wal.publish(frames)
+                    self.clock.advance(
+                        self.pm.cost.wal_index_insert_ns * len(frames)
+                    )
+                self.wal.roots.update(ctx.root_updates)
+                for page_no in ctx.dirty:
+                    self.cache.pinned.discard(page_no)
+                self.group.join({"seq": seq, "freed": list(ctx.freed)})
+                ctx.commit_seq = seq
+                self.obs.inc("group.join")
+                self.group.maybe_close()
+                return
             with self.obs.span("log_flush"):
                 self.pm.sfence()
             with self.obs.span("atomic_commit"):
@@ -444,6 +472,27 @@ class NVWALEngine(Engine):
                 self.store.free_page(page_no)
             for page_no in ctx.dirty:
                 self.cache.pinned.discard(page_no)
+        if self.wal.bytes_used >= self.config.nvwal_checkpoint_bytes:
+            self.checkpoint()
+
+    def _close_epoch(self):
+        """Close the open epoch: the members' WAL frames are already
+        durable (every chain link fences as it installs), so one
+        shared sfence settles any straggling lines and one ≤8-byte
+        commit mark — the last member's seq — commits the whole chain
+        prefix.  Deferred page frees and the lazy-checkpoint threshold
+        check follow."""
+        group = self.group
+        with self.obs.span("log_flush"):
+            self.pm.sfence()
+        with self.obs.span("atomic_commit"):
+            self.wal.commit(group.members[-1]["seq"])
+        members = group.take()
+        for member in members:
+            for page_no in member["freed"]:
+                self.cache.drop(page_no)
+                self.store.free_page(page_no)
+        self.obs.inc("group.close")
         if self.wal.bytes_used >= self.config.nvwal_checkpoint_bytes:
             self.checkpoint()
 
@@ -471,6 +520,12 @@ class NVWALEngine(Engine):
     def checkpoint(self):
         """Lazy checkpoint: write every WAL-covered page back to the
         database region and reset the log (paper Section 2.2)."""
+        if self.group is not None:
+            # An open epoch's members must reach their shared mark
+            # before their frames are written back and the WAL resets
+            # (the pipeline's re-entrancy guard makes this a no-op
+            # when the close itself triggered the checkpoint).
+            self.group.drain()
         self.obs.inc("engine.checkpoint")
         self.obs.event(ev.CHECKPOINT, len(self.wal.index))
         with self.obs.span("nvwal_checkpoint"):

@@ -214,6 +214,12 @@ class Scheduler:
             if self.cleanup_on_error:
                 self._cleanup_after_error()
             raise
+        # End-of-run durability barrier: close any open group-commit
+        # epoch so the report's counts cover every member's shared
+        # fence + mark (no-op with grouping off).
+        drain = getattr(self.engine, "drain_group_commit", None)
+        if drain is not None:
+            drain()
         report = self._report(start_ns)
         for client in self.clients:
             client.session.close()

@@ -51,6 +51,10 @@ class Session:
         self.obs = engine.obs.labeled("session.%s" % name)
         self._clock = engine.clock
         self._txn = None
+        #: Log sequence of the last committed transaction (None until
+        #: one commits, or when the scheme doesn't stamp contexts) —
+        #: what ``commit_durable`` checks against the open epoch.
+        self._last_commit_seq = None
         self.closed = False
 
     # -- transactions ------------------------------------------------------
@@ -62,6 +66,23 @@ class Session:
     @property
     def in_transaction(self):
         return self._txn is not None
+
+    @property
+    def commit_durable(self):
+        """Is this session's last committed transaction durable?
+
+        With grouping off every commit fences before returning, so
+        this is always True.  With ``SystemConfig.group_commit`` on, a
+        commit is *committed* (visible to every later transaction) the
+        moment it joins the open epoch but *durable* only once the
+        epoch closes and the shared group mark persists — until then
+        this reports False.  ``engine.drain_group_commit()`` forces
+        the close (a durability barrier).
+        """
+        group = getattr(self.engine, "group", None)
+        if group is None or self._last_commit_seq is None:
+            return True
+        return not group.contains_seq(self._last_commit_seq)
 
     @property
     def transaction_ctx(self):
@@ -110,6 +131,10 @@ class Session:
         off the event order (strict 2PL releases in one step)."""
         if self._txn is txn:
             self._txn = None
+        if committed:
+            self._last_commit_seq = getattr(
+                txn.inner_ctx, "commit_seq", None
+            )
         if self.lock_manager is not None:
             self.lock_manager.release_all(self.sid)
         if self.read_only and getattr(txn, "_snapshot", False):

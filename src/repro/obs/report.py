@@ -85,6 +85,45 @@ def _lock_discipline(kind_totals):
     return lines
 
 
+def _durability_cost(counters):
+    """Derived per-committed-transaction durability cost.
+
+    The three prices every durable commit protocol pays — store
+    fences, 8-byte commit marks, cache-line flushes — normalized per
+    committed transaction, which is the axis group commit moves:
+    epoch-pipelined commits share one fence and one mark per epoch,
+    so fences/txn and marks/txn drop roughly with the group size
+    while flushes/txn stay put (every line still has to reach PM).
+    """
+    commits = counters.get("engine.txn.commit", 0)
+    if not commits:
+        return []
+    fences = counters.get("pm.fence", 0)
+    flushes = counters.get("pm.flush", 0)
+    marks = (
+        counters.get("log.commit_mark", 0)
+        + counters.get("wal.commit_mark", 0)
+    )
+    lines = [
+        "",
+        "per-txn durability cost",
+        "-----------------------",
+        "  fences/txn        %8.2f  (%d fences / %d commits)"
+        % (fences / commits, fences, commits),
+        "  commit-marks/txn  %8.2f  (%d marks)" % (marks / commits, marks),
+        "  flushes/txn       %8.2f  (%d line flushes)"
+        % (flushes / commits, flushes),
+    ]
+    joins = counters.get("group.join", 0)
+    closes = counters.get("group.close", 0)
+    if closes:
+        lines.append(
+            "  group commit      %d epoch(s) closed, %.2f members/epoch"
+            % (closes, joins / closes)
+        )
+    return lines
+
+
 def render_report(snapshot, *, title="observability report"):
     registry = snapshot["registry"]
     counters = registry.get("counters", {})
@@ -121,6 +160,7 @@ def render_report(snapshot, *, title="observability report"):
         for group in sorted(_group(counters)):
             for name in sorted(n for n in counters if n.split(".", 1)[0] == group):
                 lines.append("  %s  %d" % (name.ljust(width), counters[name]))
+        lines.extend(_durability_cost(counters))
     if gauges:
         lines.append("")
         lines.append("gauges")

@@ -40,6 +40,8 @@ COUNTERS = frozenset({
     "sched.step", "sched.wait", "sched.wake", "sched.abort",
     "sched.abort.mutated", "sched.abort.deadlock", "sched.abort.timeout",
     "sched.retry", "sched.deadlock", "sched.timeout",
+    # core/epoch.py joins/closes (core/fast.py, core/nvwal.py)
+    "group.join", "group.close",
     # storage/versions.py — MVCC snapshot reads over version chains
     "mvcc.snapshot_reads", "mvcc.gc_reclaimed",
     # wal/twopc.py + storage/sharding.py — cross-shard two-phase commit

@@ -115,6 +115,11 @@ class ShardRouter:
         self._next_sid = 1
         self._next_gtid = 1
         self._lock_facade = None
+        #: False while a group-committed 2PC decision is still covered
+        #: by an open epoch somewhere (its participants' marks may not
+        #: all be durable, so the decision word must not be cleared
+        #: yet).  Settled again once those epochs close.
+        self._twopc_settled = True
         #: Per-shard labeled outcome counters ("shard.<i>.commit"...).
         self._shard_obs = [
             self.obs.labeled("shard.%d" % index)
@@ -287,6 +292,47 @@ class ShardRouter:
         and version-chain pins, so one shard's long-lived snapshot
         never protects (or retains) another shard's pages."""
         return sum(shard.garbage_collect() for shard in self.shards)
+
+    # -- group commit ----------------------------------------------------
+
+    @property
+    def group_commit(self):
+        """Is epoch-pipelined group commit on (it is per-shard)?"""
+        return self.shards[0].group is not None
+
+    def _settle_twopc(self):
+        """Make the previous group-committed 2PC transaction's marks
+        durable and clear the decision word.
+
+        A grouped 2PC decision rides the epoch of its last participant
+        (see :meth:`ShardedTransaction._commit_two_phase`); until every
+        epoch holding one of its participants closes, some commit marks
+        are still pending and the decision word must stay on record so
+        a crash re-publishes them.  Called before the *next* decision
+        is persisted — the single decision word is reused only once the
+        previous transaction has fully completed."""
+        if self._twopc_settled:
+            return
+        for shard in self.shards:
+            group = shard.group
+            if group is not None and any(
+                member.get("twopc_clear") for member in group.members
+            ):
+                group.close()
+        self.coordinator.clear()
+        self._twopc_settled = True
+
+    def drain_group_commit(self):
+        """End-of-run durability barrier: close every shard's open
+        epoch, then settle any outstanding 2PC decision (exactly a
+        no-op with grouping off)."""
+        for shard in self.shards:
+            drain = getattr(shard, "drain_group_commit", None)
+            if drain is not None:
+                drain()
+        if not self._twopc_settled:
+            self.coordinator.clear()
+            self._twopc_settled = True
 
 
 class ShardLockFacade:
@@ -559,8 +605,21 @@ class ShardedTransaction:
             self.session._txn_finished(self, committed=True)
 
     def _commit_two_phase(self, writers):
-        """The cross-shard commit (module docstring, steps 1-4)."""
+        """The cross-shard commit (module docstring, steps 1-4).
+
+        With group commit on, the decision joins the epoch of the last
+        participant: prepares stay individually fenced (a prepare must
+        be durable before the decision), but the decision word is only
+        flushed — the shared fence of that participant's epoch close
+        completes it together with every member's frames, and the
+        participants' commit marks ride their shards' group marks
+        instead of being published per transaction.  The single
+        decision word is recycled by :meth:`ShardRouter._settle_twopc`
+        before the next decision is persisted."""
         router = self.router
+        grouped = router.group_commit
+        if grouped:
+            router._settle_twopc()
         gtid = router.next_gtid()
         prepared = []
         try:
@@ -576,11 +635,22 @@ class ShardedTransaction:
             for index, txn, _seq in prepared:
                 router.shards[index].abort_prepared(txn.inner_ctx)
             raise
-        router.coordinator.decide_commit(gtid)
+        router.coordinator.decide_commit(gtid, fence=not grouped)
         router.obs.event(ev.TWOPC_DECISION, gtid, (len(writers) << 1) | 1)
         for index, txn, seq in prepared:
             router.shards[index].commit_prepared(txn.inner_ctx, gtid, seq, index)
-        router.coordinator.clear()
+        if grouped:
+            # The decision now rides the participants' open epochs:
+            # the next sfence anywhere in the arena (an epoch close,
+            # the next transaction's prepare) completes its flush, and
+            # the participants' marks arrive with their group marks.
+            # Until those epochs close the decision word stays on
+            # record so a crash re-publishes prepared-but-unmarked
+            # shards — _settle_twopc completes it before the word is
+            # reused, drain_group_commit at the end of a run.
+            router._twopc_settled = False
+        else:
+            router.coordinator.clear()
 
     def rollback(self):
         self._check_open()

@@ -373,6 +373,29 @@ class SlottedPage:
     def has_pending(self):
         return self._pending is not None
 
+    def overlay_header(self, image):
+        """Install ``image`` as this page's volatile header overlay.
+
+        Group commit: an epoch member's header image is redo-logged
+        and covered by the shared group mark, but not yet applied to
+        the page (the coalesced checkpoint runs at epoch close).
+        Until then every fresh fetch of the page must see the member's
+        committed state — this installs it as the pending overlay.
+
+        The free-list consistency check is deliberately skipped (and
+        marked done): judged against the *durable* offset array the
+        member's new cells look dead, and a rebuild would hand live
+        cells back to the allocator.  The in-PM free list is already
+        consistent with the overlay — the member's allocations updated
+        it in place.  The floor protects both the durable offset array
+        (still what a crash pre-checkpoint replays over) and the
+        overlay's own extent.
+        """
+        self._freelist_checked = True
+        self._floor = max(len(self.committed_header_image()), len(image))
+        self._pending = self._decode(image)
+        return self._pending
+
     def clone_pending(self):
         """A snapshot of the pending header (None if clean) — used by
         savepoints for partial rollback."""

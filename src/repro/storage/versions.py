@@ -268,6 +268,7 @@ class VersionManager:
         engine = self.engine
         store = engine.store
         page_size = engine.config.page_size
+        group = engine.group
         touched = set(ctx.dirty)
         touched.update(ctx.freed)
         new = ctx.new_pages
@@ -277,6 +278,16 @@ class VersionManager:
             image = _visible_bytes(
                 engine.pm, store.page_base(page_no), page_size
             )
+            if group is not None:
+                # An open-epoch member already committed over this
+                # page: its header lives only in the group's overlay
+                # (checkpoint is deferred to the close), so the PM
+                # bytes still show the pre-epoch header.  Splice the
+                # overlay in — the committed state this commit
+                # supersedes is the *member's*, not the pre-epoch one.
+                overlay = group.pending_headers.get(page_no)
+                if overlay is not None:
+                    image = bytes(overlay) + image[len(overlay):]
             # FAST pre-images are physically the same PM bytes the live
             # page occupies (records sit in free space, old headers
             # persist until checkpoint — nothing is overwritten in
@@ -291,7 +302,10 @@ class VersionManager:
         for page_no in sorted(new):
             self._page_ts[page_no] = ts
         for slot in sorted(ctx.root_updates):
-            self._retain_root(slot, ts, store.root(slot))
+            # engine._root consults the group overlay first, so the
+            # retained root is the latest *committed* one even while
+            # an epoch member's root swap awaits its checkpoint.
+            self._retain_root(slot, ts, engine._root(slot))
             self._root_ts[slot] = ts
         self._update_gauge()
 

@@ -160,6 +160,38 @@ def _execute(txn, item):
             txn.delete(key)
 
 
+def _prefix_model(items, count):
+    """Model state after the first ``count`` committed items."""
+    model = {}
+    for item in items[:count]:
+        _apply(model, item)
+    return model
+
+
+def _group_candidates(engine, items, inflight):
+    """Recovered-state candidates under group commit, or None.
+
+    With ``SystemConfig.group_commit`` on, the open epoch's M members
+    are committed but not yet durable: a crash before the shared fence
+    + group mark loses all M, a crash after the mark (mid-close) loses
+    none.  A crash inside a commit that already joined the epoch
+    shifts the boundary by one.  Everything in between — some members
+    recovered, others not — is exactly the torn-group atomicity
+    violation this harness exists to catch, so only the boundary
+    prefixes are legal.  ``items`` must be ``_apply``-able committed
+    items in commit order.
+    """
+    group = getattr(engine, "group", None)
+    if group is None:
+        return None
+    members = group.member_count
+    total = len(items)
+    lengths = {max(0, total - members), total}
+    if inflight:
+        lengths.add(max(0, min(total, total - members + 1)))
+    return [_prefix_model(items, count) for count in sorted(lengths)]
+
+
 def run_to_crash_point(scheme, workload, budget, *, config=None, policy=None,
                        seed=0, checker_factory=None):
     """Run ``workload`` (a list of ``(op, key, value)`` single-op
@@ -183,6 +215,7 @@ def run_to_crash_point(scheme, workload, budget, *, config=None, policy=None,
     engine, pm = _build_engine(config, scheme)
     checker = checker_factory(engine) if checker_factory is not None else None
     committed = {}
+    committed_items = []
     inflight = ()
     crashed = False
     pm.budget = budget
@@ -199,7 +232,14 @@ def run_to_crash_point(scheme, workload, budget, *, config=None, policy=None,
             _execute(txn, op)
             txn.commit()
             _apply(committed, op)
+            committed_items.append(op)
             inflight = ()
+        # End-of-run durability barrier (armed: the sweep also visits
+        # every crash point inside the final epoch close) — a no-op
+        # with grouping off.
+        drain = getattr(engine, "drain_group_commit", None)
+        if drain is not None:
+            drain()
     except CrashPoint:
         crashed = True
     finally:
@@ -213,6 +253,7 @@ def run_to_crash_point(scheme, workload, budget, *, config=None, policy=None,
         _validate(engine, result, strict_inflight=False)
         return result
 
+    prefix_candidates = _group_candidates(engine, committed_items, inflight)
     pm.crash(policy or RandomPersist(rng=random.Random(seed)))
     recovery_start_seq = pm.obs.trace.seq
     try:
@@ -228,15 +269,18 @@ def run_to_crash_point(scheme, workload, budget, *, config=None, policy=None,
     result.recovery_events = pm.obs.trace.events(
         kind=RECOVERY_REPLAY, since_seq=recovery_start_seq
     )
-    _validate(engine, result, strict_inflight=True)
+    _validate(engine, result, strict_inflight=True,
+              prefix_candidates=prefix_candidates)
     return result
 
 
-def _validate(engine, result, *, strict_inflight):
+def _validate(engine, result, *, strict_inflight, prefix_candidates=None):
     """Exact-state validation: the recovered database must equal either
     the committed model or committed-plus-the-whole-in-flight-
     transaction — nothing else (durability + atomicity + no phantoms
-    in one comparison)."""
+    in one comparison).  ``prefix_candidates`` (group commit) swaps
+    the single committed model for the legal epoch-boundary prefixes
+    from :func:`_group_candidates`."""
     committed, inflight, recovered = (
         result.committed, result.inflight, result.recovered,
     )
@@ -246,7 +290,7 @@ def _validate(engine, result, *, strict_inflight):
         result.violations.append("structure: %s" % err)
 
     del strict_inflight
-    candidates = [committed]
+    candidates = list(prefix_candidates) if prefix_candidates else [committed]
     if inflight:
         with_inflight = dict(committed)
         _apply(with_inflight, inflight)
@@ -290,6 +334,9 @@ def crash_points_in(scheme, workload, *, config=None):
         txn = engine.transaction()
         _execute(txn, op)
         txn.commit()
+    drain = getattr(engine, "drain_group_commit", None)
+    if drain is not None:
+        drain()
     pm.armed = False
     result_events["total"] = pm.events
     return pm.events
@@ -410,6 +457,15 @@ def run_scheduler_to_crash_point(scheme, workloads, budget, *, config=None,
         if writes:
             inflight = ("txn", writes)
 
+    # Group commit: the serializable committed prefix may legally stop
+    # at the open epoch's boundary instead of the full commit order.
+    items_of = {client.name: client.items for client in scheduler.clients}
+    ordered = [
+        ("txn", _writes_of(items_of[name][item_idx]))
+        for name, item_idx in scheduler.commit_order
+    ]
+    prefix_candidates = _group_candidates(engine, ordered, inflight)
+
     pm.crash(policy or RandomPersist(rng=random.Random(seed)))
     try:
         engine = engine_class(scheme).attach(config, pm)
@@ -421,7 +477,8 @@ def run_scheduler_to_crash_point(scheme, workloads, budget, *, config=None,
         )
         return result
     result = CrashTestResult(True, committed, inflight, recovered)
-    _validate(engine, result, strict_inflight=True)
+    _validate(engine, result, strict_inflight=True,
+              prefix_candidates=prefix_candidates)
     return result
 
 

@@ -52,6 +52,11 @@ class SlotHeaderLog:
         self.size = size
         self._staged = []
         self._staged_bytes = 0
+        # Group commit: frames of epoch members that already wrote +
+        # flushed their slice of the log but whose shared commit mark
+        # has not been published yet.  The next member's frames land
+        # after this prefix; the group mark's tail covers all of it.
+        self._group_bytes = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -95,10 +100,11 @@ class SlotHeaderLog:
         self._stage(frame)
 
     def _stage(self, frame):
-        if _FRAMES_BASE + self._staged_bytes + len(frame) > self.size:
+        used = self._group_bytes + self._staged_bytes
+        if _FRAMES_BASE + used + len(frame) > self.size:
             raise LogFullError(
                 "transaction needs %d log bytes but only %d remain"
-                % (len(frame), self.size - _FRAMES_BASE - self._staged_bytes)
+                % (len(frame), self.size - _FRAMES_BASE - used)
             )
         self._staged.append(frame)
         self._staged_bytes += len(frame)
@@ -109,15 +115,22 @@ class SlotHeaderLog:
 
     @property
     def staged_bytes(self):
-        """Bytes the staged frames occupy (the commit word's tail)."""
-        return self._staged_bytes
+        """Bytes the next commit word's tail must cover: the current
+        transaction's staged frames plus any epoch members' frames
+        already sitting before them in the log."""
+        return self._group_bytes + self._staged_bytes
+
+    @property
+    def group_bytes(self):
+        """Bytes held by epoch members awaiting the shared mark."""
+        return self._group_bytes
 
     def write_frames(self):
         """Store all staged frames into the log region (no flushes —
         the paper's "update slot header" step happens without cache
         line flushes; durability comes from :meth:`flush_frames`)."""
         obs = self.pm.obs
-        cursor = self.base + _FRAMES_BASE
+        cursor = self.base + _FRAMES_BASE + self._group_bytes
         for frame in self._staged:
             self.pm.write(cursor, frame)
             obs.inc("log.frame")
@@ -126,16 +139,27 @@ class SlotHeaderLog:
 
     def flush_frames(self):
         """Flush every staged frame line (the "Log Flush" step)."""
-        self.pm.flush_range(self.base + _FRAMES_BASE, self._staged_bytes)
+        self.pm.flush_range(
+            self.base + _FRAMES_BASE + self._group_bytes, self._staged_bytes
+        )
+
+    def join_group(self):
+        """Move the staged (written + flushed, unfenced) frames onto
+        the open epoch: the shared group mark will cover them."""
+        self._group_bytes += self._staged_bytes
+        self._staged = []
+        self._staged_bytes = 0
 
     def commit(self, seq):
         """Atomically publish the staged frames: the 8-byte commit word
-        (tail, seq) is the transaction's commit mark."""
-        word = (seq << 32) | self._staged_bytes
+        (tail, seq) is the commit mark.  With an open epoch the tail
+        covers the members' prefix too — one mark, whole group."""
+        tail = self._group_bytes + self._staged_bytes
+        word = (seq << 32) | tail
         self.pm.write_u64(self.base + _OFF_COMMIT, word)
         self.pm.persist(self.base + _OFF_COMMIT, 8)
         self.pm.obs.inc("log.commit_mark")
-        self.pm.obs.event(ev.COMMIT_MARK, seq, self._staged_bytes)
+        self.pm.obs.event(ev.COMMIT_MARK, seq, tail)
 
     def truncate(self):
         """Reset after checkpointing (atomically empties the log)."""
@@ -145,9 +169,11 @@ class SlotHeaderLog:
         self.pm.obs.event(ev.LOG_TRUNCATE)
         self._staged = []
         self._staged_bytes = 0
+        self._group_bytes = 0
 
     def discard(self):
-        """Drop staged (never-committed) frames: rollback path."""
+        """Drop staged (never-committed) frames: rollback path.  Epoch
+        members' frames are untouched — they are already promised."""
         self._staged = []
         self._staged_bytes = 0
 

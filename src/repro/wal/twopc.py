@@ -122,12 +122,21 @@ class CoordinatorLog:
             raise ValueError("no 2PC coordinator log at %#x" % base)
         return cls(pm, base)
 
-    def decide_commit(self, gtid):
+    def decide_commit(self, gtid, fence=True):
         """Durably publish the commit decision for ``gtid`` (the
         transaction's global commit point): one 8-byte-atomic store,
-        flushed and fenced before any shard's commit mark."""
+        flushed and fenced before any shard's commit mark.
+
+        With ``fence=False`` (group commit) the decision word is
+        written and flushed but the fence is left to the caller — the
+        shared fence of the epoch the decision joins completes it
+        together with every member's frames, still strictly before
+        any participant's commit mark becomes visible to recovery."""
         self.pm.write_u64(self.base + _OFF_WORD, (gtid << 8) | 1)
-        self.pm.persist(self.base + _OFF_WORD, 8)
+        if fence:
+            self.pm.persist(self.base + _OFF_WORD, 8)
+        else:
+            self.pm.flush_range(self.base + _OFF_WORD, 8)
         self.pm.obs.inc("twopc.decision")
 
     def clear(self):

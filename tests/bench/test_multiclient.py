@@ -5,11 +5,13 @@ import pathlib
 
 from repro.bench.multiclient import (
     client_workload,
+    run_group_commit,
     run_multi_client,
     run_sharded_multi_client,
     shard_pool_keys,
     sharded_client_workload,
     sweep_clients,
+    sweep_group_commit,
     sweep_read_ratio,
     sweep_shards,
 )
@@ -154,6 +156,60 @@ class TestCommittedShardBaseline:
         rows = {r["shards"]: r for r in self._rows("fastplus")}
         assert rows[2]["speedup_vs_one_shard"] >= 1.7
         assert rows[4]["speedup_vs_one_shard"] >= 3.0
+
+
+class TestGroupCommitSweep:
+    def test_same_commits_grouped_or_not(self):
+        rows = sweep_group_commit("fast", group_sizes=(0, 4), counts=(2,),
+                                  items=8)
+        assert [r["group_size"] for r in rows] == [0, 4]
+        assert rows[0]["fence_reduction_vs_ungrouped"] == 1.0
+        assert all(r["commits"] == 2 * 8 for r in rows)
+
+    def test_grouping_cuts_fences(self):
+        rows = sweep_group_commit("fast", group_sizes=(0, 4), counts=(2,),
+                                  items=10)
+        assert rows[1]["fences_per_txn"] < rows[0]["fences_per_txn"]
+        assert rows[1]["marks_per_txn"] < rows[0]["marks_per_txn"]
+
+    def test_byte_identical_reruns(self):
+        a = run_group_commit("fastplus", group_size=4, clients=2, items=8)
+        b = run_group_commit("fastplus", group_size=4, clients=2, items=8)
+        assert a == b
+
+
+class TestCommittedGroupCommitBaseline:
+    """The acceptance floor rides on the committed baseline: at group
+    size 4 and 8 clients, the commit-mark schemes must pay at least 2x
+    fewer fences per committed transaction than ungrouped."""
+
+    def _rows(self, scheme):
+        baseline = json.loads(
+            (pathlib.Path(__file__).resolve().parents[2] /
+             "BENCH_multiclient.json").read_text()
+        )
+        return baseline["group_sweep"][scheme]
+
+    def test_fast_meets_fence_floor(self):
+        rows = {(r["clients"], r["group_size"]): r
+                for r in self._rows("fast")}
+        assert rows[(8, 4)]["fence_reduction_vs_ungrouped"] >= 2.0
+
+    def test_fastplus_meets_fence_floor(self):
+        rows = {(r["clients"], r["group_size"]): r
+                for r in self._rows("fastplus")}
+        assert rows[(8, 4)]["fence_reduction_vs_ungrouped"] >= 2.0
+
+    def test_marks_amortize_with_group_size(self):
+        """One shared mark per epoch: marks/txn must drop monotonically
+        with the group size at every swept client count and scheme."""
+        for scheme in ("fast", "fastplus", "nvwal"):
+            by_clients = {}
+            for row in self._rows(scheme):
+                by_clients.setdefault(row["clients"], []).append(
+                    row["marks_per_txn"])
+            for marks in by_clients.values():
+                assert marks == sorted(marks, reverse=True)
 
 
 class TestSweeps:

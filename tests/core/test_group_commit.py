@@ -1,0 +1,227 @@
+"""Epoch-pipelined group commit.
+
+Covers the grouped commit path end to end: logical equivalence with
+the per-transaction path on every scheme, byte-identity of the
+grouping-off path, the committed-vs-durable split surfaced by
+``Session.commit_durable``, fence amortization floors, and stride-1
+crash sweeps through the epoch-close window (stage -> shared fence ->
+group mark) asserting all-or-nothing recovery at epoch granularity.
+"""
+
+import pytest
+
+from repro.core import SystemConfig, open_engine
+from repro.testing.crashsim import run_crash_sweep
+
+from .conftest import SMALL, small_config
+
+SCHEMES = ("fast", "fastplus", "nvwal")
+PAYLOAD = bytes(range(48))
+
+
+def grouped_config(**overrides):
+    params = dict(group_commit=True, group_commit_size=4)
+    params.update(overrides)
+    return small_config(**params)
+
+
+def _run_workload(engine, items=20):
+    """Inserts, updates, multi-op transactions, deletes — every store
+    path of the commit schemes."""
+    for i in range(items):
+        engine.insert(b"gk%04d" % i, PAYLOAD, replace=True)
+    for i in range(0, items, 3):
+        txn = engine.transaction()
+        txn.update(b"gk%04d" % i, PAYLOAD[::-1])
+        txn.commit()
+    for i in range(0, items, 4):
+        txn = engine.transaction()
+        txn.insert(b"gx%04d" % i, PAYLOAD)
+        txn.delete(b"gk%04d" % ((i + 1) % items))
+        txn.commit()
+    for i in range(0, items, 5):
+        txn = engine.transaction()
+        txn.delete(b"gx%04d" % ((i // 5) * 5))
+        txn.commit()
+
+
+def _contents(engine, items=20):
+    return {
+        prefix + b"%04d" % i: engine.search(prefix + b"%04d" % i)
+        for prefix in (b"gk", b"gx")
+        for i in range(items)
+    }
+
+
+class TestGroupedEquivalence:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_same_final_state_as_ungrouped(self, scheme):
+        plain = open_engine(small_config(scheme=scheme))
+        _run_workload(plain)
+        grouped = open_engine(grouped_config(scheme=scheme))
+        _run_workload(grouped)
+        grouped.drain_group_commit()
+        assert grouped.verify() == plain.verify()
+        assert _contents(grouped) == _contents(plain)
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_commits_visible_before_drain(self, scheme):
+        """Joining the epoch publishes the commit: later transactions
+        (and read views) see it immediately, durability comes later."""
+        engine = open_engine(grouped_config(scheme=scheme,
+                                            group_commit_size=64))
+        engine.insert(b"early", PAYLOAD)
+        assert engine.group.member_count > 0  # still riding the epoch
+        assert engine.search(b"early") == PAYLOAD
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_drain_is_idempotent(self, scheme):
+        engine = open_engine(grouped_config(scheme=scheme))
+        _run_workload(engine, items=6)
+        engine.drain_group_commit()
+        before = _contents(engine, items=6)
+        engine.drain_group_commit()
+        assert _contents(engine, items=6) == before
+
+
+class TestGroupingOff:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_no_pipeline_without_the_knob(self, scheme):
+        engine = open_engine(small_config(scheme=scheme))
+        assert engine.group is None
+        engine.drain_group_commit()  # must be a no-op, not an error
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_off_path_byte_identical(self, scheme):
+        """An explicit ``group_commit=False`` run leaves the arena
+        byte-for-byte identical to a default-config run — the knob
+        touches nothing when off."""
+        results = []
+        for config in (small_config(scheme=scheme),
+                       small_config(scheme=scheme, group_commit=False)):
+            engine = open_engine(config)
+            _run_workload(engine, items=12)
+            results.append(engine.pm.read(0, config.arena_bytes))
+        assert results[0] == results[1]
+
+
+class TestCommitDurability:
+    @pytest.mark.parametrize("scheme", ("fast", "fastplus"))
+    def test_commit_durable_flips_at_epoch_close(self, scheme):
+        engine = open_engine(grouped_config(scheme=scheme,
+                                            group_commit_size=64))
+        session = engine.session("c0")
+        txn = session.transaction()
+        txn.insert(b"pending", PAYLOAD)
+        txn.commit()
+        assert not session.commit_durable  # committed, riding the epoch
+        engine.drain_group_commit()
+        assert session.commit_durable
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_always_durable_without_grouping(self, scheme):
+        engine = open_engine(small_config(scheme=scheme))
+        session = engine.session("c0")
+        txn = session.transaction()
+        txn.insert(b"solid", PAYLOAD)
+        txn.commit()
+        assert session.commit_durable
+
+
+class TestFenceAmortization:
+    def _marginal_fences(self, scheme, config, items=24):
+        engine = open_engine(config)
+        snapshot = engine.obs.snapshot()
+        for i in range(items):
+            engine.insert(b"fk%04d" % i, PAYLOAD)
+        engine.drain_group_commit()
+        delta = engine.obs.since(snapshot)["registry"]["counters"]
+        return delta.get("pm.fence", 0) / items
+
+    def test_group_of_four_halves_fences(self):
+        """The acceptance floor: group size 4 must pay at least 2x
+        fewer fences per committed transaction than ungrouped
+        (measured marginally — format-time fences excluded)."""
+        plain = self._marginal_fences("fast", small_config(scheme="fast"))
+        grouped = self._marginal_fences("fast", grouped_config(scheme="fast"))
+        assert plain >= 2.0 * grouped
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_grouping_never_adds_fences(self, scheme):
+        """Even where the ungrouped path is already cheap (FAST+
+        in-place commits, NVWAL's per-frame installs) grouping must
+        strictly reduce fences per transaction, never add them."""
+        plain = self._marginal_fences(scheme, small_config(scheme=scheme))
+        grouped = self._marginal_fences(scheme, grouped_config(scheme=scheme))
+        assert grouped < plain
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_one_mark_per_epoch(self, scheme):
+        engine = open_engine(grouped_config(scheme=scheme))
+        snapshot = engine.obs.snapshot()
+        for i in range(16):
+            engine.insert(b"fk%04d" % i, PAYLOAD)
+        engine.drain_group_commit()
+        delta = engine.obs.since(snapshot)["registry"]["counters"]
+        marks = delta.get("log.commit_mark", 0) + delta.get(
+            "wal.commit_mark", 0)
+        assert marks == delta.get("group.close", 0)
+        assert delta.get("group.join", 0) == 16
+
+
+class TestEpochCloseCrashSweep:
+    """Stride-1 injection through the epoch-close window.
+
+    The workloads are sized below the group size, so the only close is
+    the end-of-run drain — every armed memory event of the stage ->
+    shared fence -> group mark sequence gets its own crash point, and
+    recovery must land on an epoch-granular prefix (all members or
+    none; the group-aware validator in crashsim rejects torn groups).
+    """
+
+    @pytest.mark.parametrize("scheme", ("fast", "fastplus"))
+    def test_close_window_all_or_nothing(self, scheme):
+        config = SystemConfig(group_commit=True, group_commit_size=4,
+                              **SMALL)
+        workload = [("insert", b"ck%02d" % i, PAYLOAD) for i in range(3)]
+        failures = run_crash_sweep(scheme, workload, config=config,
+                                   stride=1, seeds=(0,))
+        assert failures == []
+
+    @pytest.mark.parametrize("scheme", ("fast", "fastplus"))
+    def test_multi_epoch_sweep(self, scheme):
+        """A workload spanning a mid-run size-triggered close plus the
+        final drain: stride-1 over every armed event."""
+        config = SystemConfig(group_commit=True, group_commit_size=2,
+                              **SMALL)
+        workload = [("insert", b"ck%02d" % i, PAYLOAD) for i in range(5)]
+        workload.append(("update", b"ck00", PAYLOAD[::-1]))
+        failures = run_crash_sweep(scheme, workload, config=config,
+                                   stride=1, seeds=(0,))
+        assert failures == []
+
+
+class TestShardedGroupCommit:
+    @pytest.mark.parametrize("scheme", ("fast", "fastplus"))
+    def test_cross_shard_equivalence(self, scheme):
+        """Grouped sharded runs (2PC decisions riding the epochs) end
+        in the same logical state as ungrouped ones."""
+        from repro.storage.sharding import ShardRouter
+
+        keys = [b"sk%04d" % i for i in range(24)]
+        finals = []
+        for config in (small_config(scheme=scheme),
+                       grouped_config(scheme=scheme)):
+            router = ShardRouter.create(config, 2, scheme=scheme)
+            session = router.session("c0")
+            for i, key in enumerate(keys):
+                txn = session.transaction()
+                txn.insert(key, PAYLOAD, replace=True)
+                if i % 3 == 2:  # a cross-shard multi-op transaction
+                    txn.insert(keys[(i + 7) % len(keys)], PAYLOAD[::-1],
+                               replace=True)
+                txn.commit()
+            router.drain_group_commit()
+            finals.append((router.verify(),
+                           [router.search(key) for key in keys]))
+        assert finals[0] == finals[1]
