@@ -54,6 +54,9 @@ SHARD_CLIENTS = 8
 #: flushes) over group size x client count, size 0 = grouping off.
 GROUP_SIZES = (0, 2, 4)
 GROUP_CLIENTS = (2, 8)
+#: OCC sweep: locked-vs-optimistic twins over client count x conflict
+#: mix (mixes come from ``repro.bench.multiclient.OCC_MIXES``).
+OCC_CLIENTS = (2, 8)
 
 
 def _summarize(result):
@@ -98,6 +101,20 @@ def _summarize_group(result):
     return summary
 
 
+def _summarize_occ(result):
+    """The comparable (and committed) slice of one isolation cell."""
+    summary = _summarize(result)
+    summary["isolation"] = result["isolation"]
+    summary["mix"] = result["mix"]
+    summary["lock_acquires_per_commit"] = round(
+        result["lock_acquires_per_commit"], 3,
+    )
+    summary["occ_commits"] = result["counters"]["occ.commit"]
+    summary["occ_abort_rate"] = round(result["occ_abort_rate"], 3)
+    summary["occ_fallbacks"] = result["occ_fallbacks"]
+    return summary
+
+
 def _summarize_sharded(result):
     """The comparable (and committed) slice of one sharded run."""
     return {
@@ -120,13 +137,13 @@ def _summarize_sharded(result):
 
 def run_grid():
     from repro.bench.multiclient import (
-        run_multi_client, run_read_mostly, sweep_group_commit,
+        run_multi_client, run_read_mostly, sweep_group_commit, sweep_occ,
         sweep_shards,
     )
 
     grid = {"workload": {"items_per_client": ITEMS, "seed": SEED},
             "client_sweep": {}, "mix_sweep": {}, "mvcc_sweep": {},
-            "shard_sweep": {}, "group_sweep": {}}
+            "shard_sweep": {}, "group_sweep": {}, "occ_sweep": {}}
     for scheme in SCHEMES:
         grid["client_sweep"][scheme] = [
             _summarize(run_multi_client(
@@ -153,6 +170,12 @@ def run_grid():
             for row in sweep_group_commit(
                 scheme, group_sizes=GROUP_SIZES, counts=GROUP_CLIENTS,
                 items=ITEMS, seed=SEED,
+            )
+        ]
+        grid["occ_sweep"][scheme] = [
+            _summarize_occ(row)
+            for row in sweep_occ(
+                scheme, counts=OCC_CLIENTS, items=ITEMS, seed=SEED,
             )
         ]
     for scheme in SHARD_SCHEMES:
@@ -197,6 +220,23 @@ def _print_grid(grid):
                 r["fence_reduction_vs_ungrouped"],
             )
             for r in rows
+        ))
+    print("occ sweep (locked vs optimistic twins): lock acquires per "
+          "committed txn")
+    for scheme in SCHEMES:
+        rows = grid["occ_sweep"][scheme]
+        cells = {}
+        for r in rows:
+            cells.setdefault((r["mix"], r["clients"]), {})[r["isolation"]] = r
+        print("  %-9s " % scheme + "  ".join(
+            "%s/%dc %.2f->%.2f la/txn (%.0f%% ab, %d fb)" % (
+                mix[:4], count,
+                pair["locked"]["lock_acquires_per_commit"],
+                pair["occ"]["lock_acquires_per_commit"],
+                100 * pair["occ"]["occ_abort_rate"],
+                pair["occ"]["occ_fallbacks"],
+            )
+            for (mix, count), pair in sorted(cells.items())
         ))
     print("shard sweep (%d clients, disjoint per-shard pools): modeled "
           "parallel throughput" % SHARD_CLIENTS)
@@ -275,7 +315,7 @@ def main(argv=None):
                   "concurrency behavior changed (run --update if intended)"
                   % BASELINE_PATH.name, file=sys.stderr)
             for section in ("client_sweep", "mix_sweep", "mvcc_sweep",
-                            "shard_sweep", "group_sweep"):
+                            "shard_sweep", "group_sweep", "occ_sweep"):
                 for scheme in SCHEMES:
                     got = grid[section].get(scheme)
                     want = (baseline.get(section) or {}).get(scheme)

@@ -21,6 +21,12 @@ invariants apply to:
   adding the snapshot invariant (TC107): a read-only transaction must
   acquire zero locks and only resolve versions with commit timestamp
   ≤ its pinned snapshot timestamp;
+* :func:`run_occ_single_client` / :func:`run_occ_scheduled` /
+  :func:`run_occ_crash_swept` — the optimistic writer path (TC109): a
+  lock-free read phase, commit-time validation against the version
+  publish history, installs under short X locks only after a clean
+  validation — single-session, racing 2PL writers and MVCC readers
+  under the scheduler (grouped and ungrouped), and crash-swept;
 * :func:`run_crash_swept` — the crash-injection sweep with a checker
   riding along on every budgeted run: ordering violations surface even
   at executions that happen to recover correctly;
@@ -177,6 +183,103 @@ def run_mvcc_scheduled(scheme, *, writers=2, readers=2, items=12,
     return findings, _account(engine, checker)
 
 
+def run_occ_single_client(scheme, *, items=30, config=None):
+    """Full-invariant checked run of one OCC session: lock-free read
+    phase, commit-time validation, write-set install under short X
+    locks — the live-range and mark-ordering rules apply to the
+    install's commit exactly as to a 2PL transaction's, and the occ
+    invariant (TC109) audits the validation exchange itself."""
+    config = config or SystemConfig(**_SMALL_CONFIG)
+    engine = open_engine(config, scheme=scheme)
+    checker = TraceChecker.for_engine(engine)
+    with engine.session("occ", isolation="occ") as session:
+        for item in _workload(items):
+            checker.begin_txn(TraceChecker.live_ranges_of(engine))
+            txn = session.transaction()
+            _execute(txn, item)
+            txn.commit()
+    findings = checker.finish()
+    return findings, _account(engine, checker)
+
+
+def run_occ_scheduled(scheme, *, occ=2, locked=1, readers=1, items=10,
+                      config=None):
+    """Mixed-isolation scheduler run with the occ invariant armed: OCC
+    writers racing 2PL writers and MVCC readers over one hot keyspace,
+    so validation aborts, install conflicts, retries, and 2PL
+    fallbacks all happen under the checker (TC104-TC107 plus TC109 off
+    one interleaved event stream)."""
+    from repro.bench.multiclient import client_workload
+    from repro.core.scheduler import Scheduler
+
+    config = config or SystemConfig(**_SMALL_CONFIG)
+    engine = open_engine(config, scheme=scheme)
+    payload = bytes(48)
+    for i in range(0, 200, 4):
+        engine.insert(b"mk%05d" % i, payload, replace=True)
+    checker = TraceChecker.for_engine(
+        engine,
+        invariants=("flush", "atomic", "twopl", "snapshot", "occ"),
+    )
+    scheduler = Scheduler(engine, on_step=lambda _client: checker.advance())
+    for index in range(occ):
+        scheduler.add_client(
+            client_workload(index, items=items), isolation="occ",
+        )
+    for index in range(occ, occ + locked):
+        scheduler.add_client(client_workload(index, items=items))
+    for index in range(occ + locked, occ + locked + readers):
+        scheduler.add_client(
+            client_workload(index, items=items, read_ratio=1.0),
+            isolation="read_only",
+        )
+    scheduler.run()
+    findings = checker.finish()
+    return findings, _account(engine, checker)
+
+
+def run_occ_crash_swept(scheme, *, items=4, stride=11, max_points=30):
+    """Scheduled crash sweep with an OCC client racing a 2PL client and
+    an occ-armed checker sealed at every crash point (same contract as
+    :func:`run_crash_swept`: recovery itself is unchecked, and sweep
+    failures surface as TC000 findings)."""
+    from repro.analysis.findings import Finding
+    from repro.bench.multiclient import client_workload
+    from repro.testing.crashsim import run_scheduler_crash_sweep
+
+    checkers = []
+
+    def factory(engine):
+        checker = TraceChecker.for_engine(
+            engine,
+            invariants=("flush", "atomic", "twopl", "snapshot", "occ"),
+        )
+        checkers.append(checker)
+        return checker
+
+    workloads = [
+        {"items": client_workload(0, items=items), "isolation": "occ"},
+        client_workload(1, items=items),
+    ]
+    failures = run_scheduler_crash_sweep(
+        scheme, workloads, stride=stride, seeds=(0,),
+        max_points=max_points, checker_factory=factory,
+    )
+    findings = []
+    stats = {"txns": 0, "events": 0, "findings": 0}
+    for checker in checkers:
+        findings.extend(checker.findings)
+        for key in stats:
+            stats[key] += checker.stats[key]
+    for budget, result in failures:
+        findings.append(Finding(
+            "TC000",
+            "occ crash sweep violation at budget %d: %s"
+            % (budget, "; ".join(result.violations)),
+        ))
+    return findings, stats
+
+
 def run_crash_swept(scheme, *, items=6, stride=7, max_points=40):
     """The crash-injection sweep with a checker on every budgeted run.
 
@@ -233,7 +336,9 @@ def run_sharded_scheduled(scheme, *, shards=2, clients=4, items=10,
 
     config = config or SystemConfig(**_SMALL_CONFIG)
     router = ShardRouter.create(config, shards, scheme=scheme)
-    checkers = [TraceChecker(router.trace, invariants=("twopl", "twopc"))]
+    checkers = [
+        TraceChecker(router.trace, invariants=("twopl", "twopc", "occ"))
+    ]
     for shard in router.shards:
         checkers.append(TraceChecker.for_engine(
             shard, invariants=("flush", "atomic"), shared_trace=True,
@@ -249,6 +354,16 @@ def run_sharded_scheduled(scheme, *, shards=2, clients=4, items=10,
             index, items=items, cross_ratio=cross_ratio,
             key_space=20, read_ratio=0.2,
         ))
+    # One optimistic client over client 0's exact key slice: per-shard
+    # validation + install inside the commit path, single-shard and
+    # cross-shard (2PC) alike, with contention guaranteed.
+    scheduler.add_client(
+        sharded_client_workload(
+            0, items=items, cross_ratio=cross_ratio,
+            key_space=20, read_ratio=0.2,
+        ),
+        isolation="occ",
+    )
     scheduler.run()
     findings = []
     for checker in checkers:
@@ -329,6 +444,10 @@ def run_all(schemes=SCHEMES):
         merge(run_scheduled(scheme))
         merge(run_scheduled(scheme, config=grouped))
         merge(run_mvcc_scheduled(scheme))
+        merge(run_occ_single_client(scheme))
+        merge(run_occ_scheduled(scheme))
+        merge(run_occ_scheduled(scheme, config=grouped))
+        merge(run_occ_crash_swept(scheme))
         merge(run_crash_swept(scheme))
         merge(run_sharded_scheduled(scheme))
         merge(run_sharded_crash_swept(scheme))

@@ -256,6 +256,56 @@ def _tc108_abort():
     return checker.finish()
 
 
+def _tc109():
+    # An OCC session taking a lock during its read phase (before the
+    # commit-point validation) — the optimistic path silently
+    # degraded into hybrid locking.
+    checker = _ordering_checker()
+    checker.feed([
+        (1, 0.0, ev.TXN_BEGIN, 1, 0),
+        (2, 0.0, ev.OCC_BEGIN, 1, 100),
+        (3, 0.0, ev.OCC_READ, 1, _RES_A),
+        (4, 0.0, ev.LOCK_ACQUIRE, 1, _RES_A),
+        (5, 0.0, ev.OCC_VALIDATE, 1, 100),
+        (6, 0.0, ev.LOCK_RELEASE, 1, _RES_A),
+        (7, 0.0, ev.TXN_COMMIT, 1, 0),
+    ])
+    return checker.finish()
+
+
+def _tc109_stale():
+    # A validated commit whose read set has a committed version in
+    # (pin_ts, commit_ts] — validation let a stale read through.
+    checker = _ordering_checker()
+    checker.feed([
+        (1, 0.0, ev.TXN_BEGIN, 1, 0),
+        (2, 0.0, ev.OCC_BEGIN, 1, 100),
+        (3, 0.0, ev.OCC_READ, 1, _RES_A),
+        (4, 0.0, ev.VERSION_PUBLISH, _RES_A, 150),
+        (5, 0.0, ev.OCC_VALIDATE, 1, 100),
+        (6, 0.0, ev.TXN_COMMIT, 1, 0),
+    ])
+    return checker.finish()
+
+
+def _occ_good():
+    # A clean optimistic commit: lock-free read phase, an *older*
+    # concurrent publish (ts ≤ pin is not stale), install locks only
+    # after validation, all released before commit.  Zero findings.
+    checker = _ordering_checker()
+    checker.feed([
+        (1, 0.0, ev.TXN_BEGIN, 1, 0),
+        (2, 0.0, ev.OCC_BEGIN, 1, 100),
+        (3, 0.0, ev.OCC_READ, 1, _RES_A),
+        (4, 0.0, ev.VERSION_PUBLISH, _RES_A, 90),
+        (5, 0.0, ev.OCC_VALIDATE, 1, 100),
+        (6, 0.0, ev.LOCK_ACQUIRE, 1, _RES_A),
+        (7, 0.0, ev.LOCK_RELEASE, 1, _RES_A),
+        (8, 0.0, ev.TXN_COMMIT, 1, 0),
+    ])
+    return checker.finish()
+
+
 DYNAMIC_FIXTURES = {
     "TC101": _tc101,
     "TC101-group": _tc101_group,
@@ -271,12 +321,15 @@ DYNAMIC_FIXTURES = {
     "TC108": _tc108,
     "TC108-decision": _tc108_decision,
     "TC108-abort": _tc108_abort,
+    "TC109": _tc109,
+    "TC109-stale": _tc109_stale,
 }
 
 #: Known-good traces that must produce ZERO findings — guards against
 #: a checker growing a false positive (e.g. rejecting group marks).
 GOOD_FIXTURES = {
     "group-mark": _group_good,
+    "occ-commit": _occ_good,
 }
 
 

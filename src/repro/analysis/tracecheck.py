@@ -46,6 +46,19 @@ ordering theorem *as it executes*:
     isolation).  A sharded reader pins one snapshot per shard touched
     (several ``snapshot_begin`` events per sid); the checker keeps the
     newest pin.
+``TC109`` (optimistic concurrency control)
+    An OCC transaction (``occ_begin`` … commit) must acquire **zero**
+    locks before its commit point (``occ_validate``) — the read phase
+    is lock-free by construction, and a pre-validation lock means the
+    optimistic path silently degraded into hybrid locking.  And a
+    *validated* commit's read set must be genuinely clean: replaying
+    the ``version_publish`` history, no resource the transaction read
+    (``occ_read``) may carry a committed version in ``(pin_ts,
+    commit_ts]`` unless the transaction raised ``occ_conflict`` and
+    aborted.  Sharded transactions pin one shard-local timestamp per
+    leg (the shard namespace rides the ``occ_begin`` payload's high
+    bits), and each read resource validates against its own shard's
+    pin.
 ``TC108`` (two-phase commit ordering)
     A shard's 2PC commit mark (``twopc_commit``) must be preceded by
     that shard's prepare record (``twopc_prepare``) AND the
@@ -68,7 +81,13 @@ from repro.obs import trace as ev
 _WORD = 8
 
 #: Everything the checker can assert; pick a subset per corpus.
-ALL_INVARIANTS = ("flush", "atomic", "live", "twopl", "snapshot", "twopc")
+ALL_INVARIANTS = (
+    "flush", "atomic", "live", "twopl", "snapshot", "twopc", "occ",
+)
+
+#: Shard-namespace shift of packed resource idents and occ_begin pin
+#: words (== repro.storage.sharding.SHARD_NS_SHIFT; 0 when unsharded).
+_NS_SHIFT = 24
 
 
 def _lines_of(addr, length):
@@ -82,6 +101,19 @@ class _SessionState:
         self.held = {}        # resource -> mode
         self.released = False
         self.open = False
+
+
+class _OccState:
+    """One OCC transaction's window (``occ_begin`` .. txn end)."""
+
+    __slots__ = ("pins", "reads", "validated", "stale", "conflicted")
+
+    def __init__(self):
+        self.pins = {}        # shard namespace -> pinned timestamp
+        self.reads = set()    # packed read-set resource words
+        self.validated = False
+        self.stale = ()       # stale resources recomputed at validate
+        self.conflicted = False
 
 
 class TraceChecker:
@@ -123,6 +155,9 @@ class TraceChecker:
         self._waits = {}          # sid -> (resource, mode)
         # -- MVCC snapshot state --------------------------------------
         self._snapshot_ts = {}    # sid -> pinned snapshot timestamp
+        # -- OCC state ------------------------------------------------
+        self._occ = {}            # sid -> _OccState (occ_begin .. txn end)
+        self._publish_ts = {}     # packed resource -> latest publish ts
         # -- 2PC state ------------------------------------------------
         self._twopc = {}          # gtid -> {prepared, decision, committed}
 
@@ -296,6 +331,22 @@ class TraceChecker:
             self._on_snapshot_read(seq, a, b)
         elif kind == ev.SNAPSHOT_END:
             self._snapshot_ts.pop(a, None)
+        elif kind == ev.OCC_BEGIN:
+            state = self._occ.setdefault(a, _OccState())
+            state.pins[b >> _NS_SHIFT] = b & ((1 << _NS_SHIFT) - 1)
+        elif kind == ev.OCC_READ:
+            state = self._occ.get(a)
+            if state is not None:
+                state.reads.add(b)
+        elif kind == ev.OCC_VALIDATE:
+            self._on_occ_validate(seq, a)
+        elif kind == ev.OCC_CONFLICT:
+            state = self._occ.get(a)
+            if state is not None:
+                state.conflicted = True
+        elif kind == ev.VERSION_PUBLISH:
+            previous = self._publish_ts.get(a, 0)
+            self._publish_ts[a] = max(previous, b)
         elif kind == ev.TWOPC_PREPARE:
             self._twopc_state(a)["prepared"].add(b)
         elif kind == ev.TWOPC_DECISION:
@@ -443,6 +494,18 @@ class TraceChecker:
     # ------------------------------------------------------------------
 
     def _on_lock_acquire(self, seq, sid, word, *, upgrade):
+        if "occ" in self.invariants:
+            occ = self._occ.get(sid)
+            if occ is not None and not occ.validated:
+                resource, mode = decode_lock(word)
+                self.findings.append(Finding(
+                    "TC109",
+                    "OCC session %d %s %s on %r before validating "
+                    "(the read phase must acquire zero locks)"
+                    % (sid, "upgraded to" if upgrade else "acquired",
+                       mode, (resource,)[0]),
+                    trace_seq=seq,
+                ))
         if "snapshot" in self.invariants and sid in self._snapshot_ts:
             resource, mode = decode_lock(word)
             self.findings.append(Finding(
@@ -497,6 +560,7 @@ class TraceChecker:
         state.released = False
         state.open = False
         self._waits.pop(sid, None)
+        self._on_occ_txn_end(seq, sid, committed=committed)
 
     # ------------------------------------------------------------------
     # TC107 — lock-free snapshot reads
@@ -512,6 +576,56 @@ class TraceChecker:
                 "snapshot session %d read a version committed at ts %d "
                 "> its snapshot ts %d (snapshot isolation violated)"
                 % (sid, version_ts, snapshot_ts),
+                trace_seq=seq,
+            ))
+
+    # ------------------------------------------------------------------
+    # TC109 — optimistic concurrency control
+    # ------------------------------------------------------------------
+
+    def _on_occ_validate(self, seq, sid):
+        """Recompute the stale set independently: the read set against
+        the ``version_publish`` history at this instant.  Validation is
+        the transaction's commit point (the cooperative scheduler runs
+        validate-then-install atomically), so "committed version in
+        ``(pin_ts, commit_ts]``" is exactly "published ts > pin as of
+        this event" — recomputing here also keeps the transaction's own
+        installs (published before its TXN_COMMIT) out of the check."""
+        state = self._occ.get(sid)
+        if state is None:
+            return
+        state.validated = True
+        if "occ" not in self.invariants:
+            return
+        stale = []
+        for resource in sorted(state.reads):
+            ident = decode_lock(resource)[0][1]
+            pin = state.pins.get(ident >> _NS_SHIFT)
+            if pin is None:
+                continue
+            if self._publish_ts.get(resource, 0) > pin:
+                stale.append(resource)
+        state.stale = tuple(stale)
+
+    def _on_occ_txn_end(self, seq, sid, *, committed):
+        state = self._occ.pop(sid, None)
+        if state is None or "occ" not in self.invariants:
+            return
+        if not committed:
+            return
+        if not state.validated:
+            self.findings.append(Finding(
+                "TC109",
+                "OCC session %d committed without validating its read "
+                "set" % sid,
+                trace_seq=seq,
+            ))
+        elif state.stale and not state.conflicted:
+            self.findings.append(Finding(
+                "TC109",
+                "OCC session %d committed with %d stale read-set "
+                "resource(s) (first: %#x has a committed version newer "
+                "than the pin)" % (sid, len(state.stale), state.stale[0]),
                 trace_seq=seq,
             ))
 

@@ -66,7 +66,7 @@ def run_multi_client(scheme, *, clients=4, items=50, read_ratio=0.5,
                      key_space=200, seed=7, read_ns=300.0, write_ns=300.0,
                      record_size=48, preload=64, config=None,
                      checker_factory=None, readers=0, mvcc=False,
-                     extra_counters=()):
+                     isolation=None, extra_counters=()):
     """One contention run: N clients, shared engine, full report.
 
     ``checker_factory`` (optional) is called with the engine and must
@@ -82,6 +82,12 @@ def run_multi_client(scheme, *, clients=4, items=50, read_ratio=0.5,
     snapshot sessions over the version chains.  The reader workloads
     are byte-identical across the two modes, so a locked-vs-MVCC pair
     of runs isolates the cost of reader locking.
+
+    ``isolation`` picks the concurrency mode of the ``clients`` mixed
+    clients (``None`` = classic strict 2PL, ``"occ"`` = optimistic
+    snapshot writers that validate at commit).  Workload bytes are
+    identical either way, so a locked-vs-OCC pair of runs isolates the
+    cost and abort behavior of the writer protocol.
     """
     config = config or build_config(
         scheme, read_ns=read_ns, write_ns=write_ns,
@@ -105,7 +111,8 @@ def run_multi_client(scheme, *, clients=4, items=50, read_ratio=0.5,
             client_workload(
                 index, items=items, read_ratio=read_ratio,
                 key_space=key_space, seed=seed, record_size=record_size,
-            )
+            ),
+            isolation=isolation,
         )
     for index in range(clients, clients + readers):
         scheduler.add_client(
@@ -197,6 +204,82 @@ def sweep_read_mostly(scheme, *, counts=(2, 4, 8), mvcc=False, **kwargs):
         run_read_mostly(scheme, clients=count, mvcc=mvcc, **kwargs)
         for count in counts
     ]
+
+
+# ----------------------------------------------------------------------
+# OCC writer path: lock traffic and abort behavior vs. strict 2PL
+# ----------------------------------------------------------------------
+
+#: OCC counters reported by the isolation sweep (marginal deltas over
+#: the scheduled window, like everything else in the run report).
+_OCC_COUNTERS = (
+    "occ.begin", "occ.validation", "occ.validation.abort",
+    "occ.install.conflict", "occ.commit", "occ.fallback",
+    "occ.lock_hold_ns", "sched.abort.occ",
+)
+
+
+def run_isolation_cell(scheme, *, isolation="locked", clients=8,
+                       read_ratio=0.9, key_space=100, **kwargs):
+    """One contention run under a chosen writer protocol.
+
+    Identical workload bytes to :func:`run_multi_client`; the report
+    gains the derived axis the OCC refactor moves —
+    ``lock_acquires_per_commit`` (strict 2PL pays locks across the
+    whole transaction, OCC only across the commit-time write-set
+    install) — plus the price OCC pays for it: validation-abort rate
+    and 2PL-fallback count.
+    """
+    result = run_multi_client(
+        scheme, clients=clients, read_ratio=read_ratio,
+        key_space=key_space,
+        isolation=None if isolation == "locked" else isolation,
+        extra_counters=_OCC_COUNTERS, **kwargs,
+    )
+    counters = result["counters"]
+    commits = result["commits"]
+    validations = counters["occ.validation"]
+    result["isolation"] = isolation
+    result["lock_acquires_per_commit"] = (
+        counters["lock.acquire"] / commits if commits else 0.0
+    )
+    result["occ_abort_rate"] = (
+        counters["occ.validation.abort"] / validations
+        if validations else 0.0
+    )
+    result["occ_fallbacks"] = counters["occ.fallback"]
+    return result
+
+
+#: The swept conflict mixes: (name, read_ratio, key_space).  Conflict
+#: probability rises as the write share grows and the hot key space
+#: shrinks; ``hot_writes`` is deliberately hostile so the sweep shows
+#: the validation-abort + 2PL-fallback regime, not just the win.
+OCC_MIXES = (
+    ("read_mostly", 0.9, 100),
+    ("low_conflict_writes", 0.5, 400),
+    ("hot_writes", 0.2, 20),
+)
+
+
+def sweep_occ(scheme, *, counts=(2, 8), mixes=OCC_MIXES, **kwargs):
+    """Locked-vs-OCC grid over client count x conflict mix.
+
+    Each (mix, count) pair runs the *same* workload bytes twice — once
+    under strict 2PL, once optimistically — so every OCC row can be
+    read directly against its locked twin.
+    """
+    rows = []
+    for mix, read_ratio, key_space in mixes:
+        for count in counts:
+            for isolation in ("locked", "occ"):
+                row = run_isolation_cell(
+                    scheme, isolation=isolation, clients=count,
+                    read_ratio=read_ratio, key_space=key_space, **kwargs,
+                )
+                row["mix"] = mix
+                rows.append(row)
+    return rows
 
 
 # ----------------------------------------------------------------------

@@ -85,33 +85,60 @@ class Transaction:
     def __init__(self, engine, session=None):
         self.engine = engine
         self.session = session
-        if session is not None and session.read_only:
+        self._locked = False
+        self._snapshot = False
+        self._occ = False
+        # One lifecycle, three isolation modes: the session's state
+        # machine (Session._begin_mode) picks how this transaction
+        # reads and writes; everything downstream dispatches on the
+        # _locked/_snapshot/_occ flags set here.
+        mode = "locked" if session is None else session._begin_mode()
+        if mode == "read_only":
             # Read-only snapshot transaction: the context is a
             # SnapshotContext pinned at the current commit frontier —
             # no scheme context, no locks, no IS/S traffic at all.
             ctx = engine.version_manager.begin_snapshot(session)
-            self._op_segment = session.op_segment
-            self._locked = False
             self._snapshot = True
+        elif mode == "occ":
+            # Optimistic transaction: reads at a pinned *tracked*
+            # snapshot, writes buffered in a private write set that
+            # installs (under short X locks) only at commit.
+            from repro.core.occ import OccContext
+
+            ctx = OccContext(engine, session)
+            self._occ = True
         else:
             ctx = engine._new_context(session=session)
-            self._snapshot = False
             if session is not None:
                 ctx = session._wrap_context(ctx)
-                self._op_segment = session.op_segment
                 self._locked = session.locking
-            else:
-                self._op_segment = _null_segment
-                self._locked = False
+        if session is not None:
+            self._op_segment = session.op_segment
+        else:
+            self._op_segment = _null_segment
         self.ctx = ctx
         self._done = False
 
     @property
     def inner_ctx(self):
         """The scheme context itself (unwrapping any lock shim) — what
-        the engine's commit/rollback/recovery paths consume."""
+        the engine's commit/rollback/recovery paths consume.  For an
+        OCC transaction this is the installed context once the write
+        set has replayed (the OccContext itself before that)."""
         ctx = self.ctx
+        if self._occ:
+            return ctx.installed_ctx if ctx.installed_ctx is not None else ctx
         return ctx.inner if self._locked else ctx
+
+    @property
+    def pinned_snapshot(self):
+        """The MVCC snapshot this transaction pinned (read-only and
+        OCC modes; None otherwise) — the session epilogue unpins it."""
+        if self._snapshot:
+            return self.ctx
+        if self._occ:
+            return self.ctx.snapshot
+        return None
 
     # -- data operations ------------------------------------------------
 
@@ -119,6 +146,9 @@ class Transaction:
         self._check_open()
         self._check_writable()
         with self._op_segment():
+            if self._occ:
+                self.ctx.occ_insert(root_slot, key, value, replace=replace)
+                return
             if self._locked:
                 self.ctx.begin_op()
                 self.ctx.lock_root(root_slot, LOCK_IX)
@@ -130,6 +160,8 @@ class Transaction:
         self._check_open()
         self._check_writable()
         with self._op_segment():
+            if self._occ:
+                return self.ctx.occ_update(root_slot, key, value)
             if self._locked:
                 self.ctx.begin_op()
                 self.ctx.lock_root(root_slot, LOCK_IX)
@@ -139,6 +171,8 @@ class Transaction:
         self._check_open()
         self._check_writable()
         with self._op_segment():
+            if self._occ:
+                return self.ctx.occ_delete(root_slot, key)
             if self._locked:
                 self.ctx.begin_op()
                 self.ctx.lock_root(root_slot, LOCK_IX)
@@ -148,6 +182,8 @@ class Transaction:
         """Read inside the transaction (sees its own writes)."""
         self._check_open()
         with self._op_segment():
+            if self._occ:
+                return self.ctx.occ_search(root_slot, key)
             if self._locked:
                 self.ctx.begin_op()
                 self.ctx.lock_root(root_slot, LOCK_IS)
@@ -155,6 +191,8 @@ class Transaction:
 
     def scan(self, lo=None, hi=None, *, root_slot=0):
         self._check_open()
+        if self._occ:
+            return self.ctx.occ_scan(root_slot, lo, hi)
         if self._locked:
             self.ctx.begin_op()
             self.ctx.lock_root(root_slot, LOCK_IS)
@@ -165,6 +203,9 @@ class Transaction:
         self._check_open()
         self._check_writable()
         with self._op_segment():
+            if self._occ:
+                self.ctx.occ_create(root_slot)
+                return
             if self._locked:
                 self.ctx.begin_op()
                 self.ctx.lock_root(root_slot, LOCK_IX)
@@ -194,49 +235,74 @@ class Transaction:
 
     # -- lifecycle --------------------------------------------------------
 
+    def _finish(self, committed, work):
+        """The one transaction epilogue every isolation mode shares:
+        run the scheme work (if any) inside the session's clock
+        segment, count the outcome, then — committed, aborted, or
+        crashed mid-commit — hand the transaction back to its owner.
+        """
+        try:
+            if work is not None:
+                with self._op_segment():
+                    work()
+            self.engine.obs.inc(
+                "engine.txn.commit" if committed else "engine.txn.rollback"
+            )
+        finally:
+            if self.session is None:
+                self.engine._active = None
+            else:
+                self.session._txn_finished(self, committed=committed)
+
     def commit(self):
         self._check_open()
+        if self._occ:
+            # May raise OCCConflict, leaving the transaction OPEN: the
+            # caller (normally the scheduler) rolls it back and
+            # retries, eventually under the 2PL fallback.
+            self._commit_occ()
+            return
         self._done = True
         if self._snapshot:
             # Nothing to make durable: a snapshot read nothing but
             # committed versions and wrote nothing.  Ending the
             # transaction unpins the snapshot (advancing the GC
             # watermark) via the session epilogue.
-            self.engine.obs.inc("engine.txn.commit")
-            self.session._txn_finished(self, committed=True)
+            self._finish(True, None)
             return
+        self._finish(True, lambda: self.engine._commit(self.inner_ctx))
+
+    def _commit_occ(self):
+        """Validate + install the OCC write set (see repro.core.occ)."""
+        from repro.core.occ import OCCConflict, occ_commit
+
+        session = self.session
         try:
             with self._op_segment():
-                self.engine._commit(self.inner_ctx)
-            self.engine.obs.inc("engine.txn.commit")
-        finally:
-            if self.session is None:
-                self.engine._active = None
-            else:
-                self.session._txn_finished(self, committed=True)
+                occ_commit(self.engine, session, self.ctx)
+        except OCCConflict:
+            session._occ_failed()
+            raise
+        self._done = True
+        self._finish(True, None)
 
     def rollback(self):
         self._check_open()
         self._done = True
-        if self._snapshot:
-            self.engine.obs.inc("engine.txn.rollback")
-            self.session._txn_finished(self, committed=False)
+        if self._snapshot or self._occ:
+            # Nothing durable to undo: a snapshot wrote nothing, and
+            # an OCC write set that never installed (or whose install
+            # already rolled back precisely) lives only in the buffer.
+            self._finish(False, None)
             return
-        try:
-            with self._op_segment():
-                if self._locked:
-                    # Concurrent sessions roll back precisely: other
-                    # sessions' uncommitted pages must survive, so no
-                    # global garbage collection here.
-                    self.engine._rollback_precise(self.inner_ctx)
-                else:
-                    self.engine._rollback(self.inner_ctx)
-            self.engine.obs.inc("engine.txn.rollback")
-        finally:
-            if self.session is None:
-                self.engine._active = None
-            else:
-                self.session._txn_finished(self, committed=False)
+        if self._locked:
+            # Concurrent sessions roll back precisely: other
+            # sessions' uncommitted pages must survive, so no
+            # global garbage collection here.
+            work = lambda: self.engine._rollback_precise(self.inner_ctx)
+        else:
+            work = lambda: self.engine._rollback(self.inner_ctx)
+        self._finish(False, work)
 
     def __enter__(self):
         return self
@@ -437,6 +503,18 @@ class Engine:
         historical API; sessions don't pass through here)."""
         if self._active is not None:
             raise TransactionError("a transaction is already active")
+        for session in self._sessions.values():
+            # The implicit transaction bypasses the lock manager, so
+            # letting it overlap a locked or OCC session's open
+            # transaction would silently break their isolation.
+            # Read-only snapshot sessions are exempt by design: MVCC
+            # readers never block writers.
+            if session.in_transaction and not session.read_only:
+                raise TransactionError(
+                    "implicit engine.transaction() cannot overlap session "
+                    "%r's open transaction; commit it first or use a "
+                    "session of your own" % session.name
+                )
         txn = Transaction(self)
         self._active = txn
         self.obs.inc("engine.txn.begin")
@@ -479,29 +557,40 @@ class Engine:
         DRAM frames before commit)."""
         return self._fetch_page(page_no)
 
-    def session(self, name=None, read_only=False):
+    def session(self, name=None, read_only=False, isolation=None):
         """Open a session (one concurrent client).
 
         Sessions own their transactions independently of the engine's
         implicit one: several sessions may hold open transactions at
-        the same time, serialized by the shared lock manager.  A
-        ``read_only`` session carries no lock manager at all: its
-        transactions are MVCC snapshots that resolve every read
-        against the version chains and acquire zero locks.
+        the same time, serialized by the shared lock manager.
+
+        ``isolation`` picks the concurrency mode: ``"locked"``
+        (strict 2PL, the default), ``"read_only"`` (MVCC snapshot
+        reads — no lock manager at all, zero locks), or ``"occ"``
+        (snapshot-isolation writes validated at commit, installed
+        under short commit-time locks, falling back to 2PL after
+        repeated validation failures).  ``read_only=True`` is the
+        historical spelling of ``isolation="read_only"``.
         """
         if not self.supports_sessions:
             raise TransactionError(
                 "the %r scheme does not support concurrent sessions "
                 "(it cannot roll back)" % self.scheme
             )
+        if isolation is None:
+            isolation = "read_only" if read_only else "locked"
+        if isolation not in ("locked", "read_only", "occ"):
+            raise ValueError("unknown isolation mode %r" % isolation)
         from repro.core.session import Session
 
         sid = self._next_sid
         self._next_sid += 1
         session = Session(
             self, sid, name or ("s%d" % sid),
-            lock_manager=None if read_only else self.lock_manager,
-            read_only=read_only,
+            lock_manager=(
+                None if isolation == "read_only" else self.lock_manager
+            ),
+            isolation=isolation,
         )
         self._sessions[sid] = session
         self.obs.inc("engine.session.open")

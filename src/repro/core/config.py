@@ -64,6 +64,11 @@ class SystemConfig:
     lock_timeout_ns: float = 2_000_000.0
     lock_retry_backoff_ns: float = 50_000.0
     max_txn_retries: int = 64
+    #: OCC sessions (``isolation="occ"``): consecutive failed
+    #: commit-time validations before the session falls back to
+    #: classic 2PL for its next transaction.  A successful optimistic
+    #: commit resets the streak.
+    occ_max_validation_failures: int = 3
     #: Shard support: a sharded deployment carves one PM arena into N
     #: per-shard sub-arenas, each described by a copy of this config
     #: with ``base_offset`` pointing at its slice.  The default (0)

@@ -31,6 +31,8 @@ The dynamic trace checker's TC107 rule enforces that: a session that
 emitted ``snapshot_begin`` must emit zero ``lock_acquire`` events.
 """
 
+from contextlib import contextmanager
+
 from repro.obs import trace as ev
 
 LOCK_IS = "IS"
@@ -237,6 +239,27 @@ class LockManager:
         if released and obs is not None:
             obs.inc("lock.release", released)
         return released
+
+    @contextmanager
+    def commit_scope(self, owner, *, clock=None):
+        """Scoped commit-time acquisition for OCC installs.
+
+        Everything ``owner`` acquires inside the scope is released when
+        it exits — success, conflict, or crash of the install path —
+        and the simulated span the locks were held is accounted to
+        ``occ.lock_hold_ns``.  This is the only lock traffic an OCC
+        transaction generates: zero acquisitions before its commit
+        point (TC109), a write-set-sized burst inside the scope.
+        """
+        start = clock.now_ns if clock is not None else 0.0
+        try:
+            yield self
+        finally:
+            if clock is not None and self.obs is not None:
+                held = clock.now_ns - start
+                if held > 0:
+                    self.obs.inc("occ.lock_hold_ns", int(held))
+            self.release_all(owner)
 
     # -- wait-for graph ----------------------------------------------------
 

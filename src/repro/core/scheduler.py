@@ -47,6 +47,7 @@ kinds ``insert`` / ``update`` / ``delete`` / ``search`` / ``think``
 """
 
 from repro.core.locking import DeadlockError, LockConflict
+from repro.core.occ import OCCConflict
 
 READY = "ready"
 WAITING = "waiting"
@@ -161,15 +162,22 @@ class Scheduler:
         #: serialization order (strict 2PL commits in lock order).
         self.commit_order = []
 
-    def add_client(self, items, *, name=None, read_only=False):
+    def add_client(self, items, *, name=None, read_only=False,
+                   isolation=None):
         """Register one client with its workload; returns the client.
 
-        ``read_only`` clients run MVCC snapshot transactions: their
-        session carries no lock manager, so their workloads may contain
-        only ``search`` and ``think`` operations (validated here —
-        failing at add time beats a mid-run surprise).
+        ``isolation`` picks the session's concurrency mode
+        (``"locked"`` / ``"read_only"`` / ``"occ"``, see
+        ``Engine.session``); ``read_only=True`` is the historical
+        spelling of ``isolation="read_only"``.  Read-only clients run
+        MVCC snapshot transactions: their session carries no lock
+        manager, so their workloads may contain only ``search`` and
+        ``think`` operations (validated here — failing at add time
+        beats a mid-run surprise).
         """
-        if read_only:
+        if isolation is None:
+            isolation = "read_only" if read_only else "locked"
+        if isolation == "read_only":
             for item in items:
                 for op in _ops_of(item):
                     if op and op[0] not in ("search", "think"):
@@ -179,7 +187,7 @@ class Scheduler:
                         )
         index = len(self.clients)
         name = name or ("c%d" % index)
-        session = self.engine.session(name, read_only=read_only)
+        session = self.engine.session(name, isolation=isolation)
         client = _Client(index, name, session, items)
         client.ready_at_ns = self.clock.now_ns
         self.clients.append(client)
@@ -321,7 +329,15 @@ class Scheduler:
                 return
             client.op_idx += 1
         if client.op_idx >= len(client.ops):
-            txn.commit()
+            try:
+                txn.commit()
+            except OCCConflict:
+                # Commit-time optimistic failure (stale read set, or
+                # the install lost a lock race): the transaction is
+                # still open — abort it and retry the item, eventually
+                # under the session's 2PL fallback.
+                self._abort(client, "sched.abort.occ")
+                return
             self.commit_order.append((client.name, client.item_idx))
             client.txn = None
             client.ops = None

@@ -28,15 +28,41 @@ class Session:
     """One client's transaction scope on a shared engine."""
 
     def __init__(self, engine, sid, name, *, lock_manager=None,
-                 read_only=False, quiet=False, resource_namespace=0):
+                 read_only=False, isolation=None, quiet=False,
+                 resource_namespace=0):
         self.engine = engine
         self.sid = sid
         self.name = name
         self.lock_manager = lock_manager
+        #: The session's isolation mode — the state machine every
+        #: transaction's lifecycle dispatches on:
+        #:
+        #: ``"locked"``
+        #:     classic strict 2PL (IS/IX/S/X held to commit).
+        #: ``"read_only"``
+        #:     MVCC snapshot reads: no lock manager, zero locks,
+        #:     reads resolve against version chains.
+        #: ``"occ"``
+        #:     snapshot-isolation writes: reads at a pinned tracked
+        #:     snapshot, writes buffered, commit-time validation +
+        #:     install under short X locks — falling back to
+        #:     ``"locked"`` for one transaction after
+        #:     ``config.occ_max_validation_failures`` consecutive
+        #:     failed validations (a success resets the streak).
+        if isolation is None:
+            isolation = "read_only" if read_only else "locked"
+        self.isolation = isolation
         #: Read-only sessions run MVCC snapshot transactions: they
         #: carry no lock manager and acquire zero locks (no IS/S
         #: traffic at all) — reads resolve against version chains.
-        self.read_only = read_only
+        self.read_only = isolation == "read_only"
+        #: Consecutive failed OCC validations (the 2PL-fallback streak).
+        self._occ_failures = 0
+        #: Sharded OCC legs: the router decides fallback globally (one
+        #: policy per sharded transaction) and forces its quiet inner
+        #: sessions locked through this flag instead of their own
+        #: streaks.
+        self.force_locked = False
         #: Quiet sessions are inner per-shard legs of a sharded
         #: transaction: the router emits one *global* TXN event and
         #: outcome counter per transaction, so the legs suppress
@@ -62,6 +88,33 @@ class Session:
     @property
     def locking(self):
         return self.lock_manager is not None
+
+    def _begin_mode(self):
+        """The mode the *next* transaction runs in — where the OCC
+        fallback policy lives.  An OCC session that failed validation
+        ``config.occ_max_validation_failures`` times in a row runs its
+        next transaction under classic 2PL (guaranteed lock-managed
+        progress); its success resets the streak and the session
+        returns to optimistic mode."""
+        if self.isolation == "read_only":
+            return "read_only"
+        if self.isolation == "occ":
+            if self.force_locked or (
+                self._occ_failures
+                >= self.engine.config.occ_max_validation_failures
+            ):
+                if not self.quiet:
+                    self.engine.obs.inc("occ.fallback")
+                    self.engine.obs.event(
+                        ev.OCC_FALLBACK, self.sid, self._occ_failures
+                    )
+                return "locked"
+            return "occ"
+        return "locked"
+
+    def _occ_failed(self):
+        """Count one failed validation/install toward the fallback."""
+        self._occ_failures += 1
 
     @property
     def in_transaction(self):
@@ -135,13 +188,18 @@ class Session:
             self._last_commit_seq = getattr(
                 txn.inner_ctx, "commit_seq", None
             )
+            if self.isolation == "occ":
+                self._occ_failures = 0
         if self.lock_manager is not None:
             self.lock_manager.release_all(self.sid)
-        if self.read_only and getattr(txn, "_snapshot", False):
+        snapshot = txn.pinned_snapshot
+        if snapshot is not None:
             # Unpin the snapshot (emits SNAPSHOT_END before the
             # TXN_COMMIT/TXN_ABORT event, mirroring the lock-release
             # ordering) and let the watermark GC reclaim versions.
-            self.engine.version_manager.end_snapshot(txn.ctx)
+            # Both read-only and OCC transactions pin one; a committed
+            # OCC install already unpinned it (no-op here).
+            self.engine.version_manager.end_snapshot(snapshot)
         if self.quiet:
             return
         self.obs.inc("commit" if committed else "abort")

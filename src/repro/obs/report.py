@@ -124,6 +124,47 @@ def _durability_cost(counters):
     return lines
 
 
+def _isolation(counters):
+    """Derived OCC writer-path health: how often optimistic commits
+    validated cleanly, how often they aborted (validation or install),
+    how often a session exhausted its streak and fell back to 2PL, and
+    how long the commit-time lock window actually was — the span that
+    replaces whole-transaction 2PL lock tenure."""
+    validations = counters.get("occ.validation", 0)
+    if not validations:
+        return []
+    begins = counters.get("occ.begin", 0)
+    commits = counters.get("occ.commit", 0)
+    aborts = counters.get("occ.validation.abort", 0)
+    install_conflicts = counters.get("occ.install.conflict", 0)
+    fallbacks = counters.get("occ.fallback", 0)
+    hold_ns = counters.get("occ.lock_hold_ns", 0)
+    lines = [
+        "",
+        "isolation (occ writer path)",
+        "---------------------------",
+        "  optimistic txns   %8d  (%d validations, %d installed)"
+        % (begins, validations, commits),
+        "  validation aborts %8d  (%.1f%% of validations)"
+        % (aborts, 100.0 * aborts / validations),
+    ]
+    if install_conflicts:
+        lines.append(
+            "  install conflicts %8d  (lock race during write-set "
+            "install)" % install_conflicts
+        )
+    lines.append(
+        "  2PL fallbacks     %8d  (sessions that exhausted the "
+        "validation streak)" % fallbacks
+    )
+    if commits:
+        lines.append(
+            "  commit lock span  %s mean  (%s total over %d installs)"
+            % (_fmt_ns(hold_ns / commits), _fmt_ns(hold_ns), commits)
+        )
+    return lines
+
+
 def render_report(snapshot, *, title="observability report"):
     registry = snapshot["registry"]
     counters = registry.get("counters", {})
@@ -161,6 +202,7 @@ def render_report(snapshot, *, title="observability report"):
             for name in sorted(n for n in counters if n.split(".", 1)[0] == group):
                 lines.append("  %s  %d" % (name.ljust(width), counters[name]))
         lines.extend(_durability_cost(counters))
+        lines.extend(_isolation(counters))
     if gauges:
         lines.append("")
         lines.append("gauges")

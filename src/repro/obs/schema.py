@@ -39,11 +39,16 @@ COUNTERS = frozenset({
     # core/scheduler.py
     "sched.step", "sched.wait", "sched.wake", "sched.abort",
     "sched.abort.mutated", "sched.abort.deadlock", "sched.abort.timeout",
+    "sched.abort.occ",
     "sched.retry", "sched.deadlock", "sched.timeout",
     # core/epoch.py joins/closes (core/fast.py, core/nvwal.py)
     "group.join", "group.close",
     # storage/versions.py — MVCC snapshot reads over version chains
     "mvcc.snapshot_reads", "mvcc.gc_reclaimed",
+    # core/occ.py + core/session.py — OCC writer path
+    "occ.begin", "occ.validation", "occ.validation.abort",
+    "occ.install.conflict", "occ.fallback", "occ.commit",
+    "occ.lock_hold_ns",
     # wal/twopc.py + storage/sharding.py — cross-shard two-phase commit
     "twopc.prepare", "twopc.decision", "twopc.commit",
     "twopc.resolve.commit", "twopc.resolve.abort",

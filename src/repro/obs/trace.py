@@ -73,6 +73,18 @@ SNAPSHOT_READ = "snapshot_read"      # a=sid, b=version commit timestamp
 SNAPSHOT_END = "snapshot_end"        # a=sid
 MVCC_GC = "mvcc_gc"                  # a=versions reclaimed, b=watermark
 
+# OCC (optimistic concurrency control) events, emitted by the session
+# layer and the version manager only — locked and read-only sessions
+# record none of these.  ``a`` is the owning session id except for
+# VERSION_PUBLISH, whose ``a`` is the packed resource word (see
+# ``repro.core.locking.encode_lock``) and ``b`` the commit timestamp.
+OCC_BEGIN = "occ_begin"              # a=sid, b=shard-ns | pin timestamp
+OCC_READ = "occ_read"                # a=sid, b=packed read-set resource
+OCC_VALIDATE = "occ_validate"        # a=sid, b=pin timestamp
+OCC_CONFLICT = "occ_conflict"        # a=sid, b=stale resources seen
+OCC_FALLBACK = "occ_fallback"        # a=sid, b=failed validations
+VERSION_PUBLISH = "version_publish"  # a=packed resource, b=commit ts
+
 # Cross-shard two-phase-commit events (emitted by the shard router
 # only — unsharded engines record none of these).  ``a`` is always the
 # global transaction id (gtid).  For the decision event ``b`` packs
@@ -90,6 +102,8 @@ KINDS = (
     LOCK_ACQUIRE, LOCK_UPGRADE, LOCK_RELEASE, LOCK_WAIT, LOCK_WAKE,
     TXN_BEGIN, TXN_COMMIT, TXN_ABORT,
     SNAPSHOT_BEGIN, SNAPSHOT_READ, SNAPSHOT_END, MVCC_GC,
+    OCC_BEGIN, OCC_READ, OCC_VALIDATE, OCC_CONFLICT, OCC_FALLBACK,
+    VERSION_PUBLISH,
     TWOPC_PREPARE, TWOPC_DECISION, TWOPC_COMMIT,
 )
 

@@ -125,6 +125,11 @@ class ShardRouter:
             self.obs.labeled("shard.%d" % index)
             for index in range(self.nshards)
         ]
+        # OCC read-set/publish events pack lock-style resource words;
+        # namespacing each shard's version manager keeps them distinct
+        # in the global trace (mirrors Session.resource_namespace).
+        for index, shard in enumerate(shards):
+            shard.version_manager.event_namespace = index << SHARD_NS_SHIFT
 
     # ------------------------------------------------------------------
     # Construction
@@ -247,12 +252,19 @@ class ShardRouter:
         self._next_gtid += 1
         return gtid
 
-    def session(self, name=None, read_only=False):
+    def session(self, name=None, read_only=False, isolation=None):
         """Open a sharded session (one concurrent client)."""
+        if isolation is None:
+            isolation = "read_only" if read_only else "locked"
+        if isolation not in ("locked", "read_only", "occ"):
+            raise ValueError(
+                "unknown isolation %r (choose locked, read_only or occ)"
+                % (isolation,)
+            )
         sid = self._next_sid
         self._next_sid += 1
         session = ShardedSession(
-            self, sid, name or ("s%d" % sid), read_only=read_only,
+            self, sid, name or ("s%d" % sid), isolation=isolation,
         )
         self._sessions[sid] = session
         self.obs.inc("engine.session.open")
@@ -405,12 +417,22 @@ class ShardedSession:
     because each lives in a different shard engine.
     """
 
-    def __init__(self, router, sid, name, *, read_only=False):
+    def __init__(self, router, sid, name, *, read_only=False,
+                 isolation=None):
         self.engine = router
         self.router = router
         self.sid = sid
         self.name = name
-        self.read_only = read_only
+        if isolation is None:
+            isolation = "read_only" if read_only else "locked"
+        #: Same three-mode state machine as a native session's
+        #: (locked / read_only / occ) — the OCC fallback streak lives
+        #: HERE, not on the quiet inner legs: one validation failure
+        #: anywhere fails the whole transaction, and the fallback
+        #: decision must flip every leg to 2PL together.
+        self.isolation = isolation
+        self.read_only = isolation == "read_only"
+        self._occ_failures = 0
         self.segment_name = "session.%s" % name
         self.obs = router.obs.labeled("session.%s" % name)
         self._clock = router.clock
@@ -426,6 +448,10 @@ class ShardedSession:
     def lock_manager(self):
         return None if self.read_only else self.router.lock_manager
 
+    def _occ_failed(self):
+        """Count one failed validation/install toward the fallback."""
+        self._occ_failures += 1
+
     @property
     def in_transaction(self):
         return self._txn is not None
@@ -437,7 +463,7 @@ class ShardedSession:
             session = Session(
                 shard, self.sid, self.name,
                 lock_manager=None if self.read_only else shard.lock_manager,
-                read_only=self.read_only,
+                isolation=self.isolation,
                 quiet=True,
                 resource_namespace=index << SHARD_NS_SHIFT,
             )
@@ -469,6 +495,8 @@ class ShardedSession:
         so the TXN event lands after them (strict 2PL event order)."""
         if self._txn is txn:
             self._txn = None
+        if committed and self.isolation == "occ":
+            self._occ_failures = 0
         self.obs.inc("commit" if committed else "abort")
         self.router.obs.event(
             ev.TXN_COMMIT if committed else ev.TXN_ABORT, self.sid
@@ -535,6 +563,21 @@ class ShardedTransaction:
         self._txns = {}          # shard index -> inner Transaction
         self._op_ctx = _IDLE_CTX
         self._done = False
+        #: Does this transaction run optimistically?  Decided once at
+        #: begin — the fallback policy (mirroring Session._begin_mode)
+        #: must flip every leg together, so the quiet inner sessions
+        #: are forced locked rather than consulting their own streaks.
+        self.occ = False
+        if session.isolation == "occ":
+            config = self.router.config
+            if (session._occ_failures
+                    >= config.occ_max_validation_failures):
+                self.router.obs.inc("occ.fallback")
+                self.router.obs.event(
+                    ev.OCC_FALLBACK, session.sid, session._occ_failures
+                )
+            else:
+                self.occ = True
 
     @property
     def ctx(self):
@@ -550,7 +593,10 @@ class ShardedTransaction:
         index = self.router.shard_of(key)
         txn = self._txns.get(index)
         if txn is None:
-            txn = self.session._inner_session(index).transaction()
+            inner = self.session._inner_session(index)
+            if self.session.isolation == "occ":
+                inner.force_locked = not self.occ
+            txn = inner.transaction()
             self._txns[index] = txn
         self._op_ctx = txn.ctx
         return txn
@@ -576,12 +622,61 @@ class ShardedTransaction:
     # -- lifecycle ---------------------------------------------------------
 
     def _is_writer(self, txn):
-        return not self.session.read_only and not txn.inner_ctx.is_read_only
+        if self.session.read_only:
+            return False
+        if getattr(txn, "_occ", False):
+            # An OCC leg is a writer only once its write set installed
+            # (validation-failed or read-only legs have no scheme ctx
+            # to commit or roll back).
+            return txn.ctx.installed_ctx is not None
+        return not txn.inner_ctx.is_read_only
+
+    def _occ_prepare(self, legs):
+        """Per-shard OCC validation + install — the optimistic analogue
+        of the prepare phase, run before any leg is marked finished.
+
+        Every leg first validates its read set against its own shard's
+        version stamps (zero locks, so a failure aborts for free);
+        only then does each writer leg unpin its snapshot and install
+        its write set into a lock-managed context on its shard.  Any
+        conflict unwinds the already-installed legs precisely and
+        re-raises with the transaction still open and rollbackable,
+        counting one failure toward the session's 2PL-fallback streak.
+        """
+        from repro.core.occ import OCCConflict
+
+        router = self.router
+        installed = []
+        try:
+            with self.session.op_segment():
+                for _index, txn in legs:
+                    txn.ctx.validate()
+                for index, txn in legs:
+                    octx = txn.ctx
+                    octx.unpin()
+                    if not octx.has_writes:
+                        continue
+                    octx.replay_into(self.session._inner[index])
+                    installed.append((index, octx))
+        except OCCConflict:
+            for index, octx in installed:
+                router.shards[index]._rollback_precise(octx.installed_ctx)
+                octx.installed_ctx = None
+            self.session._occ_failed()
+            raise
+        if installed:
+            # Mirrors occ_commit: a write-free optimistic commit
+            # installed nothing and doesn't count as an OCC commit.
+            router.obs.inc("occ.commit")
 
     def commit(self):
         self._check_open()
-        self._done = True
         legs = sorted(self._txns.items())
+        if self.occ:
+            # May raise OCCConflict — deliberately before any leg is
+            # marked done, so the conflicted transaction stays open.
+            self._occ_prepare(legs)
+        self._done = True
         for _index, txn in legs:
             txn._done = True
         writers = [(i, txn) for i, txn in legs if self._is_writer(txn)]

@@ -128,13 +128,20 @@ class SnapshotContext:
 
     is_read_only = True
 
-    def __init__(self, versions, session, snapshot_ts):
+    def __init__(self, versions, session, snapshot_ts, *, track_reads=False):
         self.versions = versions
         self.session = session
         self.snapshot_ts = snapshot_ts
         self.obs = versions.obs
         self.segment = versions.clock.segment  # hot-path alias
         self.closed = False
+        # OCC read-set tracking (off for plain read-only snapshots):
+        # the first touch of each page / root slot is recorded and
+        # announced (``OCC_READ``) so commit-time validation — and the
+        # TC109 trace rule auditing it — can replay the exact set.
+        self.track_reads = track_reads
+        self.read_pages = set()
+        self.read_roots = set()
         # Version-image pages are immutable forever, so resolved views
         # are cached per page; live pages are re-resolved every call
         # (a later commit may supersede them mid-snapshot).
@@ -146,10 +153,16 @@ class SnapshotContext:
         self._live_pages = {}
 
     def root_page_no(self, slot):
+        if self.track_reads and slot not in self.read_roots:
+            self.read_roots.add(slot)
+            self.versions._note_read(self.session.sid, "root", slot)
         return self.versions.resolve_root(slot, self.snapshot_ts)
 
     def page(self, page_no):
         versions = self.versions
+        if self.track_reads and page_no not in self.read_pages:
+            self.read_pages.add(page_no)
+            versions._note_read(self.session.sid, "page", page_no)
         versions.obs.inc("mvcc.snapshot_reads")
         cached = self._image_pages.get(page_no)
         if cached is not None:
@@ -212,6 +225,10 @@ class VersionManager:
         self._page_chains = {}
         self._root_chains = {}
         self._snapshots = {}  # sid -> active SnapshotContext
+        #: Resource-id namespace OR'd into packed OCC/VERSION_PUBLISH
+        #: event resources (the shard router sets
+        #: ``index << SHARD_NS_SHIFT`` so per-shard traces disambiguate).
+        self.event_namespace = 0
 
     # -- snapshots ---------------------------------------------------------
 
@@ -221,11 +238,11 @@ class VersionManager:
         in which commits are stamped and pre-images retained."""
         return bool(self._snapshots)
 
-    def begin_snapshot(self, session):
+    def begin_snapshot(self, session, *, track_reads=False):
         """Pin a snapshot at the current commit frontier and return the
         read-only transaction context."""
         ts = self.last_commit_ts
-        ctx = SnapshotContext(self, session, ts)
+        ctx = SnapshotContext(self, session, ts, track_reads=track_reads)
         self._snapshots[session.sid] = ctx
         self.obs.event(ev.SNAPSHOT_BEGIN, session.sid, ts)
         return ctx
@@ -241,6 +258,53 @@ class VersionManager:
 
     def active_snapshots(self):
         return list(self._snapshots.values())
+
+    # -- OCC read-set support ----------------------------------------------
+
+    def _occ_active(self):
+        """True while any pinned snapshot tracks its read set — the
+        only state in which commits announce ``VERSION_PUBLISH``
+        events (pure-MVCC runs stay byte-identical)."""
+        for ctx in self._snapshots.values():
+            if ctx.track_reads:
+                return True
+        return False
+
+    def _packed(self, kind, ident):
+        """One read-set/publish resource as the lock layer packs it, so
+        the trace checker can correlate OCC events with lock events."""
+        from repro.core.locking import LOCK_X, encode_lock
+
+        return encode_lock((kind, self.event_namespace | ident), LOCK_X)
+
+    def _note_read(self, sid, kind, ident):
+        self.obs.event(ev.OCC_READ, sid, self._packed(kind, ident))
+
+    def validate_read_set(self, ctx, pin_ts):
+        """Packed resources in ``ctx``'s read set with a committed
+        version in ``(pin_ts, now]`` — empty means validation passes.
+        Sound because ``ctx`` itself keeps ``capture_active`` true for
+        its whole lifetime, so every concurrent commit stamped the
+        pages and roots it published."""
+        stale = []
+        for page_no in sorted(ctx.read_pages):
+            if self._page_ts.get(page_no, 0) > pin_ts:
+                stale.append(self._packed("page", page_no))
+        for slot in sorted(ctx.read_roots):
+            if self._root_ts.get(slot, 0) > pin_ts:
+                stale.append(self._packed("root", slot))
+        return stale
+
+    def _announce_publish(self, ctx, touched, ts):
+        """Emit one ``VERSION_PUBLISH`` per stamped resource (gated on
+        OCC tracking being live; see ``_occ_active``)."""
+        if not self._occ_active():
+            return
+        for page_no in sorted(touched):
+            self.obs.event(ev.VERSION_PUBLISH, self._packed("page", page_no),
+                           ts)
+        for slot in sorted(ctx.root_updates):
+            self.obs.event(ev.VERSION_PUBLISH, self._packed("root", slot), ts)
 
     # -- commit-time version publication -----------------------------------
 
@@ -307,6 +371,7 @@ class VersionManager:
             # an epoch member's root swap awaits its checkpoint.
             self._retain_root(slot, ts, engine._root(slot))
             self._root_ts[slot] = ts
+        self._announce_publish(ctx, touched.union(new), ts)
         self._update_gauge()
 
     def publish_wal_commit(self, ctx):
@@ -340,6 +405,7 @@ class VersionManager:
         for slot in sorted(ctx.root_updates):
             self._retain_root(slot, ts, engine._root(slot))
             self._root_ts[slot] = ts
+        self._announce_publish(ctx, touched.union(new), ts)
         self._update_gauge()
 
     def _committed_wal_image(self, page_no):

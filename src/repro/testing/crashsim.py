@@ -361,15 +361,27 @@ def _writes_of(item):
 
 
 def _client_spec(workload):
-    """One scheduler-client workload entry: a plain item list, or
-    ``{"items": [...], "read_only": True}`` for a lock-free MVCC
-    snapshot reader client (pure ``search``/``think`` items).  Readers
-    change no durable state, so the committed-prefix model is untouched
-    by them — but their presence at the crash exercises recovery with
-    version chains live (all volatile: recovery starts with none)."""
+    """One scheduler-client workload entry: a plain item list (a
+    classic 2PL writer), or ``{"items": [...], "isolation": mode}``
+    with mode one of ``"locked"`` / ``"read_only"`` / ``"occ"``
+    (``{"read_only": True}`` is accepted as legacy spelling).
+
+    Read-only clients are lock-free MVCC snapshot readers (pure
+    ``search``/``think`` items); they change no durable state, so the
+    committed-prefix model is untouched by them — but their presence
+    at the crash exercises recovery with version chains live (all
+    volatile: recovery starts with none).  OCC clients buffer their
+    writes and install them at commit, so the committed-prefix model
+    is identical to a 2PL client's: only committed transactions may
+    surface, in commit order."""
     if isinstance(workload, dict):
-        return workload["items"], bool(workload.get("read_only"))
-    return workload, False
+        isolation = workload.get("isolation")
+        if isolation is None:
+            isolation = (
+                "read_only" if workload.get("read_only") else "locked"
+            )
+        return workload["items"], isolation
+    return workload, "locked"
 
 
 def _scheduled_model(clients, commit_order):
@@ -385,33 +397,38 @@ def _scheduled_model(clients, commit_order):
 
 
 def run_scheduler_to_crash_point(scheme, workloads, budget, *, config=None,
-                                 policy=None, seed=0):
+                                 policy=None, seed=0, checker_factory=None):
     """Crash an N-client scheduled run after ``budget`` armed memory
     events, recover, and validate the serializable committed prefix.
 
     ``workloads`` is one entry per client: an item list (items as in
     ``run_to_crash_point``: bare ``(op, key, value)`` tuples or
     ``("txn", [ops])``, plus ``("search", key, None)`` reads), or
-    ``{"items": [...], "read_only": True}`` for a lock-free MVCC
-    snapshot reader client.  The
-    recovered database must equal the committed transactions replayed
-    in the scheduler's commit order, optionally plus the whole item
-    that was in flight on the one client executing at the crash — any
-    other state (a torn commit, a half-rolled-back abort, another
-    session's uncommitted pages surfacing) is a violation.
+    ``{"items": [...], "isolation": mode}`` — see ``_client_spec``.
+    The recovered database must equal the committed transactions
+    replayed in the scheduler's commit order, optionally plus the
+    whole item that was in flight on the one client executing at the
+    crash — any other state (a torn commit, a half-rolled-back abort,
+    another session's uncommitted pages surfacing) is a violation.
+
+    ``checker_factory`` (optional) attaches a trace checker to the run
+    (advanced at every scheduler step, sealed at the crash — recovery's
+    redo stores are legitimately out of scope).
     """
     from repro.core.scheduler import Scheduler
 
     config = config or SystemConfig(**_SMALL_CONFIG)
     engine, pm = _build_engine(config, scheme)
+    checker = checker_factory(engine) if checker_factory is not None else None
+    on_step = None if checker is None else (lambda _client: checker.advance())
     # No error cleanup: a CrashPoint is a simulated power failure, and
     # the recovered state must be exactly what the crash left behind —
     # rolling the running transaction back would write *after* the
     # power was cut.
-    scheduler = Scheduler(engine, cleanup_on_error=False)
+    scheduler = Scheduler(engine, cleanup_on_error=False, on_step=on_step)
     for workload in workloads:
-        items, read_only = _client_spec(workload)
-        scheduler.add_client(items, read_only=read_only)
+        items, isolation = _client_spec(workload)
+        scheduler.add_client(items, isolation=isolation)
     crashed = False
     pm.budget = budget
     pm.events = 0
@@ -422,6 +439,8 @@ def run_scheduler_to_crash_point(scheme, workloads, budget, *, config=None,
         crashed = True
     finally:
         pm.armed = False
+        if checker is not None:
+            checker.close()
 
     committed = _scheduled_model(scheduler.clients, scheduler.commit_order)
 
@@ -490,8 +509,8 @@ def scheduler_crash_points_in(scheme, workloads, *, config=None):
     engine, pm = _build_engine(config, scheme)
     scheduler = Scheduler(engine, cleanup_on_error=False)
     for workload in workloads:
-        items, read_only = _client_spec(workload)
-        scheduler.add_client(items, read_only=read_only)
+        items, isolation = _client_spec(workload)
+        scheduler.add_client(items, isolation=isolation)
     pm.budget = None
     pm.events = 0
     pm.armed = True
@@ -501,7 +520,8 @@ def scheduler_crash_points_in(scheme, workloads, *, config=None):
 
 
 def run_scheduler_crash_sweep(scheme, workloads, *, config=None, stride=1,
-                              seeds=(0, 1), policies=None, max_points=None):
+                              seeds=(0, 1), policies=None, max_points=None,
+                              checker_factory=None):
     """Crash the scheduled multi-client run at every ``stride``-th
     memory event; returns the failing ``CrashTestResult`` list (empty =
     the committed prefix survived every interleaved crash point)."""
@@ -520,6 +540,7 @@ def run_scheduler_crash_sweep(scheme, workloads, *, config=None, stride=1,
             result = run_scheduler_to_crash_point(
                 scheme, workloads, budget,
                 config=config, policy=policy, seed=seed or budget,
+                checker_factory=checker_factory,
             )
             if not result.ok:
                 failures.append((budget, result))
@@ -569,8 +590,8 @@ def run_sharded_to_crash_point(scheme, workloads, budget, *, shards=2,
         on_step=None if checker is None else lambda _client: checker.advance(),
     )
     for workload in workloads:
-        items, read_only = _client_spec(workload)
-        scheduler.add_client(items, read_only=read_only)
+        items, isolation = _client_spec(workload)
+        scheduler.add_client(items, isolation=isolation)
     crashed = False
     pm.budget = budget
     pm.events = 0
@@ -631,8 +652,8 @@ def sharded_crash_points_in(scheme, workloads, *, shards=2, config=None):
     router, pm = _build_sharded(config, scheme, shards)
     scheduler = Scheduler(router, cleanup_on_error=False)
     for workload in workloads:
-        items, read_only = _client_spec(workload)
-        scheduler.add_client(items, read_only=read_only)
+        items, isolation = _client_spec(workload)
+        scheduler.add_client(items, isolation=isolation)
     pm.budget = None
     pm.events = 0
     pm.armed = True

@@ -6,12 +6,14 @@ import pathlib
 from repro.bench.multiclient import (
     client_workload,
     run_group_commit,
+    run_isolation_cell,
     run_multi_client,
     run_sharded_multi_client,
     shard_pool_keys,
     sharded_client_workload,
     sweep_clients,
     sweep_group_commit,
+    sweep_occ,
     sweep_read_ratio,
     sweep_shards,
 )
@@ -210,6 +212,87 @@ class TestCommittedGroupCommitBaseline:
                     row["marks_per_txn"])
             for marks in by_clients.values():
                 assert marks == sorted(marks, reverse=True)
+
+
+class TestOccSweep:
+    def test_same_commits_locked_or_occ(self):
+        """Aborted optimistic work is retried (and eventually falls back
+        to 2PL), so both protocols commit every workload item."""
+        for isolation in ("locked", "occ"):
+            result = run_isolation_cell(
+                "fastplus", isolation=isolation, clients=4, items=8,
+                read_ratio=0.5, key_space=40,
+            )
+            assert result["commits"] == 4 * 8
+
+    def test_occ_cuts_lock_traffic_on_read_mostly(self):
+        locked = run_isolation_cell(
+            "fast", isolation="locked", clients=8, items=10,
+            read_ratio=0.9, key_space=100,
+        )
+        occ = run_isolation_cell(
+            "fast", isolation="occ", clients=8, items=10,
+            read_ratio=0.9, key_space=100,
+        )
+        assert occ["lock_acquires_per_commit"] < (
+            0.5 * locked["lock_acquires_per_commit"]
+        )
+
+    def test_byte_identical_reruns(self):
+        a = run_isolation_cell("nvwal", isolation="occ", clients=4, items=10,
+                               read_ratio=0.5, key_space=40)
+        b = run_isolation_cell("nvwal", isolation="occ", clients=4, items=10,
+                               read_ratio=0.5, key_space=40)
+        assert a == b
+
+    def test_sweep_occ_shape(self):
+        rows = sweep_occ("fast", counts=(2,), items=6,
+                         mixes=(("m", 0.5, 40),))
+        assert [r["isolation"] for r in rows] == ["locked", "occ"]
+        assert all(r["mix"] == "m" for r in rows)
+
+
+class TestCommittedOccBaseline:
+    """The acceptance floor rides on the committed baseline: at 8
+    clients on the read-mostly mix, OCC writers must acquire at most
+    half the locks per committed transaction that strict 2PL pays."""
+
+    def _rows(self, scheme):
+        baseline = json.loads(
+            (pathlib.Path(__file__).resolve().parents[2] /
+             "BENCH_multiclient.json").read_text()
+        )
+        return baseline["occ_sweep"][scheme]
+
+    def _pair(self, scheme, mix, clients):
+        rows = {(r["mix"], r["clients"], r["isolation"]): r
+                for r in self._rows(scheme)}
+        return (rows[(mix, clients, "locked")], rows[(mix, clients, "occ")])
+
+    def test_read_mostly_meets_lock_floor(self):
+        for scheme in ("fast", "fastplus", "nvwal"):
+            locked, occ = self._pair(scheme, "read_mostly", 8)
+            assert occ["lock_acquires_per_commit"] <= (
+                0.5 * locked["lock_acquires_per_commit"]
+            )
+
+    def test_every_cell_commits_the_full_workload(self):
+        """OCC aborts are retried, not lost: each twin commits exactly
+        as many transactions as its locked baseline."""
+        for scheme in ("fast", "fastplus", "nvwal"):
+            for row in self._rows(scheme):
+                if row["isolation"] != "occ":
+                    continue
+                locked, occ = self._pair(scheme, row["mix"], row["clients"])
+                assert occ["commits"] == locked["commits"]
+
+    def test_hot_mix_exercises_fallback(self):
+        """The hostile mix must actually drive the 2PL fallback path at
+        8 clients — otherwise the sweep no longer covers it."""
+        assert any(
+            self._pair(scheme, "hot_writes", 8)[1]["occ_fallbacks"] > 0
+            for scheme in ("fast", "fastplus", "nvwal")
+        )
 
 
 class TestSweeps:
