@@ -7,10 +7,13 @@ keeps *empty*, so 0 means "no findings at all" — and 1 otherwise.
     python -m repro.analysis --lint src/repro      # static rules
     python -m repro.analysis --trace-check          # dynamic corpora
     python -m repro.analysis --lint --trace-check   # both
+    python -m repro.analysis --explore              # DPOR model checker
+    python -m repro.analysis --explore --budget 64 --clients 3
     python -m repro.analysis --self-test            # rules still fire
     python -m repro.analysis --write-baseline       # accept findings
 
-With no mode flags, both passes run.
+With no mode flags, the lint and trace-check passes run (``--explore``
+stays opt-in: it multiplies executions across interleavings).
 """
 
 import argparse
@@ -32,6 +35,16 @@ def main(argv=None):
                         help="run the static rules (PM001-PM005)")
     parser.add_argument("--trace-check", action="store_true",
                         help="run the dynamic corpora (TC101-TC108)")
+    parser.add_argument("--explore", action="store_true",
+                        help="model-check schedule space (DPOR + lockset "
+                             "race detection over the deterministic "
+                             "scheduler)")
+    parser.add_argument("--budget", type=int, default=None, metavar="N",
+                        help="max schedules per exploration (default: "
+                             "explore.DEFAULT_BUDGET)")
+    parser.add_argument("--clients", type=int, default=None, metavar="N",
+                        help="clients in the explored locked workload "
+                             "(default 2)")
     parser.add_argument("--self-test", action="store_true",
                         help="verify every rule fires on its known-bad "
                              "fixture")
@@ -47,7 +60,8 @@ def main(argv=None):
 
     run_lint = args.lint
     run_trace = args.trace_check
-    if not (run_lint or run_trace or args.self_test):
+    run_explore = args.explore
+    if not (run_lint or run_trace or run_explore or args.self_test):
         run_lint = run_trace = True
 
     failures = []
@@ -65,6 +79,14 @@ def main(argv=None):
 
         trace_findings, stats = corpus.run_all()
         findings.extend(trace_findings)
+    explore_stats = {}
+    if run_explore:
+        from repro.analysis import corpus
+
+        explore_findings, explore_stats = corpus.run_explored(
+            budget=args.budget, clients=args.clients or 2,
+        )
+        findings.extend(explore_findings)
 
     baseline = findings_mod.load_baseline(args.baseline)
     fresh = findings_mod.new_findings(findings, baseline)
@@ -79,6 +101,7 @@ def main(argv=None):
             "baselined": len(findings) - len(fresh),
             "self_test_failures": failures,
             "trace_stats": stats,
+            "explore_stats": explore_stats,
         }, sys.stdout, indent=2, sort_keys=True)
         sys.stdout.write("\n")
     else:
@@ -89,7 +112,7 @@ def main(argv=None):
             for failure in failures:
                 print("  " + failure)
         summary = []
-        if run_lint or run_trace:
+        if run_lint or run_trace or run_explore:
             summary.append(
                 "%d finding(s), %d new vs baseline"
                 % (len(findings), len(fresh))
@@ -98,6 +121,11 @@ def main(argv=None):
             summary.append(
                 "%(runs)d checked runs, %(txns)d txns, %(events)d events"
                 % stats
+            )
+        if explore_stats:
+            summary.append(
+                "%(runs)d explorations, %(schedules)d schedules, "
+                "%(crash_points)d crash points" % explore_stats
             )
         if args.self_test and not failures:
             summary.append("self-test ok")

@@ -40,6 +40,13 @@ invariants apply to:
 
 ``python -m repro.analysis --trace-check`` runs all of them and merges
 the findings.
+
+One corpus lives outside ``run_all`` because it multiplies executions
+rather than adding one: :func:`run_explored` model-checks *every
+feasible interleaving* (DPOR over the scheduler's pick hook — see
+:mod:`repro.analysis.explore`) of a conflict-rich locked workload and
+a mixed locked/OCC/read-only workload, with a bounded schedule ×
+crash-point product.  ``python -m repro.analysis --explore`` drives it.
 """
 
 from repro.analysis.tracecheck import TraceChecker
@@ -419,6 +426,66 @@ def run_sharded_crash_swept(scheme, *, shards=2, stride=9, max_points=30):
             "sharded crash sweep violation at budget %d: %s"
             % (budget, "; ".join(result.violations)),
         ))
+    return findings, stats
+
+
+def mixed_explore_workloads():
+    """The exploration corpus's mixed-isolation target: a 2PL writer,
+    an OCC writer racing it on a shared hot key, and a lock-free MVCC
+    reader — every session mode in one small schedule space."""
+    payload = bytes(range(40))
+    return [
+        [("txn", [("insert", b"w-a", payload),
+                  ("insert", b"hot", payload)])],
+        {"items": [("txn", [("insert", b"o-a", payload),
+                            ("insert", b"hot", payload)])],
+         "isolation": "occ"},
+        {"items": [("search", b"hot", None), ("search", b"w-a", None)],
+         "isolation": "read_only"},
+    ]
+
+
+def run_explored(schemes=("fast",), *, budget=None, clients=2,
+                 crash_schedules=2, obs=None):
+    """The schedule-space exploration corpus (DPOR model checking; see
+    :mod:`repro.analysis.explore`): every feasible interleaving of two
+    small workloads — the default conflict-rich locked workload, with
+    a bounded schedule × crash-point product at its most distinct
+    schedules, and a mixed locked/OCC/read-only workload — runs under
+    TC101-TC110 plus the commit-order serializability oracle.
+
+    Returns ``(findings, stats)``; ``stats`` carries one JSON-ready
+    per-run summary list plus corpus totals.  With ``obs`` the
+    ``explore.*`` counters are filed into that handle too.
+    """
+    from repro.analysis.explore import (
+        DEFAULT_BUDGET, Explorer, default_workloads,
+    )
+
+    budget = budget or DEFAULT_BUDGET
+    findings = []
+    runs = []
+    totals = {"schedules": 0, "attempts": 0, "crash_points": 0, "runs": 0}
+    targets = (
+        ("locked", default_workloads(clients=clients), crash_schedules),
+        ("mixed", mixed_explore_workloads(), 0),
+    )
+    for scheme in schemes:
+        for name, workloads, crashes in targets:
+            explorer = Explorer(
+                scheme, workloads=workloads, budget=budget,
+                crash_schedules=crashes,
+            )
+            result = explorer.run()
+            if obs is not None:
+                explorer.publish(obs)
+            findings.extend(explorer.findings)
+            runs.append(dict(result, workload=name))
+            totals["schedules"] += result["schedules"]
+            totals["attempts"] += result["attempts"]
+            totals["crash_points"] += result["crash_points"]
+            totals["runs"] += 1
+    stats = dict(totals, findings=len(findings), explorations=runs)
     return findings, stats
 
 

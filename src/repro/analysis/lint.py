@@ -1,4 +1,4 @@
-"""Static lint: ``ast``-based persistence-discipline rules PM001-PM005.
+"""Static lint: ``ast``-based persistence-discipline rules PM001-PM006.
 
 Every rule is repo-specific — it encodes one invariant of the paper's
 ordering argument (or of this reproduction's determinism contract) as
@@ -29,6 +29,15 @@ a syntactic check:
     Bare ``except:`` and handlers that swallow ``LockConflict`` /
     ``LockError`` / broad exceptions with a body of only ``pass`` —
     a swallowed lock error leaks held locks.
+``PM006``
+    Direct ``LockManager.acquire`` calls outside ``core/locking.py``.
+    The only structurally safe ways to take a lock are
+    ``LockingContext`` (locks released by the session's commit/abort
+    on every path) and ``commit_scope`` (a ``with`` block) — a bare
+    ``.acquire`` anywhere else has no release-on-all-paths guarantee,
+    and a leaked lock deadlocks every later schedule (the exact bug
+    class the schedule-space explorer hunts dynamically; PM006 is its
+    static shadow).
 
 Suppress a deliberate violation with ``# repro: allow[RULE] why`` on
 the flagged line (or the line above).
@@ -42,7 +51,7 @@ from repro.analysis.findings import (
 )
 from repro.obs import schema
 
-RULES = ("PM001", "PM002", "PM003", "PM004", "PM005")
+RULES = ("PM001", "PM002", "PM003", "PM004", "PM005", "PM006")
 
 #: Attribute names that issue a raw store on the arena.
 _STORE_METHODS = frozenset(
@@ -83,6 +92,13 @@ _METRIC_METHODS = frozenset({
 _SWALLOW_NAMES = frozenset({
     "LockConflict", "LockError", "Exception", "BaseException",
 })
+
+#: Receiver tails that denote the lock manager (``self._locks``,
+#: ``engine.lock_manager``...), for PM006.
+_LOCK_RECEIVERS = frozenset({"lock_manager", "locks", "_locks"})
+#: The one module allowed to call ``.acquire`` on it: the module that
+#: *defines* the release-on-all-paths wrappers.
+_LOCKING_MODULE = "core/locking.py"
 
 
 def _receiver_tail(node):
@@ -193,6 +209,7 @@ class _Visitor(ast.NodeVisitor):
         self.set_iters = []
         self.metric_names = []
         self.handlers = []
+        self.lock_acquires = []
         self._frames = []       # stack of function-def frame dicts
 
     # -- function frames (for the intraprocedural PM002) ---------------
@@ -229,6 +246,8 @@ class _Visitor(ast.NodeVisitor):
             self.randoms.append(node)
         if method in _METRIC_METHODS:
             self.metric_names.extend(_literal_names(node))
+        if method == "acquire" and receiver in _LOCK_RECEIVERS:
+            self.lock_acquires.append(node)
         self.generic_visit(node)
 
     def visit_For(self, node):
@@ -340,6 +359,14 @@ def lint_source(source, *, file, module):
                 else "swallowed exception handler (body is only pass)"
             )
             add("PM005", handler.lineno, label)
+
+    # PM006 — direct lock acquisition outside core/locking.py.
+    if module != _LOCKING_MODULE:
+        for node in visitor.lock_acquires:
+            receiver, _method = _receiver_tail(node)
+            add("PM006", node.lineno,
+                "direct %s.acquire() outside LockingContext/commit_scope "
+                "(no release-on-all-paths guarantee)" % receiver)
 
     findings.sort(key=lambda f: (f.file, f.line or 0, f.rule))
     return findings

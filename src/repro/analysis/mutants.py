@@ -1,0 +1,119 @@
+"""Seeded-bug mutants: known-broken engines the explorer must catch.
+
+Static analyzers prove themselves on known-bad fixtures
+(:mod:`repro.analysis.selftest`); a model checker has to prove itself
+the same way, on *seeded concurrency bugs* — deliberate, minimal
+breakages of the engine's synchronization or commit protocol that the
+schedule-space explorer (:mod:`repro.analysis.explore`) is required to
+detect within its default budget.  Each mutant is a context manager
+that monkeypatches exactly one method for the duration of an
+exploration and restores it on exit, so the mutated code path is never
+visible outside the ``with`` block.
+
+Two mutants, matching the two halves of the detector suite:
+
+``skip_page_lock``
+    :meth:`LockingContext.update_record` forgets ``_xlock_page`` — an
+    update writes its leaf under only the descent's S latch.  Two
+    sessions updating keys on one leaf interleave their writes with no
+    consistent protecting X lock: the TC110 lockset race detector must
+    flag the page.
+
+``mark_before_fence``
+    :meth:`SlotHeaderLog.flush_frames` becomes a no-op, so the commit
+    mark is published while the staged log frames are still sitting
+    dirty in the cache — the mark retires *before* the lines it
+    depends on, the paper's cardinal ordering sin (Section 3.2: the
+    mark *is* the atomicity of the commit, and it depends on every
+    staged line being flushed and fenced first).  The TC101
+    flush-before-fence-before-mark invariant must flag the dirty
+    lines at the mark.  (Skipping only the *fence* would be masked in
+    the event-level model: the commit word's own ``persist`` issues a
+    fence right before the mark event, retiring the inflight lines —
+    on real hardware that still leaves the mark's line racing the
+    frame lines, but the trace model is line-state-based, so the seed
+    drops the flush instead.)
+"""
+
+from contextlib import contextmanager
+
+from repro.core.locking import LockingContext
+from repro.wal.slot_header_log import SlotHeaderLog
+
+
+@contextmanager
+def skip_page_lock():
+    """Drop the X page lock from ``update_record`` (race seed)."""
+    original = LockingContext.update_record
+
+    def update_record(self, page, slot, payload):
+        offset = self._inner.update_record(page, slot, payload)
+        self.__dict__["op_mutated"] = True
+        return offset
+
+    LockingContext.update_record = update_record
+    try:
+        yield
+    finally:
+        LockingContext.update_record = original
+
+
+@contextmanager
+def mark_before_fence():
+    """Commit marks no longer wait for the staged lines' durability
+    (ordering seed)."""
+    original = SlotHeaderLog.flush_frames
+
+    def flush_frames(self):
+        pass
+
+    SlotHeaderLog.flush_frames = flush_frames
+    try:
+        yield
+    finally:
+        SlotHeaderLog.flush_frames = original
+
+
+#: name -> (mutant context manager, the rule that must fire, workloads
+#: builder) — the exploration self-test registry.
+def _race_workloads():
+    payload = bytes(range(48))
+    return {
+        "preload": [(b"hot%d" % i, payload) for i in range(4)],
+        "workloads": [
+            [("txn", [("update", b"hot0", payload),
+                      ("update", b"hot1", payload)])],
+            [("txn", [("update", b"hot0", payload),
+                      ("update", b"hot2", payload)])],
+        ],
+    }
+
+
+def _ordering_workloads():
+    # Each transaction updates keys on three different leaves, so its
+    # commit stages three slot-header frames — past the cache line the
+    # commit word lives in, where the skipped flush is observable (a
+    # single-frame commit's line is flushed as a side effect of the
+    # commit word's own persist).
+    payload = bytes(40)
+    return {
+        "preload": [(b"k%05d" % i, payload) for i in range(24)],
+        "workloads": [
+            [("txn", [("update", b"k00000", payload),
+                      ("update", b"k00011", payload),
+                      ("update", b"k00023", payload)])],
+            [("txn", [("update", b"k00001", payload),
+                      ("update", b"k00012", payload),
+                      ("update", b"k00022", payload)])],
+        ],
+    }
+
+
+MUTANTS = {
+    "TC110-skip-page-lock": (skip_page_lock, "TC110", _race_workloads),
+    "TC101-mark-before-fence": (
+        mark_before_fence, "TC101", _ordering_workloads,
+    ),
+}
+
+__all__ = ["skip_page_lock", "mark_before_fence", "MUTANTS"]

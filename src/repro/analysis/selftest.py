@@ -10,9 +10,11 @@ richer fixture files (with exact-output assertions) live in
 self-contained.
 """
 
+from repro.analysis.explore import explore
 from repro.analysis.lint import lint_source
+from repro.analysis.mutants import MUTANTS
 from repro.analysis.tracecheck import TraceChecker
-from repro.core.locking import LOCK_X, encode_lock
+from repro.core.locking import LOCK_S, LOCK_X, encode_lock
 from repro.obs import trace as ev
 
 # ----------------------------------------------------------------------
@@ -46,6 +48,10 @@ STATIC_FIXTURES = {
         "        g()\n"
         "    except LockConflict:\n"
         "        pass\n"
+    )),
+    "PM006": ("core/bad.py", (
+        "def f(session, resource):\n"
+        "    session.lock_manager.acquire(session.sid, resource, 'X')\n"
     )),
 }
 
@@ -288,6 +294,55 @@ def _tc109_stale():
     return checker.finish()
 
 
+_PAGE_SIZE = 0x200
+_S_PAGE1 = encode_lock(("page", 1), LOCK_S)
+_X_PAGE1 = encode_lock(("page", 1), LOCK_X)
+
+
+def _lockset_checker():
+    return TraceChecker(
+        None, log_range=_LOG, commit_word=_WORD, page_range=_PAGES,
+        page_size=_PAGE_SIZE,
+    )
+
+
+def _tc110():
+    # Two sessions write one page holding only (compatible) S latches:
+    # no consistent protecting X lock — the Eraser lockset empties.
+    # ``sched_pick`` events attribute the stores (as the explorer's
+    # pick-strategy-driven scheduler emits them).
+    checker = _lockset_checker()
+    checker.feed([
+        (1, 0.0, ev.TXN_BEGIN, 1, 0),
+        (2, 0.0, ev.TXN_BEGIN, 2, 0),
+        (3, 0.0, ev.LOCK_ACQUIRE, 1, _S_PAGE1),
+        (4, 0.0, ev.SCHED_PICK, 1, 0),
+        (5, 0.0, ev.STORE, 0x240, 16),
+        (6, 0.0, ev.LOCK_ACQUIRE, 2, _S_PAGE1),
+        (7, 0.0, ev.SCHED_PICK, 2, 1),
+        (8, 0.0, ev.STORE, 0x250, 16),
+    ])
+    return checker.finish()
+
+
+def _lockset_good():
+    # The same two writers properly serialized under the page's X lock
+    # (writer 2 acquires only after writer 1 released): the candidate
+    # set stays non-empty.  Must produce zero findings.
+    checker = _lockset_checker()
+    checker.feed([
+        (1, 0.0, ev.LOCK_ACQUIRE, 1, _X_PAGE1),
+        (2, 0.0, ev.SCHED_PICK, 1, 0),
+        (3, 0.0, ev.STORE, 0x240, 16),
+        (4, 0.0, ev.LOCK_RELEASE, 1, _X_PAGE1),
+        (5, 0.0, ev.LOCK_ACQUIRE, 2, _X_PAGE1),
+        (6, 0.0, ev.SCHED_PICK, 2, 1),
+        (7, 0.0, ev.STORE, 0x250, 16),
+        (8, 0.0, ev.LOCK_RELEASE, 2, _X_PAGE1),
+    ])
+    return checker.finish()
+
+
 def _occ_good():
     # A clean optimistic commit: lock-free read phase, an *older*
     # concurrent publish (ts ≤ pin is not stale), install locks only
@@ -323,6 +378,7 @@ DYNAMIC_FIXTURES = {
     "TC108-abort": _tc108_abort,
     "TC109": _tc109,
     "TC109-stale": _tc109_stale,
+    "TC110": _tc110,
 }
 
 #: Known-good traces that must produce ZERO findings — guards against
@@ -330,7 +386,40 @@ DYNAMIC_FIXTURES = {
 GOOD_FIXTURES = {
     "group-mark": _group_good,
     "occ-commit": _occ_good,
+    "lockset-serialized": _lockset_good,
 }
+
+#: Exploration budget for the seeded-bug mutants.  Both mutants are
+#: caught within single-digit schedule counts; the budget is head-room,
+#: not a tuning knob.
+EXPLORE_BUDGET = 64
+
+
+def run_mutants(budget=EXPLORE_BUDGET):
+    """Run the schedule-space explorer over every seeded-bug mutant
+    (:mod:`repro.analysis.mutants`); returns failure strings.
+
+    Unlike the exact-rule fixtures above, the expectation here is
+    *containment*: a deliberately broken engine may trip collateral
+    invariants beyond the seeded one (a race also breaks the
+    serializability oracle, say), so the seeded rule must be AMONG the
+    findings, and there must be findings at all."""
+    failures = []
+    for name, (mutant, rule, builder) in sorted(MUTANTS.items()):
+        spec = builder()
+        with mutant():
+            result = explore(
+                workloads=spec["workloads"], preload=spec["preload"],
+                budget=budget,
+            )
+        fired = {line.split(": ")[1] for line in result["findings"]}
+        if rule not in fired:
+            failures.append(
+                "%s: the explorer missed the seeded bug within budget %d "
+                "(expected %s among findings, got %s)"
+                % (name, budget, rule, sorted(fired) or "nothing")
+            )
+    return failures
 
 
 def run():
@@ -361,4 +450,5 @@ def run():
                 "%s: known-good trace produced findings: %s"
                 % (name, sorted({f.rule for f in findings}))
             )
+    failures.extend(run_mutants())
     return failures

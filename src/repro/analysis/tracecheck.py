@@ -66,6 +66,26 @@ ordering theorem *as it executes*:
     global transaction; a commit mark against an abort decision, or a
     commit decision recorded before every participant prepared, is a
     half-committed transaction waiting for a crash.
+``TC110`` (lockset race detection, Eraser-shape)
+    Every shared arena resource — a data page or a named root slot —
+    written by two or more sessions must have a *consistent protecting
+    lock*: the intersection of the writers' X-mode-held locksets at
+    their write instants must stay nonempty.  An empty intersection
+    means two sessions mutated the same bytes with no common lock
+    serializing them — under some schedule those writes interleave.
+    The rule needs per-store session attribution, which only the
+    ``sched_pick`` event carries (emitted when a ``pick_strategy``
+    drives the scheduler, i.e. under ``repro.analysis.explore``);
+    without attribution the rule is dormant, so default-scheduled
+    corpora are unaffected.  MVCC and OCC stay exempt structurally:
+    snapshot readers never store, OCC read-phase writes buffer in DRAM
+    (outside the page range), and OCC installs run inside
+    ``commit_scope`` X locks.  Carve-outs mirror the engine's
+    sanctioned lock-free stores: store-header allocator words
+    (single-word-atomic by the paper's Section 4.4 contract, roots
+    excepted), the in-page free-list head bytes, and format stores to
+    a page no session holds any lock on (``allocate_page`` formats
+    before it latches — a fresh page is uncontended by construction).
 
 Harness protocol: call :meth:`begin_txn` (with fresh live ranges)
 before each transaction and :meth:`advance` after it; or just
@@ -74,7 +94,7 @@ scheduler corpus).  Call :meth:`finish` at the end.  Findings carry
 the trace sequence number of the offending event.
 """
 
-from repro.core.locking import _COMPATIBLE, decode_lock
+from repro.core.locking import _COMPATIBLE, LOCK_X, decode_lock
 from repro.analysis.findings import Finding
 from repro.obs import trace as ev
 
@@ -83,11 +103,18 @@ _WORD = 8
 #: Everything the checker can assert; pick a subset per corpus.
 ALL_INVARIANTS = (
     "flush", "atomic", "live", "twopl", "snapshot", "twopc", "occ",
+    "lockset",
 )
 
 #: Shard-namespace shift of packed resource idents and occ_begin pin
 #: words (== repro.storage.sharding.SHARD_NS_SHIFT; 0 when unsharded).
 _NS_SHIFT = 24
+_NS_MASK = (1 << _NS_SHIFT) - 1
+
+#: Store-header layout (== repro.storage.pagestore): the named-root
+#: words TC110 treats as lockable state sit at [16, 16 + 4*12).
+_ROOTS_OFF = 16
+_N_ROOT_SLOTS = 12
 
 
 def _lines_of(addr, length):
@@ -120,7 +147,7 @@ class TraceChecker:
     """Streaming checker over a trace event sequence."""
 
     def __init__(self, trace=None, *, log_range=None, commit_word=None,
-                 page_range=None, invariants=ALL_INVARIANTS,
+                 page_range=None, page_size=None, invariants=ALL_INVARIANTS,
                  shared_trace=False):
         self.trace = trace
         self.findings = []
@@ -139,6 +166,10 @@ class TraceChecker:
         #: [base, end) of the page arena incl. the store header
         #: (TC103 scope).
         self.page_range = page_range
+        #: Page granularity of the arena (TC110 needs it to map a
+        #: store address to the page resource a lock would protect;
+        #: without it the lockset rule is dormant).
+        self.page_size = page_size
         self._cursor = 0
         self._events_seen = 0
         self._txns_seen = 0
@@ -160,6 +191,9 @@ class TraceChecker:
         self._publish_ts = {}     # packed resource -> latest publish ts
         # -- 2PC state ------------------------------------------------
         self._twopc = {}          # gtid -> {prepared, decision, committed}
+        # -- lockset (TC110) state ------------------------------------
+        self._actor = None        # sid the current stores belong to
+        self._lockset = {}        # resource -> {writers, candidates, reported}
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -184,6 +218,7 @@ class TraceChecker:
             log_range=log_range,
             commit_word=commit_word,
             page_range=page_range,
+            page_size=config.page_size,
             invariants=invariants,
             shared_trace=shared_trace,
         )
@@ -347,6 +382,8 @@ class TraceChecker:
         elif kind == ev.VERSION_PUBLISH:
             previous = self._publish_ts.get(a, 0)
             self._publish_ts[a] = max(previous, b)
+        elif kind == ev.SCHED_PICK:
+            self._actor = a
         elif kind == ev.TWOPC_PREPARE:
             self._twopc_state(a)["prepared"].add(b)
         elif kind == ev.TWOPC_DECISION:
@@ -373,6 +410,8 @@ class TraceChecker:
                 self._word_store = (seq, addr, length)
         if "live" in self.invariants:
             self._check_live_store(seq, addr, length)
+        if "lockset" in self.invariants:
+            self._check_lockset(seq, addr, length)
 
     def _on_flush(self, addr):
         line = addr >> 6
@@ -576,6 +615,95 @@ class TraceChecker:
                 "snapshot session %d read a version committed at ts %d "
                 "> its snapshot ts %d (snapshot isolation violated)"
                 % (sid, version_ts, snapshot_ts),
+                trace_seq=seq,
+            ))
+
+    # ------------------------------------------------------------------
+    # TC110 — lockset race detection (Eraser-shape)
+    # ------------------------------------------------------------------
+
+    def set_actor(self, sid):
+        """Attribute subsequent stores to session ``sid`` (or None to
+        stop attributing).  ``sched_pick`` events do this automatically
+        for pick-strategy-driven schedules; harnesses that interleave
+        sessions by hand may call this directly instead."""
+        self._actor = sid
+
+    def _lockset_resource(self, addr, length):
+        """The lockable resource a store mutates, or None if the store
+        is outside the arena or inside a sanctioned lock-free region."""
+        base, end = self.page_range
+        if addr < base or addr + length > end:
+            return None
+        page_no = (addr - base) // self.page_size
+        offset = addr - base - page_no * self.page_size
+        if page_no == 0:
+            # Store header: only the named-root words are lock-managed
+            # state.  Magic/geometry/free-head words are allocator
+            # machinery published by single-word atomic stores (paper
+            # Section 4.4) with no lock discipline to check.
+            roots_end = _ROOTS_OFF + 4 * _N_ROOT_SLOTS
+            if offset < _ROOTS_OFF or offset >= roots_end:
+                return None
+            return ("root", (offset - _ROOTS_OFF) // 4)
+        if offset >= 6 and offset + length <= 8:
+            # In-page free-list head: reconstructible by design and
+            # rewritten in place at any time (TC103 carves out the
+            # same two bytes from the live ranges).
+            return None
+        return ("page", page_no)
+
+    def _check_lockset(self, seq, addr, length):
+        sid = self._actor
+        if sid is None:
+            return  # unattributed stores (preload, recovery, defaults)
+        if self.page_range is None or self.page_size is None:
+            return  # no arena geometry: the rule stays dormant
+        resource = self._lockset_resource(addr, length)
+        if resource is None:
+            return
+        # The writer's X-mode lockset at this instant.  Lock resources
+        # carry the shard namespace in their ident; store addresses
+        # are shard-local, so mask it off to correlate.
+        state = self._sessions.get(sid)
+        held = state.held if state is not None else {}
+        held_x = {
+            (res[0], res[1] & _NS_MASK)
+            for res, mode in held.items() if mode == LOCK_X
+        }
+        if resource[0] == "page" and resource not in {
+            (res[0], res[1] & _NS_MASK) for res in held
+        }:
+            # A store to a page the writer holds no lock on at all, in
+            # any mode: allocation-format traffic iff nobody else
+            # holds it either (``allocate_page`` formats the fresh
+            # page before latching it — uncontended by construction).
+            # If any session holds the page, this store is a genuine
+            # unprotected write and stays in the analysis.
+            if not any(
+                resource in {(r[0], r[1] & _NS_MASK) for r in other.held}
+                for other in self._sessions.values()
+            ):
+                return
+        entry = self._lockset.get(resource)
+        if entry is None:
+            self._lockset[resource] = {
+                "writers": {sid},
+                "candidates": held_x,
+                "reported": False,
+            }
+            return
+        entry["writers"].add(sid)
+        entry["candidates"] &= held_x
+        if (len(entry["writers"]) >= 2 and not entry["candidates"]
+                and not entry["reported"]):
+            entry["reported"] = True
+            self.findings.append(Finding(
+                "TC110",
+                "%s %d written by sessions %s with an empty lockset "
+                "(no consistent protecting X lock across writers)"
+                % (resource[0], resource[1],
+                   ",".join(str(s) for s in sorted(entry["writers"]))),
                 trace_seq=seq,
             ))
 

@@ -48,6 +48,7 @@ kinds ``insert`` / ``update`` / ``delete`` / ``search`` / ``think``
 
 from repro.core.locking import DeadlockError, LockConflict
 from repro.core.occ import OCCConflict
+from repro.obs import trace as ev
 
 READY = "ready"
 WAITING = "waiting"
@@ -56,6 +57,14 @@ DONE = "done"
 
 class SchedulerError(Exception):
     """The scheduler cannot make progress (retry budget exhausted)."""
+
+
+class RetriesExhausted(SchedulerError):
+    """One client aborted past ``max_retries``.  Distinguished from
+    other scheduler failures because it is a *liveness* cap, not a
+    safety violation: an adversarial pick strategy can starve any
+    client indefinitely, so the schedule-space explorer treats this as
+    schedule truncation rather than a finding."""
 
 
 class _Client:
@@ -120,7 +129,7 @@ class Scheduler:
 
     def __init__(self, engine, *, lock_timeout_ns=None,
                  retry_backoff_ns=None, max_retries=None,
-                 cleanup_on_error=True, on_step=None):
+                 cleanup_on_error=True, on_step=None, pick_strategy=None):
         if not engine.supports_sessions:
             raise SchedulerError(
                 "the %r scheme does not support concurrent sessions"
@@ -152,6 +161,15 @@ class Scheduler:
         #: stepped client — the trace-checker harness drains the event
         #: ring here so the ring never wraps mid-run.
         self.on_step = on_step
+        #: Optional scheduling hook: ``pick_strategy(scheduler,
+        #: ready_clients)`` is called whenever at least one client is
+        #: READY, with the candidates sorted by the default pick key
+        #: ``(ready_at_ns, last_step, index)``, and must return one of
+        #: them.  The schedule-space explorer drives interleavings
+        #: through this hook; with it unset (the default) scheduling is
+        #: byte-identical to the historical deterministic policy, and
+        #: no extra trace events are emitted.
+        self.pick_strategy = pick_strategy
         self.clients = []
         self._step_seq = 0
         #: The client whose operation is (or was last) executing — at a
@@ -260,6 +278,14 @@ class Scheduler:
         client (returned) or the earliest lock-wait timeout (handled
         here, then re-evaluated)."""
         while True:
+            if self.pick_strategy is not None:
+                picked = self._pick_with_strategy()
+                if picked is not None:
+                    return picked
+                if not any(c.state is WAITING for c in self.clients):
+                    return None  # every client DONE
+                # No runnable client: fall through to the default
+                # timeout handling below (wait deadlines still fire).
             # Ties on ready_at (common right after a wake) go to the
             # least-recently-run client, so releases hand the lock over
             # instead of letting the low-index client streak (convoy).
@@ -289,6 +315,28 @@ class Scheduler:
             self.clock.advance_to(deadline)
             self._time_out(client)
 
+    def _pick_with_strategy(self):
+        """Let ``pick_strategy`` choose among the READY clients
+        (sorted by the default pick key); returns None when no client
+        is READY.  Runnable clients take priority over pending wait
+        timeouts here: the explorer must be able to exercise any
+        runnable interleaving, and a deferred timeout only means the
+        waiter waits a little longer in simulated time."""
+        ready = sorted(
+            (c for c in self.clients if c.state is READY),
+            key=lambda c: (c.ready_at_ns, c.last_step, c.index),
+        )
+        if not ready:
+            return None
+        client = self.pick_strategy(self, ready)
+        if client is None or client.state is not READY:
+            raise SchedulerError(
+                "pick_strategy returned %r (must return a READY client)"
+                % (client,)
+            )
+        self.clock.advance_to(client.ready_at_ns)
+        return client
+
     def _step(self, client):
         """Run one operation of ``client``'s current transaction."""
         client.steps += 1
@@ -296,6 +344,12 @@ class Scheduler:
         client.last_step = self._step_seq
         self.running_client = client
         self.obs.inc("sched.step")
+        if self.pick_strategy is not None:
+            # Stamp the stream with the stepping session so per-step
+            # event attribution (the lockset race detector's actor)
+            # reads straight off the trace.  Never emitted on the
+            # default path — replay/golden traces stay byte-identical.
+            self.obs.event(ev.SCHED_PICK, client.session.sid, client.index)
         if client.txn is None:
             client.ops = _ops_of(client.items[client.item_idx])
             client.op_idx = 0
@@ -406,7 +460,7 @@ class Scheduler:
         self.obs.inc(counter)
         client.retries += 1
         if client.retries > self.max_retries:
-            raise SchedulerError(
+            raise RetriesExhausted(
                 "client %r exhausted %d retries on item %d"
                 % (client.name, self.max_retries, client.item_idx)
             )
@@ -464,4 +518,4 @@ class Scheduler:
         }
 
 
-__all__ = ["Scheduler", "SchedulerError", "DeadlockError"]
+__all__ = ["Scheduler", "SchedulerError", "RetriesExhausted", "DeadlockError"]

@@ -165,6 +165,54 @@ def _isolation(counters):
     return lines
 
 
+def _exploration(counters, gauges):
+    """Derived schedule-space exploration summary (DPOR model checker).
+
+    Present only when the snapshot came from a run that published
+    :class:`repro.analysis.explore.Explorer` stats.  "schedules" is
+    complete interleavings actually executed and checked; the two
+    "pruned" lines are the work the reduction avoided (sleep-set
+    blocks and revisited committed states), and "races" counts TC110
+    lockset reports before dedup."""
+    attempts = counters.get("explore.attempts", 0)
+    if not attempts:
+        return []
+    schedules = counters.get("explore.schedules", 0)
+    lines = [
+        "",
+        "schedule exploration (dpor)",
+        "---------------------------",
+        "  schedules         %8d  executed to completion (%d attempts,"
+        " %d steps)"
+        % (schedules, attempts, counters.get("explore.steps", 0)),
+        "  pruned            %8d  sleep-set, %d state-hash"
+        % (counters.get("explore.pruned.sleep", 0),
+           counters.get("explore.pruned.state", 0)),
+        "  frontier          %8d  max pending backtrack points"
+        % gauges.get("explore.max_frontier", 0),
+    ]
+    truncated = counters.get("explore.truncated", 0)
+    starved = counters.get("explore.starved", 0)
+    if truncated or starved:
+        lines.append(
+            "  bounded           %8d  step-budget truncations, "
+            "%d retry-cap starvations" % (truncated, starved)
+        )
+    crash_points = counters.get("explore.crash_points", 0)
+    if crash_points:
+        lines.append(
+            "  crash product     %8d  crash points swept across "
+            "distinct schedules" % crash_points
+        )
+    races = counters.get("explore.races", 0)
+    findings = counters.get("explore.findings", 0)
+    lines.append(
+        "  findings          %8d  (%d lockset race report(s))"
+        % (findings, races)
+    )
+    return lines
+
+
 def render_report(snapshot, *, title="observability report"):
     registry = snapshot["registry"]
     counters = registry.get("counters", {})
@@ -203,6 +251,7 @@ def render_report(snapshot, *, title="observability report"):
                 lines.append("  %s  %d" % (name.ljust(width), counters[name]))
         lines.extend(_durability_cost(counters))
         lines.extend(_isolation(counters))
+        lines.extend(_exploration(counters, gauges))
     if gauges:
         lines.append("")
         lines.append("gauges")

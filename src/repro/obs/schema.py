@@ -55,12 +55,19 @@ COUNTERS = frozenset({
     # analysis/corpus.py — trace-checker harness bookkeeping
     "analysis.trace.txns", "analysis.trace.events",
     "analysis.trace.findings",
+    # analysis/explore.py — schedule-space exploration (DPOR)
+    "explore.schedules", "explore.attempts", "explore.steps",
+    "explore.nodes", "explore.states",
+    "explore.pruned.sleep", "explore.pruned.state",
+    "explore.truncated", "explore.starved",
+    "explore.races", "explore.findings", "explore.crash_points",
 })
 
 #: Exact gauge names.
 GAUGES = frozenset({
     "wal.bytes_used",
     "mvcc.versions_live",
+    "explore.max_frontier",
 })
 
 #: Name prefixes under which arbitrary suffixes are legal.

@@ -85,6 +85,13 @@ OCC_CONFLICT = "occ_conflict"        # a=sid, b=stale resources seen
 OCC_FALLBACK = "occ_fallback"        # a=sid, b=failed validations
 VERSION_PUBLISH = "version_publish"  # a=packed resource, b=commit ts
 
+# Scheduler attribution (emitted only when a ``pick_strategy`` drives
+# the cooperative scheduler — default deterministic runs record none
+# of these).  Stamped at the start of every step so downstream
+# consumers (the lockset race detector, the schedule-space explorer)
+# can attribute the following events to the stepping session.
+SCHED_PICK = "sched_pick"            # a=sid, b=client index
+
 # Cross-shard two-phase-commit events (emitted by the shard router
 # only — unsharded engines record none of these).  ``a`` is always the
 # global transaction id (gtid).  For the decision event ``b`` packs
@@ -104,6 +111,7 @@ KINDS = (
     SNAPSHOT_BEGIN, SNAPSHOT_READ, SNAPSHOT_END, MVCC_GC,
     OCC_BEGIN, OCC_READ, OCC_VALIDATE, OCC_CONFLICT, OCC_FALLBACK,
     VERSION_PUBLISH,
+    SCHED_PICK,
     TWOPC_PREPARE, TWOPC_DECISION, TWOPC_COMMIT,
 )
 

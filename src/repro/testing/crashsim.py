@@ -397,7 +397,8 @@ def _scheduled_model(clients, commit_order):
 
 
 def run_scheduler_to_crash_point(scheme, workloads, budget, *, config=None,
-                                 policy=None, seed=0, checker_factory=None):
+                                 policy=None, seed=0, checker_factory=None,
+                                 pick_strategy_factory=None):
     """Crash an N-client scheduled run after ``budget`` armed memory
     events, recover, and validate the serializable committed prefix.
 
@@ -414,6 +415,13 @@ def run_scheduler_to_crash_point(scheme, workloads, budget, *, config=None,
     ``checker_factory`` (optional) attaches a trace checker to the run
     (advanced at every scheduler step, sealed at the crash — recovery's
     redo stores are legitimately out of scope).
+
+    ``pick_strategy_factory`` (optional) builds a fresh scheduler
+    ``pick_strategy`` per run, so the schedule-space explorer can crash
+    a *specific* explored interleaving (the schedule × crash-point
+    product mode).  The strategy's ``sched_pick`` events live in the
+    obs trace, not the crashable memory, so arming budgets are
+    unchanged by it.
     """
     from repro.core.scheduler import Scheduler
 
@@ -425,7 +433,13 @@ def run_scheduler_to_crash_point(scheme, workloads, budget, *, config=None,
     # the recovered state must be exactly what the crash left behind —
     # rolling the running transaction back would write *after* the
     # power was cut.
-    scheduler = Scheduler(engine, cleanup_on_error=False, on_step=on_step)
+    scheduler = Scheduler(
+        engine, cleanup_on_error=False, on_step=on_step,
+        pick_strategy=(
+            pick_strategy_factory() if pick_strategy_factory is not None
+            else None
+        ),
+    )
     for workload in workloads:
         items, isolation = _client_spec(workload)
         scheduler.add_client(items, isolation=isolation)
@@ -501,13 +515,20 @@ def run_scheduler_to_crash_point(scheme, workloads, budget, *, config=None,
     return result
 
 
-def scheduler_crash_points_in(scheme, workloads, *, config=None):
+def scheduler_crash_points_in(scheme, workloads, *, config=None,
+                              pick_strategy_factory=None):
     """Armed memory events in a full scheduled run (the sweep range)."""
     from repro.core.scheduler import Scheduler
 
     config = config or SystemConfig(**_SMALL_CONFIG)
     engine, pm = _build_engine(config, scheme)
-    scheduler = Scheduler(engine, cleanup_on_error=False)
+    scheduler = Scheduler(
+        engine, cleanup_on_error=False,
+        pick_strategy=(
+            pick_strategy_factory() if pick_strategy_factory is not None
+            else None
+        ),
+    )
     for workload in workloads:
         items, isolation = _client_spec(workload)
         scheduler.add_client(items, isolation=isolation)
@@ -521,11 +542,15 @@ def scheduler_crash_points_in(scheme, workloads, *, config=None):
 
 def run_scheduler_crash_sweep(scheme, workloads, *, config=None, stride=1,
                               seeds=(0, 1), policies=None, max_points=None,
-                              checker_factory=None):
+                              checker_factory=None,
+                              pick_strategy_factory=None):
     """Crash the scheduled multi-client run at every ``stride``-th
     memory event; returns the failing ``CrashTestResult`` list (empty =
     the committed prefix survived every interleaved crash point)."""
-    total = scheduler_crash_points_in(scheme, workloads, config=config)
+    total = scheduler_crash_points_in(
+        scheme, workloads, config=config,
+        pick_strategy_factory=pick_strategy_factory,
+    )
     budgets = list(range(1, total + 1, stride))
     if max_points is not None and len(budgets) > max_points:
         step = max(1, len(budgets) // max_points)
@@ -541,6 +566,7 @@ def run_scheduler_crash_sweep(scheme, workloads, *, config=None, stride=1,
                 scheme, workloads, budget,
                 config=config, policy=policy, seed=seed or budget,
                 checker_factory=checker_factory,
+                pick_strategy_factory=pick_strategy_factory,
             )
             if not result.ok:
                 failures.append((budget, result))

@@ -1,0 +1,130 @@
+"""The DPOR schedule-space explorer: determinism, exhaustiveness,
+reduction (strictly fewer schedules than naive DFS), the per-schedule
+invariant + serializability oracle, seeded-bug detection, and the
+schedule × crash-point product."""
+
+import json
+
+import pytest
+
+from repro.analysis.corpus import mixed_explore_workloads, run_explored
+from repro.analysis.explore import (
+    DEFAULT_BUDGET, ExplorationError, Explorer, default_workloads, explore,
+)
+from repro.analysis.mutants import MUTANTS
+from repro.core import SystemConfig
+
+
+def test_default_locked_workload_explores_exhaustively():
+    explorer = Explorer("fast")
+    result = explorer.run()
+    assert result["budget_exhausted"] is False
+    assert result["schedules"] >= 1
+    assert result["findings"] == []
+    assert result["races"] == []
+    assert explorer.stats["starved"] == 0
+
+
+def test_exploration_is_deterministic_byte_identical_json():
+    blobs = []
+    for _ in range(2):
+        result = explore("fast", budget=DEFAULT_BUDGET)
+        blobs.append(json.dumps(result, sort_keys=True).encode())
+    assert blobs[0] == blobs[1]
+
+
+def _independent_reader_workloads():
+    """Two locked clients, each one transaction of two searches over
+    disjoint preloaded keys on well-separated leaves: every pair of
+    steps is independent (S locks only), so DPOR needs exactly one
+    schedule where naive DFS enumerates every interleaving."""
+    payload = bytes(32)
+    preload = [(b"r%03d" % i, payload) for i in range(0, 200, 10)]
+    workloads = [
+        [("txn", [("search", b"r000", None), ("search", b"r010", None)])],
+        [("txn", [("search", b"r180", None), ("search", b"r190", None)])],
+    ]
+    return preload, workloads
+
+
+def test_dpor_explores_strictly_fewer_schedules_than_naive():
+    preload, workloads = _independent_reader_workloads()
+    reduced = Explorer("fast", workloads=workloads, preload=preload)
+    reduced_result = reduced.run()
+    naive = Explorer("fast", workloads=workloads, preload=preload,
+                     reduction=False)
+    naive_result = naive.run()
+    # 2 clients x 2 steps each: C(4, 2) = 6 naive interleavings.
+    assert naive_result["schedules"] == 6
+    assert reduced_result["schedules"] < naive_result["schedules"]
+    assert reduced_result["schedules"] == 1
+    # Reduction discards schedules, never findings.
+    assert reduced_result["findings"] == naive_result["findings"] == []
+
+
+def test_conflicting_workload_schedules_all_pass_oracle():
+    # The default workload's shared hot key makes transactions
+    # genuinely conflict; every explored schedule still has to satisfy
+    # TC101-TC110 plus the commit-order serial-replay oracle.
+    result = explore("fast", workloads=default_workloads(clients=2, ops=2))
+    assert result["schedules"] >= 2
+    assert result["findings"] == []
+
+
+@pytest.mark.parametrize("name", sorted(MUTANTS))
+def test_seeded_mutant_is_detected_within_default_budget(name):
+    inject, expected_rule, workloads = MUTANTS[name]
+    spec = workloads()
+    with inject():
+        result = explore(
+            "fast", workloads=spec["workloads"],
+            preload=spec.get("preload", ()),
+        )
+    fired = {line.split(": ")[1] for line in result["findings"]}
+    assert expected_rule in fired, (
+        "%s escaped exploration (findings: %r)" % (name, result["findings"])
+    )
+
+
+def test_mixed_isolation_workload_is_clean():
+    result = explore("fast", workloads=mixed_explore_workloads(), budget=64)
+    assert result["findings"] == []
+    assert result["clients"] == 3
+
+
+def test_crash_product_sweeps_distinct_schedules():
+    explorer = Explorer("fast", budget=64, crash_schedules=2)
+    result = explorer.run()
+    assert explorer.stats["crash_points"] > 0
+    assert result["findings"] == []
+
+
+def test_group_commit_configs_are_rejected():
+    config = SystemConfig(
+        npages=128, page_size=512, log_bytes=16384,
+        heap_bytes=1 << 20, dram_bytes=64 * 512, group_commit=True,
+    )
+    with pytest.raises(ExplorationError, match="group_commit"):
+        Explorer("fast", config=config)
+
+
+def test_publish_files_schema_counters():
+    from repro.obs.context import Observability
+    from repro.pm.clock import SimClock
+
+    explorer = Explorer("fast", budget=16)
+    explorer.run()
+    obs = Observability(SimClock())
+    explorer.publish(obs)
+    counters = obs.registry.counters()
+    assert counters["explore.schedules"] == explorer.stats["schedules"]
+    assert counters["explore.attempts"] == explorer.stats["attempts"]
+    assert (obs.registry.gauge("explore.max_frontier").value
+            == explorer.stats["max_frontier"])
+
+
+def test_run_explored_is_clean_on_real_engine():
+    findings, stats = run_explored(budget=32, crash_schedules=0)
+    assert findings == []
+    assert stats["runs"] == 2
+    assert stats["schedules"] >= 2

@@ -1,4 +1,4 @@
-"""Static rules PM001-PM005: exact output on known-bad fixtures, and a
+"""Static rules PM001-PM006: exact output on known-bad fixtures, and a
 zero-findings run over the real ``src/repro`` tree."""
 
 import os
@@ -79,6 +79,34 @@ def test_pm005_swallowed_lock_error_and_bare_except():
         "(body is only pass)",
         "pm005_swallowed.py:14: PM005: bare except:",
     ]
+
+
+def test_pm006_direct_acquire_outside_locking_module():
+    assert [f.render() for f in _lint_fixture("pm006_direct_acquire.py")] == [
+        "pm006_direct_acquire.py:11: PM006: direct lock_manager.acquire() "
+        "outside LockingContext/commit_scope (no release-on-all-paths "
+        "guarantee)",
+        "pm006_direct_acquire.py:15: PM006: direct _locks.acquire() "
+        "outside LockingContext/commit_scope (no release-on-all-paths "
+        "guarantee)",
+    ]
+
+
+def test_pm006_silent_inside_core_locking():
+    with open(os.path.join(FIXTURES, "pm006_direct_acquire.py")) as fh:
+        source = fh.read()
+    assert lint_source(
+        source, file="locking.py", module="core/locking.py",
+    ) == []
+
+
+def test_pm006_allow_comment_suppresses():
+    source = (
+        "def f(locks, resource):\n"
+        "    # repro: allow[PM006] self-test helper owns its own release\n"
+        "    locks.acquire(1, resource, 'X')\n"
+    )
+    assert lint_source(source, file="x.py", module="core/x.py") == []
 
 
 # ----------------------------------------------------------------------

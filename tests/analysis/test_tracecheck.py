@@ -278,3 +278,126 @@ def test_checker_for_engine_scopes_to_arena_geometry():
     )
     assert checker.commit_word == config.log_base + 8
     assert checker.page_range == (0, 64 * 512)
+
+
+# ----------------------------------------------------------------------
+# TC110 — lockset race detection (Eraser-shape)
+# ----------------------------------------------------------------------
+
+PAGE_SIZE = 0x200
+
+
+def _lockset_checker(**overrides):
+    kwargs = dict(
+        log_range=LOG_RANGE, commit_word=COMMIT_WORD,
+        page_range=PAGE_RANGE, page_size=PAGE_SIZE,
+    )
+    kwargs.update(overrides)
+    return TraceChecker(None, **kwargs)
+
+
+def _s(resource, mode):
+    from repro.core.locking import encode_lock
+
+    return encode_lock(resource, mode)
+
+
+def test_tc110_two_writers_with_empty_lockset():
+    checker = _lockset_checker()
+    checker.feed([
+        (1, 0.0, ev.TXN_BEGIN, 1, 0),
+        (2, 0.0, ev.TXN_BEGIN, 2, 0),
+        # Both writers store into page 1 holding only an S lock: their
+        # X-candidate intersection is empty from the first store.
+        (3, 0.0, ev.LOCK_ACQUIRE, 1, _s(("page", 1), "S")),
+        (4, 0.0, ev.SCHED_PICK, 1, 0),
+        (5, 0.0, ev.STORE, 0x240, 16),
+        (6, 0.0, ev.LOCK_ACQUIRE, 2, _s(("page", 1), "S")),
+        (7, 0.0, ev.SCHED_PICK, 2, 1),
+        (8, 0.0, ev.STORE, 0x250, 16),
+    ])
+    assert [f.render() for f in checker.finish()] == [
+        "trace@8: TC110: page 1 written by sessions 1,2 with an empty "
+        "lockset (no consistent protecting X lock across writers)",
+    ]
+
+
+def test_tc110_consistent_x_lock_is_clean():
+    checker = _lockset_checker()
+    checker.feed([
+        (1, 0.0, ev.TXN_BEGIN, 1, 0),
+        (2, 0.0, ev.LOCK_ACQUIRE, 1, _s(("page", 1), "X")),
+        (3, 0.0, ev.SCHED_PICK, 1, 0),
+        (4, 0.0, ev.STORE, 0x240, 16),
+        (5, 0.0, ev.LOCK_RELEASE, 1, _s(("page", 1), "X")),
+        (6, 0.0, ev.TXN_COMMIT, 1, 0),
+        (7, 0.0, ev.TXN_BEGIN, 2, 0),
+        (8, 0.0, ev.LOCK_ACQUIRE, 2, _s(("page", 1), "X")),
+        (9, 0.0, ev.SCHED_PICK, 2, 1),
+        (10, 0.0, ev.STORE, 0x250, 16),
+        (11, 0.0, ev.LOCK_RELEASE, 2, _s(("page", 1), "X")),
+        (12, 0.0, ev.TXN_COMMIT, 2, 0),
+    ])
+    assert checker.finish() == []
+
+
+def test_tc110_set_actor_attributes_without_sched_pick():
+    checker = _lockset_checker()
+    checker.feed([
+        (1, 0.0, ev.TXN_BEGIN, 1, 0),
+        (2, 0.0, ev.TXN_BEGIN, 2, 0),
+        (3, 0.0, ev.LOCK_ACQUIRE, 1, _s(("page", 1), "S")),
+        (4, 0.0, ev.LOCK_ACQUIRE, 2, _s(("page", 1), "S")),
+    ])
+    checker.set_actor(1)
+    checker.feed([(5, 0.0, ev.STORE, 0x240, 16)])
+    checker.set_actor(2)
+    checker.feed([(6, 0.0, ev.STORE, 0x250, 16)])
+    assert [f.rule for f in checker.finish()] == ["TC110"]
+
+
+def test_tc110_unattributed_and_unowned_stores_are_exempt():
+    checker = _lockset_checker()
+    checker.feed([
+        # No sched_pick/set_actor yet: preload-style stores are skipped.
+        (1, 0.0, ev.STORE, 0x240, 16),
+        (2, 0.0, ev.TXN_BEGIN, 1, 0),
+        (3, 0.0, ev.TXN_BEGIN, 2, 0),
+        # Attributed stores to a page NO session holds in any mode:
+        # allocation-format traffic, sanctioned.
+        (4, 0.0, ev.SCHED_PICK, 1, 0),
+        (5, 0.0, ev.STORE, 0x440, 16),
+        (6, 0.0, ev.SCHED_PICK, 2, 1),
+        (7, 0.0, ev.STORE, 0x450, 16),
+    ])
+    assert checker.finish() == []
+
+
+def test_tc110_dormant_without_page_geometry():
+    checker = _lockset_checker(page_size=None)
+    checker.feed([
+        (1, 0.0, ev.TXN_BEGIN, 1, 0),
+        (2, 0.0, ev.TXN_BEGIN, 2, 0),
+        (3, 0.0, ev.SCHED_PICK, 1, 0),
+        (4, 0.0, ev.STORE, 0x240, 16),
+        (5, 0.0, ev.SCHED_PICK, 2, 1),
+        (6, 0.0, ev.STORE, 0x250, 16),
+    ])
+    assert checker.finish() == []
+
+
+def test_tc110_gated_on_lockset_invariant():
+    checker = _lockset_checker(
+        invariants=("flush", "atomic", "twopl"),
+    )
+    checker.feed([
+        (1, 0.0, ev.TXN_BEGIN, 1, 0),
+        (2, 0.0, ev.TXN_BEGIN, 2, 0),
+        (3, 0.0, ev.LOCK_ACQUIRE, 1, _s(("page", 1), "S")),
+        (4, 0.0, ev.SCHED_PICK, 1, 0),
+        (5, 0.0, ev.STORE, 0x240, 16),
+        (6, 0.0, ev.LOCK_ACQUIRE, 2, _s(("page", 1), "S")),
+        (7, 0.0, ev.SCHED_PICK, 2, 1),
+        (8, 0.0, ev.STORE, 0x250, 16),
+    ])
+    assert checker.finish() == []

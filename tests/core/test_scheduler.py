@@ -3,7 +3,8 @@
 import pytest
 
 from repro.core import SchedulerError, open_engine
-from repro.core.scheduler import Scheduler
+from repro.core.scheduler import RetriesExhausted, Scheduler
+from repro.obs import trace as ev
 
 from tests.core.conftest import small_config
 
@@ -273,3 +274,67 @@ class TestReadOnlyClients:
             return report, engine.registry.snapshot(), engine.clock.now_ns
 
         assert run() == run()
+
+
+class TestPickStrategy:
+    """The ``pick_strategy`` scheduling hook the schedule-space
+    explorer drives interleavings through."""
+
+    def _run(self, pick_strategy, *, tracing=False):
+        engine = _engine(scheme="fast")
+        engine.obs.tracing(tracing)
+        scheduler = Scheduler(engine, pick_strategy=pick_strategy)
+        for items in _disjoint_workloads(2, items=2):
+            scheduler.add_client(items)
+        report = scheduler.run()
+        return engine, report
+
+    def test_default_path_emits_no_sched_pick_events(self):
+        engine, report = self._run(None, tracing=True)
+        assert report["commits"] == 4
+        assert engine.obs.trace.events(kind=ev.SCHED_PICK) == []
+
+    def test_first_ready_strategy_matches_default_schedule(self):
+        # ``ready`` arrives pre-sorted by the default pick key, so a
+        # strategy that returns ready[0] reproduces the historical
+        # schedule exactly — only the SCHED_PICK stamps are new.
+        _, default_report = self._run(None)
+        engine, hooked_report = self._run(lambda sched, ready: ready[0],
+                                          tracing=True)
+        assert hooked_report["commit_order"] == default_report["commit_order"]
+        picks = engine.obs.trace.events(kind=ev.SCHED_PICK)
+        assert picks, "strategy path must stamp every step"
+
+    def test_sched_pick_events_attribute_every_step(self):
+        engine, _ = self._run(lambda sched, ready: ready[0], tracing=True)
+        picks = engine.obs.trace.events(kind=ev.SCHED_PICK)
+        assert len(picks) == engine.registry.counter("sched.step").value
+        # a=sid, b=client index: a stable one-to-one mapping.
+        mapping = {}
+        for event in picks:
+            sid, index = event[3], event[4]
+            assert mapping.setdefault(sid, index) == index
+
+    def test_custom_strategy_reorders_commits(self):
+        # Prefer the highest client index at every pick: client 1
+        # finishes its items before client 0 gets a turn.
+        _, report = self._run(lambda sched, ready: ready[-1])
+        names = [name for name, _ in report["commit_order"]]
+        assert names == ["c1", "c1", "c0", "c0"]
+
+    def test_strategy_must_return_a_ready_client(self):
+        with pytest.raises(SchedulerError, match="must return a READY"):
+            self._run(lambda sched, ready: None)
+
+    def test_retry_exhaustion_raises_dedicated_subclass(self):
+        engine = _engine()
+        engine.insert(b"k", b"0")
+        scheduler = Scheduler(engine, lock_timeout_ns=100.0,
+                              retry_backoff_ns=10.0, max_retries=2)
+        scheduler.add_client([("txn", [
+            ("insert", b"k", b"hold"), ("think", 1e9, None),
+            ("search", b"k", None),
+        ])])
+        scheduler.add_client([("insert", b"k", b"starved")])
+        with pytest.raises(RetriesExhausted):
+            scheduler.run()
