@@ -57,6 +57,19 @@ GROUP_CLIENTS = (2, 8)
 #: OCC sweep: locked-vs-optimistic twins over client count x conflict
 #: mix (mixes come from ``repro.bench.multiclient.OCC_MIXES``).
 OCC_CLIENTS = (2, 8)
+#: Cache sweep (fig15): tiered DRAM page cache capacity x PM read
+#: latency over the read-mostly MVCC cell; 0 pages = cache off (the
+#: baseline each latency's speedups are relative to).  NVWAL already
+#: fronts PM with its own volatile buffer cache, so only the
+#: commit-mark schemes sweep.
+CACHE_SCHEMES = ("fast", "fastplus")
+CACHE_SIZES = (0, 8, 64)
+CACHE_READ_LATS = (300.0, 900.0, 1200.0)
+#: Longer per-client runs than the contention grid: read-hot caching
+#: needs enough reads per invalidation to amortize its fills, and the
+#: fig15 crossover claim (>=1.5x at the slow-PM/high-hit corner) is
+#: asserted over these committed rows.
+CACHE_ITEMS = 40
 
 
 def _summarize(result):
@@ -115,6 +128,21 @@ def _summarize_occ(result):
     return summary
 
 
+def _summarize_cache(result):
+    """The comparable (and committed) slice of one cache cell."""
+    summary = _summarize(result)
+    summary["clients"] = 1 + result["readers"]  # writer + readers
+    summary["cache_pages"] = result["cache_pages"]
+    summary["read_ns"] = result["read_ns"]
+    summary["cache_hit_ratio"] = round(result["cache_hit_ratio"], 3)
+    summary["cache_hits"] = result["counters"]["cache.hit"]
+    summary["cache_misses"] = result["counters"]["cache.miss"]
+    summary["cache_evicts"] = result["counters"]["cache.evict"]
+    summary["cache_invalidates"] = result["counters"]["cache.invalidate"]
+    summary["speedup_vs_uncached"] = round(result["speedup_vs_uncached"], 3)
+    return summary
+
+
 def _summarize_sharded(result):
     """The comparable (and committed) slice of one sharded run."""
     return {
@@ -137,13 +165,14 @@ def _summarize_sharded(result):
 
 def run_grid():
     from repro.bench.multiclient import (
-        run_multi_client, run_read_mostly, sweep_group_commit, sweep_occ,
-        sweep_shards,
+        run_multi_client, run_read_mostly, sweep_cache,
+        sweep_group_commit, sweep_occ, sweep_shards,
     )
 
     grid = {"workload": {"items_per_client": ITEMS, "seed": SEED},
             "client_sweep": {}, "mix_sweep": {}, "mvcc_sweep": {},
-            "shard_sweep": {}, "group_sweep": {}, "occ_sweep": {}}
+            "shard_sweep": {}, "group_sweep": {}, "occ_sweep": {},
+            "cache_sweep": {}}
     for scheme in SCHEMES:
         grid["client_sweep"][scheme] = [
             _summarize(run_multi_client(
@@ -176,6 +205,14 @@ def run_grid():
             _summarize_occ(row)
             for row in sweep_occ(
                 scheme, counts=OCC_CLIENTS, items=ITEMS, seed=SEED,
+            )
+        ]
+    for scheme in CACHE_SCHEMES:
+        grid["cache_sweep"][scheme] = [
+            _summarize_cache(row)
+            for row in sweep_cache(
+                scheme, cache_sizes=CACHE_SIZES,
+                read_lats=CACHE_READ_LATS, items=CACHE_ITEMS, seed=SEED,
             )
         ]
     for scheme in SHARD_SCHEMES:
@@ -237,6 +274,17 @@ def _print_grid(grid):
                 pair["occ"]["occ_fallbacks"],
             )
             for (mix, count), pair in sorted(cells.items())
+        ))
+    print("cache sweep (DRAM pages x PM read latency, read-mostly MVCC): "
+          "hit ratio and speedup vs cache-off")
+    for scheme in CACHE_SCHEMES:
+        rows = grid["cache_sweep"][scheme]
+        print("  %-9s " % scheme + "  ".join(
+            "p%d@%.0f %.2fh %.2fx" % (
+                r["cache_pages"], r["read_ns"], r["cache_hit_ratio"],
+                r["speedup_vs_uncached"],
+            )
+            for r in rows
         ))
     print("shard sweep (%d clients, disjoint per-shard pools): modeled "
           "parallel throughput" % SHARD_CLIENTS)
@@ -315,7 +363,8 @@ def main(argv=None):
                   "concurrency behavior changed (run --update if intended)"
                   % BASELINE_PATH.name, file=sys.stderr)
             for section in ("client_sweep", "mix_sweep", "mvcc_sweep",
-                            "shard_sweep", "group_sweep", "occ_sweep"):
+                            "shard_sweep", "group_sweep", "occ_sweep",
+                            "cache_sweep"):
                 for scheme in SCHEMES:
                     got = grid[section].get(scheme)
                     want = (baseline.get(section) or {}).get(scheme)

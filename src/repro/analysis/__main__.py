@@ -34,7 +34,7 @@ def main(argv=None):
     parser.add_argument("--lint", action="store_true",
                         help="run the static rules (PM001-PM005)")
     parser.add_argument("--trace-check", action="store_true",
-                        help="run the dynamic corpora (TC101-TC108)")
+                        help="run the dynamic corpora (TC101-TC111)")
     parser.add_argument("--explore", action="store_true",
                         help="model-check schedule space (DPOR + lockset "
                              "race detection over the deterministic "

@@ -20,7 +20,10 @@ invariants apply to:
 * :func:`run_mvcc_scheduled` — writers plus read-only MVCC sessions,
   adding the snapshot invariant (TC107): a read-only transaction must
   acquire zero locks and only resolve versions with commit timestamp
-  ≤ its pinned snapshot timestamp;
+  ≤ its pinned snapshot timestamp; ``run_all`` drives it (and the OCC
+  variant) a second time with the tiered DRAM page cache enabled and
+  the cache coherence invariant (TC111) armed — no cached read may
+  serve bytes older than the latest committed install for its page;
 * :func:`run_occ_single_client` / :func:`run_occ_scheduled` /
   :func:`run_occ_crash_swept` — the optimistic writer path (TC109): a
   lock-free read phase, commit-time validation against the version
@@ -175,7 +178,7 @@ def run_mvcc_scheduled(scheme, *, writers=2, readers=2, items=12,
     for i in range(0, 200, 4):
         engine.insert(b"mk%05d" % i, payload, replace=True)
     checker = TraceChecker.for_engine(
-        engine, invariants=("flush", "atomic", "twopl", "snapshot"),
+        engine, invariants=("flush", "atomic", "twopl", "snapshot", "cache"),
     )
     scheduler = Scheduler(engine, on_step=lambda _client: checker.advance())
     for index in range(writers):
@@ -226,7 +229,7 @@ def run_occ_scheduled(scheme, *, occ=2, locked=1, readers=1, items=10,
         engine.insert(b"mk%05d" % i, payload, replace=True)
     checker = TraceChecker.for_engine(
         engine,
-        invariants=("flush", "atomic", "twopl", "snapshot", "occ"),
+        invariants=("flush", "atomic", "twopl", "snapshot", "occ", "cache"),
     )
     scheduler = Scheduler(engine, on_step=lambda _client: checker.advance())
     for index in range(occ):
@@ -505,15 +508,21 @@ def run_all(schemes=SCHEMES):
     grouped = SystemConfig(
         group_commit=True, group_commit_size=4, **_SMALL_CONFIG
     )
+    # Tiered DRAM page cache on: snapshot readers fill and hit frames,
+    # so the TC111 coherence invariant sees real cache traffic (locked
+    # single-client runs read through contexts and never touch it).
+    cached = SystemConfig(dram_cache_pages=16, **_SMALL_CONFIG)
     for scheme in schemes:
         merge(run_single_client(scheme))
         merge(run_group_commit(scheme))
         merge(run_scheduled(scheme))
         merge(run_scheduled(scheme, config=grouped))
         merge(run_mvcc_scheduled(scheme))
+        merge(run_mvcc_scheduled(scheme, config=cached))
         merge(run_occ_single_client(scheme))
         merge(run_occ_scheduled(scheme))
         merge(run_occ_scheduled(scheme, config=grouped))
+        merge(run_occ_scheduled(scheme, config=cached))
         merge(run_occ_crash_swept(scheme))
         merge(run_crash_swept(scheme))
         merge(run_sharded_scheduled(scheme))

@@ -6,7 +6,7 @@ module turns the scheduler into a model checker: the ``pick_strategy``
 hook on :class:`repro.core.scheduler.Scheduler` lets an explorer force
 any feasible interleaving of a small multi-client workload, and every
 explored schedule runs under the full dynamic invariant suite
-(TC101-TC110) plus a commit-order serializability oracle.
+(TC101-TC111) plus a commit-order serializability oracle.
 
 Algorithm
 ---------
@@ -66,7 +66,7 @@ most-distinct explored schedules (one per distinct state digest).
 Findings
 --------
 
-* TC101-TC110 from the riding :class:`TraceChecker` (per schedule);
+* TC101-TC111 from the riding :class:`TraceChecker` (per schedule);
 * ``EX000`` — an engine exception or scheduler failure under an
   explored (legal) schedule;
 * ``EX001`` — a committed state that differs from the serial replay
@@ -102,7 +102,7 @@ _SMALL_CONFIG = dict(
 #: scope (its per-transaction live-range snapshots are invalidated by
 #: interleaving, exactly as in the scheduled corpora).
 EXPLORE_INVARIANTS = (
-    "flush", "atomic", "twopl", "snapshot", "occ", "lockset",
+    "flush", "atomic", "twopl", "snapshot", "occ", "lockset", "cache",
 )
 
 #: Adversarial schedules legitimately force more aborts than the

@@ -10,7 +10,7 @@ that monkeypatches exactly one method for the duration of an
 exploration and restores it on exit, so the mutated code path is never
 visible outside the ``with`` block.
 
-Two mutants, matching the two halves of the detector suite:
+Three mutants, matching the halves of the detector suite:
 
 ``skip_page_lock``
     :meth:`LockingContext.update_record` forgets ``_xlock_page`` — an
@@ -33,11 +33,22 @@ Two mutants, matching the two halves of the detector suite:
     on real hardware that still leaves the mark's line racing the
     frame lines, but the trace model is line-state-based, so the seed
     drops the flush instead.)
+
+``skip_cache_invalidate``
+    :meth:`TieredPageCache.invalidate` ignores install-reason calls,
+    so committed installs stop evicting stale frames from the DRAM
+    page cache (evictions and page frees stay intact).  A snapshot
+    reader that cached a leaf before a concurrent writer's commit
+    keeps serving the pre-commit bytes from DRAM: the TC111 cache
+    coherence invariant must flag the stale hit.
 """
 
 from contextlib import contextmanager
 
+from repro.core import SystemConfig
 from repro.core.locking import LockingContext
+from repro.obs import trace as ev
+from repro.storage.cache import TieredPageCache
 from repro.wal.slot_header_log import SlotHeaderLog
 
 
@@ -72,6 +83,23 @@ def mark_before_fence():
         yield
     finally:
         SlotHeaderLog.flush_frames = original
+
+
+@contextmanager
+def skip_cache_invalidate():
+    """Committed installs no longer invalidate the DRAM page cache
+    (stale-read seed); eviction and free invalidations stay intact."""
+    original = TieredPageCache.invalidate
+
+    def invalidate(self, page_no, reason=ev.INVAL_INSTALL):
+        if reason != ev.INVAL_INSTALL:
+            original(self, page_no, reason)
+
+    TieredPageCache.invalidate = invalidate
+    try:
+        yield
+    finally:
+        TieredPageCache.invalidate = original
 
 
 #: name -> (mutant context manager, the rule that must fire, workloads
@@ -109,11 +137,40 @@ def _ordering_workloads():
     }
 
 
+def _stale_read_workloads():
+    # A snapshot reader shares one hot leaf with a locked writer under
+    # a cache-enabled config.  Each read item is its own snapshot
+    # transaction, so under the round-robin default schedule some read
+    # lands after the writer's commit: with install invalidations
+    # seeded out, that read serves the pre-commit frame from DRAM and
+    # TC111 must flag the hit.
+    payload = bytes(range(48))
+    fresh = bytes(range(47, -1, -1))
+    read = ("search", b"hot0", None)
+    return {
+        "preload": [(b"hot%d" % i, payload) for i in range(4)],
+        "workloads": [
+            {"items": [read, read, read, read], "read_only": True},
+            [("txn", [("update", b"hot0", fresh)])],
+        ],
+        "config": SystemConfig(
+            dram_cache_pages=8, npages=128, page_size=512,
+            log_bytes=16384, heap_bytes=1 << 20, dram_bytes=64 * 512,
+        ),
+    }
+
+
 MUTANTS = {
     "TC110-skip-page-lock": (skip_page_lock, "TC110", _race_workloads),
     "TC101-mark-before-fence": (
         mark_before_fence, "TC101", _ordering_workloads,
     ),
+    "TC111-skip-cache-invalidate": (
+        skip_cache_invalidate, "TC111", _stale_read_workloads,
+    ),
 }
 
-__all__ = ["skip_page_lock", "mark_before_fence", "MUTANTS"]
+__all__ = [
+    "skip_page_lock", "mark_before_fence", "skip_cache_invalidate",
+    "MUTANTS",
+]

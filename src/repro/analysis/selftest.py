@@ -343,6 +343,57 @@ def _lockset_good():
     return checker.finish()
 
 
+def _tc111():
+    # A cached page whose header window is overwritten by a committed
+    # install (store into the page's first 6 bytes), then served from
+    # the cache with no CACHE_INVAL in between — a stale read.  Page 1
+    # starts at 0x200 under the 0x200-byte fixture geometry.
+    checker = _lockset_checker()
+    checker.feed([
+        (1, 0.0, ev.CACHE_FILL, 1, 0),
+        (2, 0.0, ev.STORE, 0x200, 8),      # header install on page 1
+        (3, 0.0, ev.CACHE_HIT, 1, 0),      # stale bytes served
+    ])
+    return checker.finish()
+
+
+def _tc111_reinstall():
+    # The first install is invalidated correctly; the page is refilled
+    # and a SECOND install (an nrecords bump) misses its invalidation.
+    checker = _lockset_checker()
+    checker.feed([
+        (1, 0.0, ev.CACHE_FILL, 1, 0),
+        (2, 0.0, ev.STORE, 0x200, 8),
+        (3, 0.0, ev.CACHE_INVAL, 1, ev.INVAL_INSTALL),
+        (4, 0.0, ev.CACHE_FILL, 1, 0),
+        (5, 0.0, ev.STORE, 0x202, 2),      # nrecords, no inval after
+        (6, 0.0, ev.CACHE_HIT, 1, 0),
+    ])
+    return checker.finish()
+
+
+def _cache_good():
+    # The full coherent lifecycle: fill, pre-commit cell traffic into
+    # the cached page (legal — record bytes land in free space the
+    # durable header does not yet reach), hit, a committed install
+    # followed by its invalidation in the same step, refill, fresh
+    # hit, and free-list head traffic (bytes 6-8, carved out of the
+    # header window).  Must produce zero findings.
+    checker = _lockset_checker()
+    checker.feed([
+        (1, 0.0, ev.CACHE_FILL, 1, 0),
+        (2, 0.0, ev.STORE, 0x3c0, 16),     # cell store: not an install
+        (3, 0.0, ev.CACHE_HIT, 1, 0),
+        (4, 0.0, ev.STORE, 0x200, 8),      # header install...
+        (5, 0.0, ev.CACHE_INVAL, 1, ev.INVAL_INSTALL),  # ...invalidated
+        (6, 0.0, ev.CACHE_FILL, 1, 0),
+        (7, 0.0, ev.CACHE_HIT, 1, 0),
+        (8, 0.0, ev.STORE, 0x206, 2),      # free-list head: carved out
+        (9, 0.0, ev.CACHE_HIT, 1, 0),
+    ])
+    return checker.finish()
+
+
 def _occ_good():
     # A clean optimistic commit: lock-free read phase, an *older*
     # concurrent publish (ts ≤ pin is not stale), install locks only
@@ -379,6 +430,8 @@ DYNAMIC_FIXTURES = {
     "TC109": _tc109,
     "TC109-stale": _tc109_stale,
     "TC110": _tc110,
+    "TC111": _tc111,
+    "TC111-reinstall": _tc111_reinstall,
 }
 
 #: Known-good traces that must produce ZERO findings — guards against
@@ -387,6 +440,7 @@ GOOD_FIXTURES = {
     "group-mark": _group_good,
     "occ-commit": _occ_good,
     "lockset-serialized": _lockset_good,
+    "cache-coherent": _cache_good,
 }
 
 #: Exploration budget for the seeded-bug mutants.  Both mutants are
@@ -410,7 +464,7 @@ def run_mutants(budget=EXPLORE_BUDGET):
         with mutant():
             result = explore(
                 workloads=spec["workloads"], preload=spec["preload"],
-                budget=budget,
+                config=spec.get("config"), budget=budget,
             )
         fired = {line.split(": ")[1] for line in result["findings"]}
         if rule not in fired:

@@ -86,6 +86,23 @@ ordering theorem *as it executes*:
     excepted), the in-page free-list head bytes, and format stores to
     a page no session holds any lock on (``allocate_page`` formats
     before it latches — a fresh page is uncontended by construction).
+``TC111`` (DRAM page-cache coherence)
+    No cached read may return bytes older than the latest committed
+    install for its page.  The tiered DRAM page cache
+    (``repro.storage.cache``) emits ``cache_fill`` / ``cache_hit`` /
+    ``cache_inval`` events; an install is any STORE overlapping the
+    page's first six header bytes — the page-type/flags/nrecords/
+    content-start words that every committed header publish
+    (checkpoint apply, RTM in-place commit, recovery replay, NVWAL
+    copy-back) and every free-list link rewrites, and exactly the
+    bytes TC103's live ranges protect (the free-list head word at
+    offsets 6-8 is carved out on both sides: it is reconstructible
+    and rewritten in place pre-commit).  A ``cache_hit`` on a page
+    whose frame was filled before such an install, with no
+    ``cache_inval`` or re-fill in between, is a stale read.
+    Pre-commit record/cell traffic lands outside the window by
+    construction, so legitimately cached pages never trip the rule.
+    Cache-off runs emit no cache events and the rule is dormant.
 
 Harness protocol: call :meth:`begin_txn` (with fresh live ranges)
 before each transaction and :meth:`advance` after it; or just
@@ -103,8 +120,15 @@ _WORD = 8
 #: Everything the checker can assert; pick a subset per corpus.
 ALL_INVARIANTS = (
     "flush", "atomic", "live", "twopl", "snapshot", "twopc", "occ",
-    "lockset",
+    "lockset", "cache",
 )
+
+#: TC111 install window: the first six header bytes of a page (type,
+#: flags, nrecords, content-start) — rewritten by every committed
+#: header install and by free-list link words, never by pre-commit
+#: record traffic.  Bytes 6-8 (the in-page free-list head) are
+#: excluded, mirroring TC103's live-range carve-out.
+_CACHE_WINDOW = 6
 
 #: Shard-namespace shift of packed resource idents and occ_begin pin
 #: words (== repro.storage.sharding.SHARD_NS_SHIFT; 0 when unsharded).
@@ -194,6 +218,9 @@ class TraceChecker:
         # -- lockset (TC110) state ------------------------------------
         self._actor = None        # sid the current stores belong to
         self._lockset = {}        # resource -> {writers, candidates, reported}
+        # -- page-cache coherence (TC111) state -----------------------
+        self._cache_filled = {}   # page_no -> fill seq (frame is live)
+        self._cache_stale = {}    # page_no -> install seq since the fill
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -390,6 +417,17 @@ class TraceChecker:
             self._on_twopc_decision(seq, a, b)
         elif kind == ev.TWOPC_COMMIT:
             self._on_twopc_commit(seq, a, b)
+        elif kind == ev.CACHE_FILL:
+            if "cache" in self.invariants:
+                self._cache_filled[a] = seq
+                self._cache_stale.pop(a, None)
+        elif kind == ev.CACHE_HIT:
+            if "cache" in self.invariants:
+                self._on_cache_hit(seq, a)
+        elif kind == ev.CACHE_INVAL:
+            if "cache" in self.invariants:
+                self._cache_filled.pop(a, None)
+                self._cache_stale.pop(a, None)
 
     # ------------------------------------------------------------------
     # TC101 / TC102 — flush coverage and mark atomicity
@@ -412,6 +450,8 @@ class TraceChecker:
             self._check_live_store(seq, addr, length)
         if "lockset" in self.invariants:
             self._check_lockset(seq, addr, length)
+        if self._cache_filled:
+            self._check_cache_store(seq, addr, length)
 
     def _on_flush(self, addr):
         line = addr >> 6
@@ -706,6 +746,46 @@ class TraceChecker:
                    ",".join(str(s) for s in sorted(entry["writers"]))),
                 trace_seq=seq,
             ))
+
+    # ------------------------------------------------------------------
+    # TC111 — DRAM page-cache coherence
+    # ------------------------------------------------------------------
+
+    def _check_cache_store(self, seq, addr, length):
+        """Mark filled pages whose install window this store rewrites.
+
+        Only entered while at least one frame is live (``_cache_filled``
+        is empty in cache-off runs and whenever ``"cache"`` is not
+        armed, so the common store path pays one falsy check).
+        """
+        if self.page_range is None or not self.page_size:
+            return
+        base, end = self.page_range
+        if addr + length <= base or addr >= end:
+            return
+        first = (max(addr, base) - base) // self.page_size
+        last = (min(addr + length, end) - 1 - base) // self.page_size
+        for page_no in range(first, last + 1):
+            if page_no not in self._cache_filled:
+                continue
+            page_base = base + page_no * self.page_size
+            if addr < page_base + _CACHE_WINDOW and addr + length > page_base:
+                self._cache_stale[page_no] = seq
+
+    def _on_cache_hit(self, seq, page_no):
+        """A hit on a stale-marked frame is the TC111 violation.  A hit
+        with no recorded fill is implicit-fill territory (the checker
+        may have attached mid-stream) and passes."""
+        install_seq = self._cache_stale.get(page_no)
+        if install_seq is None:
+            return
+        self.findings.append(Finding(
+            "TC111",
+            "cached read of page %d served bytes older than the "
+            "committed install at trace seq %d (no invalidation "
+            "between install and hit)" % (page_no, install_seq),
+            trace_seq=seq,
+        ))
 
     # ------------------------------------------------------------------
     # TC109 — optimistic concurrency control

@@ -364,6 +364,88 @@ def sweep_group_commit(scheme, *, group_sizes=(0, 2, 4), counts=(2, 8),
 
 
 # ----------------------------------------------------------------------
+# Tiered DRAM page cache: hit ratio x PM read latency
+# ----------------------------------------------------------------------
+
+#: Cache counters reported by the tier sweep (marginal deltas over the
+#: scheduled window, like everything else in the run report).
+_CACHE_COUNTERS = (
+    "cache.hit", "cache.miss", "cache.fill", "cache.evict",
+    "cache.invalidate",
+)
+
+
+def run_cache_cell(scheme, *, cache_pages=64, clients=8, items=40,
+                   key_space=400, read_ns=300.0, write_ns=300.0,
+                   cache_lines=64, seed=7, record_size=48, preload=None,
+                   **kwargs):
+    """One read-mostly run with the tiered DRAM page cache in front of
+    the PM arena: 1 locked writer + ``clients - 1`` MVCC snapshot
+    readers — the read-hot regime the cache targets.  Snapshot reads
+    resolve live pages through DRAM frames charged at ``dram_ns``,
+    while the read working set (the whole preloaded tree — ``preload``
+    defaults to ``key_space``) far exceeds the small simulated CPU
+    cache (``cache_lines``), so uncached reads keep paying ``read_ns``
+    per line while cached frames converge to CPU-cache-hit cost.
+
+    ``cache_pages=0`` is the cache-off baseline on the *same* workload
+    bytes.  The report gains the knob values, the ``cache.*`` counters,
+    and the derived ``cache_hit_ratio`` = hit / (hit + miss).
+    """
+    from dataclasses import replace
+
+    config = build_config(
+        scheme, read_ns=read_ns, write_ns=write_ns,
+        ops=max(512, clients * items * 3), record_size=record_size,
+        cache_lines=cache_lines,
+    )
+    if cache_pages:
+        config = replace(config, dram_cache_pages=cache_pages)
+    result = run_multi_client(
+        scheme, clients=1, readers=clients - 1, mvcc=True, items=items,
+        key_space=key_space, seed=seed, record_size=record_size,
+        preload=key_space if preload is None else preload,
+        config=config, extra_counters=_CACHE_COUNTERS, **kwargs,
+    )
+    counters = result["counters"]
+    hits = counters["cache.hit"]
+    misses = counters["cache.miss"]
+    result["cache_pages"] = cache_pages
+    result["read_ns"] = read_ns
+    result["cache_lines"] = cache_lines
+    result["cache_hit_ratio"] = (
+        hits / (hits + misses) if hits + misses else 0.0
+    )
+    return result
+
+
+def sweep_cache(scheme, *, cache_sizes=(0, 8, 64),
+                read_lats=(300.0, 600.0, 1200.0), **kwargs):
+    """Cache capacity x PM read latency grid over the read-mostly cell.
+
+    Within each latency, every row gains ``speedup_vs_uncached``
+    relative to the cache-off row at that latency — the Fig 15 axis:
+    how the DRAM tier's win scales with the hit ratio it achieves and
+    the PM read latency each hit hides.
+    """
+    rows = []
+    for read_ns in read_lats:
+        base = None
+        for cache_pages in cache_sizes:
+            row = run_cache_cell(
+                scheme, cache_pages=cache_pages, read_ns=read_ns,
+                **kwargs,
+            )
+            if base is None:
+                base = row["throughput_tps"]
+            row["speedup_vs_uncached"] = (
+                row["throughput_tps"] / base if base else 0.0
+            )
+            rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
 # Sharded scaling: disjoint workloads over N independent pagestores
 # ----------------------------------------------------------------------
 

@@ -15,6 +15,7 @@ from contextlib import nullcontext
 
 from repro.btree.btree import BTree
 from repro.core.locking import LOCK_IS, LOCK_IX
+from repro.obs import trace as ev
 from repro.pm.clock import SimClock
 from repro.pm.memory import PersistentMemory
 from repro.pm.stats import MemoryStats
@@ -65,6 +66,17 @@ class GroupReadView(ReadView):
 
     def page(self, page_no):
         return self.engine._fetch_page(page_no)
+
+
+class CachedReadView(GroupReadView):
+    """Committed-state view served through the tiered DRAM page cache:
+    page fetches go through the engine's cache-aware read path (which
+    still honours open-epoch member overlays by bypassing the cache for
+    overlaid pages); root fetches stay overlay-aware as in the group
+    view.  Only ever constructed when ``dram_cache_pages > 0``."""
+
+    def page(self, page_no):
+        return self.engine._read_page(page_no)
 
 
 class Transaction:
@@ -341,6 +353,13 @@ class Engine:
     #: ``None`` = grouping off, every commit fences for itself.
     #: Schemes that support grouping construct one from the config.
     group = None
+    #: Whether the scheme's committed reads may be served from the
+    #: tiered DRAM page cache (``repro.storage.cache``).  PM-resident
+    #: schemes (FAST / FAST⁺) opt in; NVWAL keeps False — its DRAM
+    #: tier *is* its volatile buffer cache, and its shared frames are
+    #: mutated by open writers, so a second copy layer would be both
+    #: redundant and incoherent.
+    _page_cache_supported = False
 
     def __init__(self, config, pm, store):
         self.config = config
@@ -349,6 +368,15 @@ class Engine:
         # All instrumentation (registry counters, phase histograms,
         # event trace) flows through the arena's shared handle.
         self.obs = pm.obs
+        self.page_cache = None
+        if config.dram_cache_pages > 0 and self._page_cache_supported:
+            from repro.storage.cache import TieredPageCache
+
+            self.page_cache = TieredPageCache(store, config.dram_cache_pages)
+            # Freed (or GC-swept) pages can be reallocated with new
+            # content: the store tells us so a stale frame can never
+            # outlive its page's identity.
+            store.on_page_freed = self._on_page_freed
         self._trees = {}
         self._active = None
         self._sessions = {}      # sid -> live Session
@@ -433,9 +461,47 @@ class Engine:
 
     def read_view(self):
         """A view of committed state for searches/scans."""
+        if self.page_cache is not None:
+            return CachedReadView(self)
         if self.group is not None:
             return GroupReadView(self)
         return ReadView(self.store)
+
+    def _read_page(self, page_no):
+        """The committed page, preferring the DRAM cache tier.
+
+        Open-epoch member overlays bypass the cache entirely: an
+        overlaid page's *visible* committed state (durable header +
+        pending member header) differs from its durable image, and the
+        cache only ever holds durable committed images.  Cache off:
+        exactly ``_fetch_page``.
+        """
+        cache = self.page_cache
+        if cache is not None:
+            group = self.group
+            if group is None or not group.overlaid(page_no):
+                page = cache.lookup(page_no)
+                if page is None:
+                    page = cache.fill(page_no)
+                return page
+        return self._fetch_page(page_no)
+
+    def _cache_invalidate(self, page_no, reason=ev.INVAL_INSTALL):
+        """Drop ``page_no`` from the DRAM cache (no-op when cache off).
+
+        The coherence contract: call this at every point a committed
+        install rewrites the page's durable header — checkpoints, RTM
+        in-place publishes, pointer swaps (and their rollback
+        reversals), epoch closes, 2PC installs, recovery replay."""
+        cache = self.page_cache
+        if cache is not None:
+            cache.invalidate(page_no, reason)
+
+    def _on_page_freed(self, page_no):
+        """PageStore callback: a page returned to the free list (or was
+        swept by GC) — it can be reallocated with new content, so its
+        frame must die now."""
+        self.page_cache.invalidate(page_no, ev.INVAL_FREE)
 
     def _fetch_page(self, page_no):
         """The committed page, with any open-epoch member overlay
@@ -553,9 +619,14 @@ class Engine:
         schemes the committed-state page object suffices: pre-commit
         record writes sit in free space invisible to the durable
         header (epoch-member overlays are committed state and apply).
-        NVWAL overrides this (its open writers apply headers to shared
-        DRAM frames before commit)."""
-        return self._fetch_page(page_no)
+        The DRAM cache tier serves these too — a frame always holds
+        the latest committed image, which is exactly what the version
+        manager resolves the live page to (a commit that supersedes it
+        stamps the page and shadows any live view with a chain entry,
+        and the install invalidates the frame).  NVWAL overrides this
+        (its open writers apply headers to shared DRAM frames before
+        commit)."""
+        return self._read_page(page_no)
 
     def session(self, name=None, read_only=False, isolation=None):
         """Open a session (one concurrent client).

@@ -91,6 +91,12 @@ class SystemConfig:
     #: Evaluated at commit boundaries only, so scheduling stays
     #: deterministic under the cooperative scheduler.
     group_commit_window_ns: float = 0.0
+    #: Tiered DRAM page cache (``repro.storage.cache``): committed
+    #: reads of read-hot pages are served from clock/second-chance
+    #: DRAM copies at ``latency.dram_ns`` instead of ``read_ns``,
+    #: invalidated at every committed install point.  0 (the default)
+    #: builds no cache at all — byte-identical to pre-cache builds.
+    dram_cache_pages: int = 0
 
     # ------------------------------------------------------------------
     # Arena layout: [page store | slot-header log | NVWAL heap | 2PC]

@@ -85,6 +85,16 @@ class EpochPipeline:
         shared mark (i.e. not yet durable)?"""
         return any(member["seq"] == seq for member in self.members)
 
+    def overlaid(self, page_no):
+        """Does ``page_no`` carry an open-epoch member overlay?
+
+        The tiered DRAM page cache bypasses overlaid pages entirely
+        (``Engine._read_page``): their *visible* committed state is
+        durable header + pending member image, while cached frames only
+        ever hold durable images.  The overlay retires at the close,
+        whose checkpoint invalidates the page's frame anyway."""
+        return page_no in self.pending_headers
+
     def deferred_pages(self):
         """Pages whose frees are deferred to the close — committed-free
         but still referenced by the pre-epoch durable tree, so neither

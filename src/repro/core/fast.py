@@ -157,6 +157,11 @@ class FASTContext:
             self.pm.write_u32(position, new_child_no)
             self.pm.persist(position, 4)
         self.pointer_swaps.append((position, old_child_no, new_child_no))
+        # The swap changes the parent's committed content *without*
+        # marking it dirty (no checkpoint will ever touch it), so the
+        # DRAM cache must drop its frame here or serve the old child
+        # pointer forever.
+        self.engine._cache_invalidate(self.store.page_no_of(parent_page))
         if new_child_no in self.new_pages:
             self.dirty[new_child_no] = self.new_pages.pop(new_child_no)
 
@@ -199,6 +204,11 @@ class FASTContext:
             # repro: allow[PM001] savepoint rollback reverses a pointer swap the same atomic way
             self.pm.write_u32(position, old_child)
             self.pm.persist(position, 4)
+            # Reversing the swap is itself an in-place committed-content
+            # change to the parent page — same coherence rule as the swap.
+            self.engine._cache_invalidate(
+                (position - self.store.base) // self.store.page_size
+            )
         for page_no in list(self.new_pages):
             if page_no not in snapshot["new_pages"]:
                 self.new_pages.pop(page_no)
@@ -256,6 +266,10 @@ class FASTEngine(Engine):
 
     scheme = "fast"
     leaf_capacity = None  # record offset array can be arbitrarily large
+    #: PM-resident committed state: reads may be served from the
+    #: tiered DRAM page cache (``repro.storage.cache``), invalidated
+    #: at the install points marked through this file.
+    _page_cache_supported = True
 
     def __init__(self, config, pm, store):
         super().__init__(config, pm, store)
@@ -498,6 +512,10 @@ class FASTEngine(Engine):
                 _, page_no, image = entry
                 page = fetch(page_no)
                 page.apply_header(image)
+                # The committed install point for logged commits, epoch
+                # closes, and 2PC participant installs alike: the page's
+                # durable header just changed, so any DRAM frame is stale.
+                self._cache_invalidate(page_no)
                 if last_flush[page_no] == index:
                     self.pm.flush_range(page.base, flush_len[page_no])
             else:
@@ -567,6 +585,11 @@ class FASTEngine(Engine):
             # repro: allow[PM001] precise rollback reverses a pointer swap the same atomic way
             self.pm.write_u32(position, old_child)
             self.pm.persist(position, 4)
+            # Same coherence rule as the forward swap: the parent's
+            # committed content just changed in place.
+            self._cache_invalidate(
+                (position - self.store.base) // self.store.page_size
+            )
         for page_no, page in list(ctx.dirty.items()):
             if page.has_pending:
                 self._discard_page_pending(page_no, page)
@@ -599,6 +622,10 @@ class FASTEngine(Engine):
                     _, page_no, image = entry
                     page = self.store.page(page_no)
                     page.apply_header(image)
+                    # A fresh attach starts with an empty cache, but
+                    # recovery can also be re-run on a live engine —
+                    # replayed installs obey the same coherence rule.
+                    self._cache_invalidate(page_no)
                     self.pm.flush_range(page.base, len(image))
                 else:
                     _, slot, page_no = entry
@@ -710,4 +737,7 @@ class FASTPlusEngine(FASTEngine):
             self._commit_logged(ctx)
             return
         self.obs.inc("engine.commit.inplace")
+        # The RTM publish IS the install: the page's durable header
+        # changed without a checkpoint, so the frame dies here.
+        self._cache_invalidate(self.store.page_no_of(page))
         self._finish(ctx)

@@ -538,6 +538,11 @@ class NVWALEngine(Engine):
                 # repro: allow[PM001] checkpoint writeback of whole WAL-protected pages, flushed below
                 self.pm.write(target, content)
                 self.pm.flush_range(target, self.config.page_size)
+                # NVWAL keeps ``_page_cache_supported = False`` (its
+                # DRAM tier is the buffer cache above), so this is a
+                # guarded no-op — kept so the copy-back install point
+                # stays coherent if the cache is ever enabled here.
+                self._cache_invalidate(page_no)
             for slot, page_no in self.wal.roots.items():
                 self.store.set_root(slot, page_no, persist=False)
                 self.pm.flush_range(self.store.base, 64)

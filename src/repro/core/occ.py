@@ -268,6 +268,11 @@ def occ_commit(engine, session, octx):
     """The single-engine optimistic commit: validate, unpin, install
     under ``commit_scope``, run the scheme's ordinary commit protocol.
     Raises :class:`OCCConflict` (transaction left open) on failure.
+
+    Because the install replays through ``engine._commit``, the tiered
+    DRAM page cache needs no OCC-specific hook: the ordinary commit's
+    install points (checkpoint apply, RTM in-place publish, pointer
+    swaps) invalidate every frame the replay's writes touch.
     """
     octx.validate()
     octx.unpin()

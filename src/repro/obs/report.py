@@ -165,6 +165,35 @@ def _isolation(counters):
     return lines
 
 
+def _cache_tier(counters):
+    """Derived DRAM page-cache health: how often committed reads were
+    served from DRAM frames instead of paying PM read latency, and why
+    frames left the cache (capacity pressure vs coherence drops at
+    commit installs / page frees).  Present only when a run was
+    configured with ``dram_cache_pages > 0``."""
+    hits = counters.get("cache.hit", 0)
+    misses = counters.get("cache.miss", 0)
+    lookups = hits + misses
+    if not lookups:
+        return []
+    evicts = counters.get("cache.evict", 0)
+    invalidates = counters.get("cache.invalidate", 0)
+    lines = [
+        "",
+        "dram page cache",
+        "---------------",
+        "  lookups           %8d  (%d hits, %d misses, %.1f%% hit "
+        "ratio)" % (lookups, hits, misses, 100.0 * hits / lookups),
+        "  fills             %8d  full-page PM reads into DRAM frames"
+        % counters.get("cache.fill", 0),
+        "  evictions         %8d  clock/second-chance capacity drops"
+        % evicts,
+        "  invalidations     %8d  coherence drops (commit installs, "
+        "frees, GC)" % invalidates,
+    ]
+    return lines
+
+
 def _exploration(counters, gauges):
     """Derived schedule-space exploration summary (DPOR model checker).
 
@@ -251,6 +280,7 @@ def render_report(snapshot, *, title="observability report"):
                 lines.append("  %s  %d" % (name.ljust(width), counters[name]))
         lines.extend(_durability_cost(counters))
         lines.extend(_isolation(counters))
+        lines.extend(_cache_tier(counters))
         lines.extend(_exploration(counters, gauges))
     if gauges:
         lines.append("")

@@ -45,6 +45,9 @@ COUNTERS = frozenset({
     "group.join", "group.close",
     # storage/versions.py — MVCC snapshot reads over version chains
     "mvcc.snapshot_reads", "mvcc.gc_reclaimed",
+    # storage/cache.py — tiered DRAM page cache in front of the PM arena
+    "cache.hit", "cache.miss", "cache.fill", "cache.evict",
+    "cache.invalidate",
     # core/occ.py + core/session.py — OCC writer path
     "occ.begin", "occ.validation", "occ.validation.abort",
     "occ.install.conflict", "occ.fallback", "occ.commit",

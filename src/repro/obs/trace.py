@@ -101,6 +101,15 @@ TWOPC_PREPARE = "twopc_prepare"      # a=gtid, b=shard index
 TWOPC_DECISION = "twopc_decision"    # a=gtid, b=(participants<<1)|commit
 TWOPC_COMMIT = "twopc_commit"        # a=gtid, b=shard index
 
+# Tiered DRAM page-cache events (emitted by ``repro.storage.cache``
+# only — cache-off runs record none of these).  ``a`` is always the
+# page number.  For the invalidation event ``b`` carries the reason
+# (see the INVAL_* constants below); the TC111 coherence rule checks
+# HIT/FILL/INVAL against the page-header install stores.
+CACHE_FILL = "cache_fill"            # a=page_no (copied from PM into DRAM)
+CACHE_HIT = "cache_hit"              # a=page_no (read served from DRAM)
+CACHE_INVAL = "cache_inval"          # a=page_no, b=reason (INVAL_*)
+
 KINDS = (
     STORE, CLFLUSH, CLWB, FENCE,
     RTM_BEGIN, RTM_COMMIT, RTM_ABORT,
@@ -113,11 +122,17 @@ KINDS = (
     VERSION_PUBLISH,
     SCHED_PICK,
     TWOPC_PREPARE, TWOPC_DECISION, TWOPC_COMMIT,
+    CACHE_FILL, CACHE_HIT, CACHE_INVAL,
 )
 
 ABORT_TRANSIENT = 0
 ABORT_CAPACITY = 1
 ABORT_EXPLICIT = 2
+
+#: ``CACHE_INVAL`` reasons (the ``b`` field).
+INVAL_INSTALL = 0   # a committed install rewrote the page's header
+INVAL_EVICT = 1     # clock/second-chance capacity eviction
+INVAL_FREE = 2      # the page returned to the store's free list
 
 
 class TraceRecorder:

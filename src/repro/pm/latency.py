@@ -105,3 +105,15 @@ class CostModel:
     #: paper's "Misc" bar).
     pager_commit_ns: float = 600.0
     branch_ns: float = 6.0
+
+    def dram_tier_line_ns(self, latency, *, streamed=False):
+        """Per-line cost of a DRAM-tier load miss.
+
+        The one attribution point for every DRAM tier in the system —
+        NVWAL's volatile buffer cache and the tiered page cache both
+        charge their residency misses through here, so fig8-style
+        breakdowns stay comparable across schemes: the first missing
+        line of a read costs ``latency.dram_ns``; subsequent lines of
+        the same sequential read stream at ``dram_stream_line_ns``.
+        """
+        return self.dram_stream_line_ns if streamed else latency.dram_ns

@@ -914,8 +914,13 @@ class VolatileMemory:
         self._c_load_miss = registry.counter("dram.load_miss")
         self._c_store = registry.counter("dram.store")
         self._c_store_bytes = registry.counter("dram.store_bytes")
-        self._dram_ns = self.latency.dram_ns
-        self._dram_stream_ns = self.cost.dram_stream_line_ns
+        # Folded through the one DRAM-tier attribution point shared
+        # with the tiered page cache (identical values by construction,
+        # so pre-existing runs stay byte-identical).
+        self._dram_ns = self.cost.dram_tier_line_ns(self.latency)
+        self._dram_stream_ns = self.cost.dram_tier_line_ns(
+            self.latency, streamed=True
+        )
         self._hit_ns = self.cost.cache_hit_ns
         self._store_ns = self.cost.store_ns
         self._store_byte_ns = self.cost.store_byte_ns

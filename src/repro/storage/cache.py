@@ -1,0 +1,239 @@
+"""Tiered DRAM page cache in front of the PM arena (read path only).
+
+The paper's pitch is PM-as-the-buffer-cache, but hybrid DRAM/PM tiers
+win whenever the read-hot set fits in DRAM (van Renen et al., Lersch
+et al.): every committed read otherwise pays the full PM ``read_ns``
+even for pages touched on every transaction (the root, the upper
+B-tree levels).  ``TieredPageCache`` keeps clock/second-chance-managed
+DRAM copies of read-hot pages; reads served from a cached frame charge
+``LatencyProfile.dram_ns`` per missing line (via
+``CostModel.dram_tier_line_ns``, the same attribution point NVWAL's
+volatile buffer cache uses) instead of ``read_ns``.
+
+Coherence contract (DESIGN.md §17): the cache is strictly read-only
+and write-through-by-invalidation.  Every write path keeps the full
+store→flush→fence→≤8B-mark discipline against PM, untouched; whenever
+a committed install rewrites a page's durable header — the FAST
+checkpoint, the FAST⁺ RTM in-place publish, a copy-on-write parent
+pointer swap, a group-commit epoch close, a 2PC participant install,
+recovery replay, or a page returning to the free list — the installer
+calls :meth:`TieredPageCache.invalidate` for that page.  A cached
+frame therefore always holds the *latest committed* image of its page
+(pre-commit record writes land in free space invisible to the durable
+header, exactly as they are invisible to a direct PM read).  The TC111
+trace rule (``repro.analysis.tracecheck``) checks this end to end from
+the CACHE_FILL / CACHE_HIT / CACHE_INVAL events.
+
+Frames are never handed out for writing: a frame's page view is backed
+by ``_FrameMemory``, which raises on any store or flush.  Eviction
+drops the cache's reference only — outstanding page views keep their
+(consistent, committed-as-of-fetch) buffer, the same lifetime contract
+MVCC version images have.
+"""
+
+from repro.obs import trace as ev
+from repro.storage.slotted_page import SlottedPage
+
+
+class _FrameMemory:
+    """Read-only memory over one cached page copy, charged at DRAM cost.
+
+    Mirrors ``VolatileMemory``'s accounting: the first missing 64-byte
+    line of a read pays ``dram_ns``, subsequent missing lines of the
+    same sequential read stream at ``dram_stream_line_ns``, resident
+    lines pay the CPU cache-hit cost.  Per-frame residency persists
+    across reads — a truly read-hot frame converges to cache-hit cost,
+    exactly like a hot line in the PM arena's residency model.
+    """
+
+    __slots__ = ("clock", "_image", "_hit_ns", "_miss_ns", "_stream_ns",
+                 "_resident")
+
+    def __init__(self, image, clock, hit_ns, miss_ns, stream_ns):
+        self._image = image
+        self.clock = clock
+        self._hit_ns = hit_ns
+        self._miss_ns = miss_ns
+        self._stream_ns = stream_ns
+        self._resident = set()
+
+    def read(self, addr, length):
+        end = addr + length
+        if addr < 0 or end > len(self._image):
+            raise IndexError(
+                "access [%d, %d) outside cached frame of %d bytes"
+                % (addr, end, len(self._image))
+            )
+        if length <= 0:
+            return b""
+        clock = self.clock
+        resident = self._resident
+        missed_before = False
+        for line in range(addr >> 6, ((end - 1) >> 6) + 1):
+            if line in resident:
+                ns = self._hit_ns
+            else:
+                resident.add(line)
+                if missed_before:
+                    ns = self._stream_ns
+                else:
+                    ns = self._miss_ns
+                    missed_before = True
+            if ns > 0:
+                clock.now_ns += ns
+                clock.pending_ns += ns
+        return self._image[addr:end]
+
+    def read_u16(self, addr):
+        return int.from_bytes(self.read(addr, 2), "little")
+
+    def read_u32(self, addr):
+        return int.from_bytes(self.read(addr, 4), "little")
+
+    def read_u64(self, addr):
+        return int.from_bytes(self.read(addr, 8), "little")
+
+    def _no_write(self, *args, **kwargs):
+        raise TypeError("cached page frames are read-only")
+
+    write = write_u16 = write_u32 = write_u64 = _no_write
+    clflush = clwb = flush_range = persist = _no_write
+
+    def sfence(self):
+        raise TypeError("cached page frames are read-only")
+
+
+class _Frame:
+    """One cached page: the committed image plus clock-policy state."""
+
+    __slots__ = ("page_no", "page", "ref", "index")
+
+    def __init__(self, page_no, page, index):
+        self.page_no = page_no
+        self.page = page
+        self.ref = False
+        self.index = index
+
+
+class TieredPageCache:
+    """Clock/second-chance DRAM cache of committed page images.
+
+    ``capacity`` is ``SystemConfig.dram_cache_pages``; the engine only
+    constructs a cache when it is positive, so the default (0) stays
+    byte-identical to a cache-less build — no counters, no events, no
+    simulated-time deltas.
+    """
+
+    def __init__(self, store, capacity):
+        if capacity <= 0:
+            raise ValueError("cache capacity must be positive")
+        pm = store.pm
+        self.store = store
+        self.pm = pm
+        self.capacity = capacity
+        self.obs = pm.obs
+        self._page_size = store.page_size
+        self._hit_line_ns = pm.cost.cache_hit_ns
+        self._miss_line_ns = pm.cost.dram_tier_line_ns(pm.latency)
+        self._stream_line_ns = pm.cost.dram_tier_line_ns(
+            pm.latency, streamed=True
+        )
+        self._frames = {}     # page_no -> _Frame
+        self._ring = []       # clock order (swap-removed on invalidate)
+        self._hand = 0
+        registry = self.obs.registry
+        self._c_hit = registry.counter("cache.hit")
+        self._c_miss = registry.counter("cache.miss")
+        self._c_fill = registry.counter("cache.fill")
+        self._c_evict = registry.counter("cache.evict")
+        self._c_invalidate = registry.counter("cache.invalidate")
+
+    def __len__(self):
+        return len(self._frames)
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+
+    def lookup(self, page_no):
+        """The cached page view, or None (counted as a miss)."""
+        frame = self._frames.get(page_no)
+        if frame is None:
+            self._c_miss.value += 1
+            return None
+        frame.ref = True
+        self._c_hit.value += 1
+        self.obs.event(ev.CACHE_HIT, page_no)
+        return frame.page
+
+    def fill(self, page_no):
+        """Copy ``page_no``'s committed image into a DRAM frame.
+
+        The copy itself reads through the PM arena, so the fill pays
+        the full PM read cost once; subsequent hits are DRAM-priced.
+        Returns the frame's page view.
+        """
+        store = self.store
+        image = self.pm.read(store.page_base(page_no), self._page_size)
+        if len(self._ring) >= self.capacity:
+            self._evict_one()
+        memory = _FrameMemory(
+            image, self.pm.clock, self._hit_line_ns,
+            self._miss_line_ns, self._stream_line_ns,
+        )
+        page = SlottedPage(memory, 0, self._page_size)
+        page.page_no = page_no
+        frame = _Frame(page_no, page, len(self._ring))
+        self._ring.append(frame)
+        self._frames[page_no] = frame
+        self._c_fill.value += 1
+        self.obs.event(ev.CACHE_FILL, page_no)
+        return page
+
+    def _evict_one(self):
+        """Clock sweep: skip (and clear) referenced frames once, evict
+        the first unreferenced one."""
+        ring = self._ring
+        hand = self._hand
+        while True:
+            if hand >= len(ring):
+                hand = 0
+            frame = ring[hand]
+            if frame.ref:
+                frame.ref = False
+                hand += 1
+                continue
+            self._hand = hand
+            self._drop(frame)
+            self._c_evict.value += 1
+            self.obs.event(ev.CACHE_INVAL, frame.page_no, ev.INVAL_EVICT)
+            return
+
+    # ------------------------------------------------------------------
+    # Coherence
+    # ------------------------------------------------------------------
+
+    def invalidate(self, page_no, reason=ev.INVAL_INSTALL):
+        """Drop ``page_no``'s frame (no-op when not cached).
+
+        Called at every committed install point and on page free/GC —
+        the coherence contract this module's docstring spells out.
+        """
+        frame = self._frames.get(page_no)
+        if frame is None:
+            return
+        self._drop(frame)
+        self._c_invalidate.value += 1
+        self.obs.event(ev.CACHE_INVAL, page_no, reason)
+
+    def _drop(self, frame):
+        """Unlink a frame from the directory and the clock ring
+        (swap-remove keeps the sweep O(1) per drop)."""
+        del self._frames[frame.page_no]
+        ring = self._ring
+        last = ring.pop()
+        if last is not frame:
+            ring[frame.index] = last
+            last.index = frame.index
+        if self._hand > len(ring):
+            self._hand = 0

@@ -40,6 +40,13 @@ class PageStore:
         self.base = base
         self.npages = npages
         self.page_size = page_size
+        #: Page-reuse hook for dependent layers (the tiered DRAM page
+        #: cache): called with the page number whenever a page returns
+        #: to the free list — ``free_page`` or a ``garbage_collect``
+        #: sweep — because a freed page can be reallocated with new
+        #: content, and nothing derived from its old identity may
+        #: survive that.  None = nobody listening.
+        self.on_page_freed = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -143,6 +150,8 @@ class PageStore:
         self.pm.persist(base, 4)
         self.pm.write_u32(self.base + _OFF_FREE_HEAD, page_no)
         self.pm.persist(self.base + _OFF_FREE_HEAD, 4)
+        if self.on_page_freed is not None:
+            self.on_page_freed(page_no)
 
     def free_page_count(self):
         """Number of pages currently on the free list."""
@@ -173,6 +182,8 @@ class PageStore:
             self.pm.persist(base, 4)
             head = page_no
             freed += 1
+            if self.on_page_freed is not None:
+                self.on_page_freed(page_no)
         self.pm.write_u32(self.base + _OFF_FREE_HEAD, head)
         self.pm.persist(self.base + _OFF_FREE_HEAD, 4)
         return freed

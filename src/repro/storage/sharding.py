@@ -287,6 +287,24 @@ class ShardRouter:
     def search(self, key, *, root_slot=0):
         return self.shards[self.shard_of(key)].search(key, root_slot=root_slot)
 
+    @property
+    def page_caches(self):
+        """The per-shard DRAM cache tiers (empty when cache off).
+
+        ``dram_cache_pages`` is per-shard geometry: each shard engine
+        fronts its own arena slice with its own
+        :class:`repro.storage.cache.TieredPageCache`, and invalidation
+        stays shard-local — page numbers are shard-local, and every
+        install (including a cross-shard 2PC transaction's per-shard
+        installs) runs inside the owning shard's commit machinery,
+        which already drops the affected frames.  Counters aggregate
+        naturally: all shards share one arena's registry, so
+        ``cache.hit`` et al. are fleet-wide totals."""
+        return tuple(
+            shard.page_cache for shard in self.shards
+            if shard.page_cache is not None
+        )
+
     def scan(self, lo=None, hi=None, *, root_slot=0):
         """Merged committed scan over every shard, in key order."""
         rows = []

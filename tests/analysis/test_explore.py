@@ -79,6 +79,7 @@ def test_seeded_mutant_is_detected_within_default_budget(name):
         result = explore(
             "fast", workloads=spec["workloads"],
             preload=spec.get("preload", ()),
+            config=spec.get("config"),
         )
     fired = {line.split(": ")[1] for line in result["findings"]}
     assert expected_rule in fired, (

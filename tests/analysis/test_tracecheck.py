@@ -401,3 +401,118 @@ def test_tc110_gated_on_lockset_invariant():
         (8, 0.0, ev.STORE, 0x250, 16),
     ])
     assert checker.finish() == []
+
+
+# ---------------------------------------------------------------------------
+# TC111 — DRAM page-cache coherence
+# ---------------------------------------------------------------------------
+
+
+def test_tc111_stale_hit_after_install_fires():
+    checker = _lockset_checker()
+    checker.feed([
+        (1, 0.0, ev.CACHE_FILL, 1, 0),
+        # A committed header install rewrites page 1's first six bytes
+        # while the frame is live ...
+        (2, 0.0, ev.STORE, 0x200, 8),
+        # ... and the next hit serves the pre-install bytes.
+        (3, 0.0, ev.CACHE_HIT, 1, 0),
+    ])
+    assert [f.render() for f in checker.finish()] == [
+        "trace@3: TC111: cached read of page 1 served bytes older than "
+        "the committed install at trace seq 2 (no invalidation between "
+        "install and hit)",
+    ]
+
+
+def test_tc111_invalidate_between_install_and_hit_is_clean():
+    checker = _lockset_checker()
+    checker.feed([
+        (1, 0.0, ev.CACHE_FILL, 1, 0),
+        (2, 0.0, ev.STORE, 0x200, 8),
+        (3, 0.0, ev.CACHE_INVAL, 1, ev.INVAL_INSTALL),
+        (4, 0.0, ev.CACHE_FILL, 1, 0),
+        (5, 0.0, ev.CACHE_HIT, 1, 0),
+    ])
+    assert checker.finish() == []
+
+
+def test_tc111_refill_clears_staleness():
+    # A re-fill after the install re-reads the page from PM, so the
+    # frame holds post-install bytes even without an explicit inval.
+    checker = _lockset_checker()
+    checker.feed([
+        (1, 0.0, ev.CACHE_FILL, 1, 0),
+        (2, 0.0, ev.STORE, 0x200, 8),
+        (3, 0.0, ev.CACHE_FILL, 1, 0),
+        (4, 0.0, ev.CACHE_HIT, 1, 0),
+    ])
+    assert checker.finish() == []
+
+
+def test_tc111_cell_store_outside_window_is_not_an_install():
+    # Pre-commit record traffic lands past the six-byte header window
+    # and must not mark the frame stale.
+    checker = _lockset_checker()
+    checker.feed([
+        (1, 0.0, ev.CACHE_FILL, 1, 0),
+        (2, 0.0, ev.STORE, 0x3c0, 16),
+        (3, 0.0, ev.CACHE_HIT, 1, 0),
+    ])
+    assert checker.finish() == []
+
+
+def test_tc111_free_list_head_store_is_carved_out():
+    # Bytes 6-8 (the in-page free-list head) are rewritten in place
+    # pre-commit and excluded from the install window, mirroring
+    # TC103's live-range carve-out.
+    checker = _lockset_checker()
+    checker.feed([
+        (1, 0.0, ev.CACHE_FILL, 1, 0),
+        (2, 0.0, ev.STORE, 0x206, 2),
+        (3, 0.0, ev.CACHE_HIT, 1, 0),
+    ])
+    assert checker.finish() == []
+
+
+def test_tc111_install_on_other_page_is_clean():
+    checker = _lockset_checker()
+    checker.feed([
+        (1, 0.0, ev.CACHE_FILL, 1, 0),
+        (2, 0.0, ev.STORE, 0x400, 8),
+        (3, 0.0, ev.CACHE_HIT, 1, 0),
+    ])
+    assert checker.finish() == []
+
+
+def test_tc111_hit_without_recorded_fill_is_exempt():
+    # The checker may attach mid-stream: a hit on a frame it never saw
+    # filled has no baseline to compare against.
+    checker = _lockset_checker()
+    checker.feed([
+        (1, 0.0, ev.STORE, 0x200, 8),
+        (2, 0.0, ev.CACHE_HIT, 1, 0),
+    ])
+    assert checker.finish() == []
+
+
+def test_tc111_dormant_without_page_geometry():
+    checker = _lockset_checker(page_size=None)
+    checker.feed([
+        (1, 0.0, ev.CACHE_FILL, 1, 0),
+        (2, 0.0, ev.STORE, 0x200, 8),
+        (3, 0.0, ev.CACHE_HIT, 1, 0),
+    ])
+    assert checker.finish() == []
+
+
+def test_tc111_gated_on_cache_invariant():
+    checker = _lockset_checker(
+        invariants=("flush", "atomic", "twopl", "lockset"),
+    )
+    checker.feed([
+        (1, 0.0, ev.CACHE_FILL, 1, 0),
+        (2, 0.0, ev.STORE, 0x200, 8),
+        (3, 0.0, ev.CACHE_HIT, 1, 0),
+    ])
+    assert checker.finish() == []

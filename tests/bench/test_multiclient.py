@@ -7,10 +7,12 @@ from repro.bench.multiclient import (
     client_workload,
     run_group_commit,
     run_isolation_cell,
+    run_cache_cell,
     run_multi_client,
     run_sharded_multi_client,
     shard_pool_keys,
     sharded_client_workload,
+    sweep_cache,
     sweep_clients,
     sweep_group_commit,
     sweep_occ,
@@ -306,3 +308,86 @@ class TestSweeps:
         assert [r["read_ratio"] for r in rows] == [0.0, 1.0]
         # All-read runs never conflict on write locks.
         assert rows[1]["counters"]["lock.conflict"] == 0
+
+
+class TestCacheSweep:
+    def test_sweep_cache_shape(self):
+        rows = sweep_cache("fast", cache_sizes=(0, 8), read_lats=(300.0,),
+                           clients=4, items=6, key_space=60)
+        assert [r["cache_pages"] for r in rows] == [0, 8]
+        # The cache-off cell is its own baseline by construction.
+        assert rows[0]["speedup_vs_uncached"] == 1.0
+        assert rows[0]["cache_hit_ratio"] == 0.0
+        assert rows[1]["cache_hit_ratio"] > 0.0
+        # Reads never change committed state: both cells commit the
+        # same workload.
+        assert rows[0]["commits"] == rows[1]["commits"]
+
+    def test_cache_cell_serves_and_invalidates(self):
+        result = run_cache_cell("fast", cache_pages=8, clients=4, items=6,
+                                key_space=60)
+        counters = result["counters"]
+        assert counters["cache.hit"] > 0
+        # The locked writer's installs reach the cache.
+        assert counters["cache.invalidate"] > 0
+
+    def test_byte_identical_reruns(self):
+        a = run_cache_cell("fastplus", cache_pages=8, clients=4, items=6,
+                           key_space=60)
+        b = run_cache_cell("fastplus", cache_pages=8, clients=4, items=6,
+                           key_space=60)
+        assert a == b
+
+
+class TestCommittedCacheBaseline:
+    """The acceptance floor rides on the committed baseline: at PM read
+    latency 1200ns with a 64-page cache, the read-mostly mix must hit
+    >= 0.9 and run >= 1.5x the cache-off throughput on both PM-resident
+    schemes."""
+
+    def _rows(self, scheme):
+        baseline = json.loads(
+            (pathlib.Path(__file__).resolve().parents[2] /
+             "BENCH_multiclient.json").read_text()
+        )
+        return baseline["cache_sweep"][scheme]
+
+    def _cell(self, scheme, pages, read_ns):
+        rows = {(r["cache_pages"], r["read_ns"]): r
+                for r in self._rows(scheme)}
+        return rows[(pages, read_ns)]
+
+    def test_acceptance_floor(self):
+        for scheme in ("fast", "fastplus"):
+            cell = self._cell(scheme, 64, 1200.0)
+            assert cell["cache_hit_ratio"] >= 0.9
+            assert cell["speedup_vs_uncached"] >= 1.5
+
+    def test_uncached_rows_are_the_baseline(self):
+        for scheme in ("fast", "fastplus"):
+            for row in self._rows(scheme):
+                if row["cache_pages"] == 0:
+                    assert row["speedup_vs_uncached"] == 1.0
+                    assert row["cache_hits"] == 0
+
+    def test_undersized_cache_can_lose(self):
+        """The fig15 crossover: an 8-page cache thrashes (fills are not
+        amortized) and a 64-page cache wins at every swept latency."""
+        for scheme in ("fast", "fastplus"):
+            for read_ns in (300.0, 900.0, 1200.0):
+                small = self._cell(scheme, 8, read_ns)
+                sized = self._cell(scheme, 64, read_ns)
+                assert small["speedup_vs_uncached"] < (
+                    sized["speedup_vs_uncached"])
+        assert self._cell("fastplus", 8, 300.0)["speedup_vs_uncached"] < 1.0
+
+    def test_win_grows_with_pm_latency(self):
+        for scheme in ("fast", "fastplus"):
+            speedups = [self._cell(scheme, 64, ns)["speedup_vs_uncached"]
+                        for ns in (300.0, 900.0, 1200.0)]
+            assert speedups == sorted(speedups)
+
+    def test_reads_commit_identically_across_cells(self):
+        for scheme in ("fast", "fastplus"):
+            commits = {row["commits"] for row in self._rows(scheme)}
+            assert len(commits) == 1

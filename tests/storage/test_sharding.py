@@ -363,3 +363,55 @@ class TestLockFacade:
         router = ShardRouter.create(_config(), 2, scheme="fast")
         assert router.lock_manager.wait_edges() == {}
         assert router.lock_manager.find_deadlock(1) is None
+
+
+class TestPerShardPageCaches:
+    def test_cache_off_router_has_no_caches(self):
+        router = ShardRouter.create(_config(), nshards=2)
+        assert router.page_caches == ()
+
+    def test_each_shard_fronts_its_own_cache(self):
+        router = ShardRouter.create(
+            _config(dram_cache_pages=4), nshards=2,
+        )
+        caches = router.page_caches
+        assert len(caches) == 2
+        assert len(set(map(id, caches))) == 2
+        for shard, cache in zip(router.shards, caches):
+            assert cache.store is shard.store
+
+    def test_routed_reads_fill_the_owning_shards_cache(self):
+        nshards = 2
+        router = ShardRouter.create(
+            _config(dram_cache_pages=4), nshards=nshards,
+        )
+        for shard_no in range(nshards):
+            for key in _keys_on(shard_no, nshards, 4):
+                router.insert(key, b"v" * 16)
+        fills_before = router.obs.registry.counters()["cache.fill"]
+        for shard_no in range(nshards):
+            for key in _keys_on(shard_no, nshards, 4):
+                assert router.search(key) == b"v" * 16
+        assert router.obs.registry.counters()["cache.fill"] > fills_before
+        assert all(len(cache) > 0 for cache in router.page_caches)
+
+    def test_cross_shard_commit_invalidates_both_owners(self):
+        nshards = 2
+        router = ShardRouter.create(
+            _config(dram_cache_pages=4), nshards=nshards,
+        )
+        key0 = _keys_on(0, nshards, 1)[0]
+        key1 = _keys_on(1, nshards, 1)[0]
+        router.insert(key0, b"old0" * 4)
+        router.insert(key1, b"old1" * 4)
+        # Warm both shards' caches with the pre-update images.
+        assert router.search(key0) == b"old0" * 4
+        assert router.search(key1) == b"old1" * 4
+        with router.session() as session:
+            with session.transaction() as txn:
+                txn.update(key0, b"new0" * 4)
+                txn.update(key1, b"new1" * 4)
+        # The 2PC installs ran inside each owning shard's commit path,
+        # so neither shard's cache may serve the pre-commit bytes.
+        assert router.search(key0) == b"new0" * 4
+        assert router.search(key1) == b"new1" * 4
